@@ -1,0 +1,361 @@
+// Benchmarks regenerating the runtime-shaped rows of DESIGN.md's experiment
+// index. Each Benchmark maps to a figure or table:
+//
+//	BenchmarkFig2PrimeSubpaths      — FIG2-A/B: instance analysis cost across K
+//	BenchmarkBandwidth*             — FIG2-C / TAB-CMP: the solver ladder
+//	BenchmarkTempSCompressionAblation — DESIGN §5 ablation: with/without
+//	                                  non-redundant edge compression
+//	BenchmarkBottleneck*            — §2.1 ladder (binary search vs paper greedy)
+//	BenchmarkMinProcessors          — §2.2
+//	BenchmarkPartitionTreePipeline  — §2.2 full pipeline
+//	BenchmarkCCP*                   — TAB-CMP prior-work chains-on-chains ladder
+//	BenchmarkSumBottleneck          — prior work: Bokhari's linear-array model
+//	BenchmarkHostSatellite          — prior work: host-satellite trees
+//	BenchmarkTempSSearchVariants    — §2.3.2 future-work search ablation
+//	BenchmarkTreeBandwidthExact     — THM1: pseudo-polynomial DP cost
+//	BenchmarkLogicsimProfile        — APP-DES substrate cost
+//	BenchmarkSchedSimulate          — APP-DES/RT replay cost
+//
+// Run: go test -bench=. -benchmem
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/arch"
+	"repro/internal/ccp"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hitting"
+	"repro/internal/hostsat"
+	"repro/internal/logicsim"
+	"repro/internal/prime"
+	"repro/internal/sched"
+	"repro/internal/sumbottleneck"
+	"repro/internal/treecut"
+	"repro/internal/workload"
+)
+
+// benchPath draws the Figure 2 instance family: uniform weights on [1,100].
+func benchPath(seed uint64, n int) *graph.Path {
+	r := workload.NewRNG(seed)
+	return workload.RandomPath(r, n, workload.UniformWeights(1, 100), workload.UniformWeights(1, 100))
+}
+
+func BenchmarkFig2PrimeSubpaths(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		for _, ratio := range []float64{1.2, 4, 20} {
+			p := benchPath(1, n)
+			k := ratio * p.MaxNodeWeight()
+			b.Run(fmt.Sprintf("n=%d/K=%.1fxWmax", n, ratio), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := prime.Analyze(p.NodeW, p.EdgeW, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// bandwidthLadder benches one solver across sizes and K ratios.
+func bandwidthLadder(b *testing.B, f func(*graph.Path, float64) (*core.PathPartition, error), sizes []int) {
+	for _, n := range sizes {
+		for _, ratio := range []float64{1.2, 4, 20} {
+			p := benchPath(2, n)
+			k := ratio * p.MaxNodeWeight()
+			b.Run(fmt.Sprintf("n=%d/K=%.1fxWmax", n, ratio), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := f(p, k); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkBandwidthTempS(b *testing.B) {
+	bandwidthLadder(b, core.Bandwidth, []int{1000, 10000, 100000, 1000000})
+}
+
+func BenchmarkBandwidthHeap(b *testing.B) {
+	bandwidthLadder(b, core.BandwidthHeap, []int{1000, 10000, 100000, 1000000})
+}
+
+func BenchmarkBandwidthDeque(b *testing.B) {
+	bandwidthLadder(b, core.BandwidthDeque, []int{1000, 10000, 100000, 1000000})
+}
+
+func BenchmarkBandwidthNaive(b *testing.B) {
+	bandwidthLadder(b, core.BandwidthNaive, []int{1000, 10000})
+}
+
+// BenchmarkTempSCompressionAblation solves the same hitting instances with
+// and without the non-redundant-edge compression of §2.3.1.
+func BenchmarkTempSCompressionAblation(b *testing.B) {
+	p := benchPath(3, 100000)
+	k := 4 * p.MaxNodeWeight()
+	ivs, err := prime.Find(p.NodeW, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	compressed := prime.Compress(p.EdgeW, ivs)
+	withC := &hitting.Instance{Beta: compressed.Beta, A: compressed.A, B: compressed.B}
+	// Uncompressed: intervals address raw edge indices directly.
+	rawA := make([]int, len(ivs))
+	rawB := make([]int, len(ivs))
+	for i, iv := range ivs {
+		rawA[i], rawB[i] = iv.A, iv.B
+	}
+	withoutC := &hitting.Instance{Beta: p.EdgeW, A: rawA, B: rawB}
+	b.Run("compressed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hitting.SolveTempS(withC); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("uncompressed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := hitting.SolveTempS(withoutC); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTempSSearchVariants compares the paper's binary-search collapse
+// against the §2.3.2 future-work galloping search and the amortized pop
+// loop, on the same compressed instances.
+func BenchmarkTempSSearchVariants(b *testing.B) {
+	p := benchPath(11, 200000)
+	for _, ratio := range []float64{1.2, 20} {
+		k := ratio * p.MaxNodeWeight()
+		ivs, err := prime.Find(p.NodeW, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ci := prime.Compress(p.EdgeW, ivs)
+		in := &hitting.Instance{Beta: ci.Beta, A: ci.A, B: ci.B}
+		for _, v := range []struct {
+			name string
+			f    func(*hitting.Instance) (*hitting.Solution, error)
+		}{
+			{"binary", hitting.SolveTempS},
+			{"gallop", hitting.SolveTempSGallop},
+			{"amortized", hitting.SolveTempSAmortized},
+		} {
+			b.Run(fmt.Sprintf("K=%.1fxWmax/%s", ratio, v.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := v.f(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func benchTree(seed uint64, n int) *graph.Tree {
+	r := workload.NewRNG(seed)
+	return workload.RandomTree(r, n, workload.UniformWeights(1, 100), workload.UniformWeights(1, 100))
+}
+
+func BenchmarkBottleneckBinarySearch(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		tr := benchTree(4, n)
+		k := 4 * tr.MaxNodeWeight()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Bottleneck(tr, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBottleneckPaperGreedy(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		tr := benchTree(4, n)
+		k := 4 * tr.MaxNodeWeight()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BottleneckGreedy(tr, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMinProcessors(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		tr := benchTree(5, n)
+		k := 4 * tr.MaxNodeWeight()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MinProcessors(tr, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPartitionTreePipeline(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		tr := benchTree(6, n)
+		k := 4 * tr.MaxNodeWeight()
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PartitionTree(tr, k); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchChain(seed uint64, n int) []int64 {
+	r := workload.NewRNG(seed)
+	w := make([]int64, n)
+	for i := range w {
+		w[i] = int64(1 + r.Intn(100))
+	}
+	return w
+}
+
+func BenchmarkCCPProbe(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		w := benchChain(7, n)
+		b.Run(fmt.Sprintf("n=%d/m=16", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ccp.SolveProbe(w, 16); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCCPDPBinary(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		w := benchChain(7, n)
+		b.Run(fmt.Sprintf("n=%d/m=16", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ccp.SolveDPBinary(w, 16); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCCPDPQuadratic(b *testing.B) {
+	w := benchChain(7, 1000)
+	b.Run("n=1000/m=16", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ccp.SolveDPQuadratic(w, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkTreeBandwidthExact(b *testing.B) {
+	r := workload.NewRNG(8)
+	for _, n := range []int{50, 200} {
+		tr := workload.RandomTree(r, n, workload.UniformWeights(1, 8), workload.UniformWeights(1, 100))
+		for v := range tr.NodeW {
+			tr.NodeW[v] = float64(1 + int(tr.NodeW[v])%8)
+		}
+		b.Run(fmt.Sprintf("n=%d/K=40", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := treecut.TreeBandwidthExact(tr, 40); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSumBottleneck(b *testing.B) {
+	r := workload.NewRNG(13)
+	for _, n := range []int{1000, 10000} {
+		w := make([]int64, n)
+		e := make([]int64, n-1)
+		for i := range w {
+			w[i] = int64(1 + r.Intn(100))
+		}
+		for i := range e {
+			e[i] = int64(r.Intn(80))
+		}
+		b.Run(fmt.Sprintf("Probe/n=%d/m=16", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sumbottleneck.SolveProbe(w, e, 16); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		if n <= 1000 {
+			b.Run(fmt.Sprintf("DP/n=%d/m=16", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sumbottleneck.SolveDP(w, e, 16); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkHostSatellite(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		tr := benchTree(12, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hostsat.Solve(tr, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLogicsimProfile(b *testing.B) {
+	ad, err := logicsim.RippleCarryAdder(32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := workload.NewRNG(9)
+	stim := func(cycle, inputIdx int) bool { return r.Float64() < 0.5 }
+	b.Run("adder32/100cycles", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := logicsim.Run(ad.Circuit, 100, stim); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSchedSimulate(b *testing.B) {
+	p := benchPath(10, 512)
+	k := 8 * p.MaxNodeWeight()
+	pp, err := repro.Bandwidth(p, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := &arch.Machine{Processors: 512, Speed: 100, BusBandwidth: 50}
+	cfg := sched.Config{Machine: m, Rounds: 10}
+	b.Run("path512/rounds10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.SimulatePath(cfg, p, pp.Cut); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

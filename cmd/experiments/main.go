@@ -1,0 +1,227 @@
+// Command experiments regenerates the paper's evaluation artifacts (see
+// DESIGN.md's experiment index and EXPERIMENTS.md for recorded output).
+//
+// Usage:
+//
+//	experiments -fig 2            # Figure 2 sweep (p, q, p·log q, queue stats)
+//	experiments -fig 2 -csv f.csv # also dump the sweep as CSV
+//	experiments -table complexity # bandwidth solver ladder timings
+//	experiments -table ccp        # chains-on-chains prior-work ladder
+//	experiments -table des        # §3 DDES circuit study
+//	experiments -table rt         # §3 real-time pipeline study
+//	experiments -all              # everything
+//	experiments -quick            # smaller sweeps for a fast smoke run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.String("fig", "", "figure to regenerate: 2")
+	table := flag.String("table", "", "table to regenerate: complexity | ccp | des | rt | priorwork | treeheuristic")
+	csv := flag.String("csv", "", "write the Figure 2 sweep as CSV to this file")
+	all := flag.Bool("all", false, "run every figure and table")
+	quick := flag.Bool("quick", false, "use reduced sweep sizes")
+	flag.Parse()
+
+	ran := false
+	if *all || *fig == "2" {
+		ran = true
+		if err := runFig2(*quick, *csv); err != nil {
+			return err
+		}
+	}
+	if *all || *table == "complexity" {
+		ran = true
+		if err := runComplexity(*quick); err != nil {
+			return err
+		}
+	}
+	if *all || *table == "ccp" {
+		ran = true
+		if err := runCCP(*quick); err != nil {
+			return err
+		}
+	}
+	if *all || *table == "des" {
+		ran = true
+		if err := runDES(*quick); err != nil {
+			return err
+		}
+	}
+	if *all || *table == "rt" {
+		ran = true
+		if err := runRT(); err != nil {
+			return err
+		}
+	}
+	if *all || *table == "priorwork" {
+		ran = true
+		if err := runPriorWork(*quick); err != nil {
+			return err
+		}
+	}
+	if *all || *table == "treeheuristic" {
+		ran = true
+		trials := 100
+		if *quick {
+			trials = 25
+		}
+		fmt.Println("== Theorem 1 in practice: greedy vs exact tree bandwidth minimization ==")
+		rows, err := experiments.RunTreeHeuristic(31, 60, trials)
+		if err != nil {
+			return err
+		}
+		if err := experiments.RenderTreeHeuristic(os.Stdout, rows); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	if !ran {
+		flag.Usage()
+		return fmt.Errorf("nothing selected; use -fig, -table or -all")
+	}
+	return nil
+}
+
+func runFig2(quick bool, csvPath string) error {
+	cfg := experiments.DefaultFig2Config()
+	if quick {
+		cfg.N = []int{1000, 10000}
+		cfg.Trials = 2
+	}
+	fmt.Println("== Figure 2: bandwidth-instance statistics vs n and K ==")
+	fmt.Printf("vertex weights ~ U[%g,%g], edge weights ~ U[%g,%g], %d trials/point, seed %d\n\n",
+		cfg.W1, cfg.W2, cfg.EdgeW1, cfg.EdgeW2, cfg.Trials, cfg.Seed)
+	rows, err := experiments.RunFig2(cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderFig2(os.Stdout, rows); err != nil {
+		return err
+	}
+	fmt.Println()
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := experiments.Fig2CSV(f, rows); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("csv written to %s\n\n", csvPath)
+	}
+	return nil
+}
+
+func runComplexity(quick bool) error {
+	cfg := experiments.DefaultComplexityConfig()
+	if quick {
+		cfg.N = []int{1000, 10000, 100000}
+		cfg.Trials = 2
+	}
+	fmt.Println("== Bandwidth solver ladder: wall-clock scaling (TAB-CMP) ==")
+	rows, err := experiments.RunComplexity(cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderComplexity(os.Stdout, rows); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runCCP(quick bool) error {
+	cfg := experiments.DefaultCCPConfig()
+	if quick {
+		cfg.Points = []experiments.CCPPoint{{N: 1000, M: 8}, {N: 10000, M: 16}}
+		cfg.Trials = 2
+	}
+	fmt.Println("== Chains-on-chains prior-work ladder (Bokhari / Nicol / Hansen-Lih classes) ==")
+	rows, err := experiments.RunCCP(cfg)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderCCP(os.Stdout, rows); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runDES(quick bool) error {
+	cycles := 200
+	if quick {
+		cycles = 50
+	}
+	fmt.Println("== §3 application: distributed discrete-event logic simulation ==")
+	rows, err := experiments.RunDES(8, cycles)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderDES(os.Stdout, rows); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runPriorWork(quick bool) error {
+	points := []experiments.CCPPoint{{N: 1000, M: 8}, {N: 10000, M: 16}, {N: 100000, M: 16}}
+	sizes := []int{1000, 10000, 100000}
+	trials := 3
+	if quick {
+		points = points[:2]
+		sizes = sizes[:2]
+		trials = 2
+	}
+	fmt.Println("== Prior work: Bokhari sum-bottleneck (linear array) vs shared-memory cut ==")
+	sb, err := experiments.RunSumBottleneck(23, points, trials)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderSumBottleneck(os.Stdout, sb); err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Println("== Prior work: single-host / multi-satellite tree partitioning ==")
+	hs, err := experiments.RunHostSat(29, sizes, trials)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderHostSat(os.Stdout, hs); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}
+
+func runRT() error {
+	fmt.Println("== §3 application: real-time pipelines under deadline ==")
+	rows, err := experiments.RunRT(1994)
+	if err != nil {
+		return err
+	}
+	if err := experiments.RenderRT(os.Stdout, rows); err != nil {
+		return err
+	}
+	fmt.Println()
+	return nil
+}

@@ -1,0 +1,81 @@
+// Command gengraph emits random task graphs in the text codec, for feeding
+// cmd/partition and for building ad-hoc experiments.
+//
+// Usage:
+//
+//	gengraph -kind path   -n 1000 [-seed 7] [-dist uniform] [-wlo 1 -whi 100] [-elo 1 -ehi 100]
+//	gengraph -kind tree   -n 1000
+//	gengraph -kind star   -n 64
+//	gengraph -kind dary   -n 1000 -d 3
+//	gengraph -kind caterpillar -n 0 -spine 20 -leaves 4
+//	gengraph -kind pde    -rows 64 -cols 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	kind := flag.String("kind", "path", "path | tree | star | dary | caterpillar | pde")
+	n := flag.Int("n", 100, "number of tasks")
+	seed := flag.Uint64("seed", 1, "random seed")
+	dist := flag.String("dist", "uniform", "node weight distribution: uniform | exponential | pareto | bimodal | constant")
+	wlo := flag.Float64("wlo", 1, "node weight lower bound")
+	whi := flag.Float64("whi", 100, "node weight upper bound")
+	elo := flag.Float64("elo", 1, "edge weight lower bound")
+	ehi := flag.Float64("ehi", 100, "edge weight upper bound")
+	d := flag.Int("d", 2, "arity for -kind dary")
+	spine := flag.Int("spine", 10, "spine length for -kind caterpillar")
+	leaves := flag.Int("leaves", 3, "leaves per spine vertex for -kind caterpillar")
+	rows := flag.Int("rows", 32, "grid rows for -kind pde")
+	cols := flag.Int("cols", 1024, "grid columns for -kind pde")
+	flag.Parse()
+
+	var dd workload.Dist
+	switch *dist {
+	case "uniform":
+		dd = workload.DistUniform
+	case "exponential":
+		dd = workload.DistExponential
+	case "pareto":
+		dd = workload.DistPareto
+	case "bimodal":
+		dd = workload.DistBimodal
+	case "constant":
+		dd = workload.DistConstant
+	default:
+		return fmt.Errorf("unknown distribution %q", *dist)
+	}
+	nodeW := workload.Weights{Dist: dd, Lo: *wlo, Hi: *whi}
+	edgeW := workload.UniformWeights(*elo, *ehi)
+	r := workload.NewRNG(*seed)
+
+	switch *kind {
+	case "path":
+		return graph.WritePath(os.Stdout, workload.RandomPath(r, *n, nodeW, edgeW))
+	case "tree":
+		return graph.WriteTree(os.Stdout, workload.RandomTree(r, *n, nodeW, edgeW))
+	case "star":
+		return graph.WriteTree(os.Stdout, workload.Star(r, *n, nodeW, edgeW))
+	case "dary":
+		return graph.WriteTree(os.Stdout, workload.DaryTree(r, *n, *d, nodeW, edgeW))
+	case "caterpillar":
+		return graph.WriteTree(os.Stdout, workload.Caterpillar(r, *spine, *leaves, nodeW, edgeW))
+	case "pde":
+		return graph.WritePath(os.Stdout, workload.PDEStrips(r, *rows, *cols, 5, 8))
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+}

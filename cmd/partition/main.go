@@ -1,0 +1,200 @@
+// Command partition reads a task graph and partitions it with one of the
+// paper's algorithms, printing the cut, the component loads and the
+// shared-memory metrics.
+//
+// Usage:
+//
+//	partition -algo bandwidth -k 100 [-in graph.txt] [-dot out.dot]
+//	partition -algo bottleneck -k 100 -in tree.txt
+//	partition -algo minproc    -k 100 -in tree.txt
+//	partition -algo pipeline   -k 100 -in tree.txt   # bottleneck→contract→minproc
+//
+// The input format is the line-oriented codec of internal/graph (see
+// README); it is read from stdin when -in is omitted. bandwidth expects a
+// "path" graph; the tree algorithms accept "path" or "tree".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "partition:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	algo := flag.String("algo", "bandwidth", "algorithm: bandwidth | bottleneck | minproc | pipeline")
+	k := flag.Float64("k", 0, "execution-time bound K (required unless -sweep is given, > 0)")
+	sweep := flag.String("sweep", "", "comma-separated K values: print the K ↔ bandwidth ↔ processors trade-off curve for a path and exit")
+	maxProcs := flag.Int("m", 0, "with -algo bandwidth: limit the number of components (0 = unlimited)")
+	in := flag.String("in", "", "input graph file (default stdin)")
+	dot := flag.String("dot", "", "write a Graphviz rendering of the partition to this file")
+	procs := flag.Int("procs", 0, "processors for the metrics report (default: number of components)")
+	speed := flag.Float64("speed", 1, "processor speed for the metrics report")
+	bus := flag.Float64("bus", 1, "bus bandwidth for the metrics report")
+	flag.Parse()
+	if *k <= 0 && *sweep == "" {
+		return fmt.Errorf("-k must be positive (got %v)", *k)
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	any, err := graph.ReadAny(r)
+	if err != nil {
+		return fmt.Errorf("reading graph: %w", err)
+	}
+	if *sweep != "" {
+		p, ok := any.(*graph.Path)
+		if !ok {
+			return fmt.Errorf("-sweep needs a path graph, got %T", any)
+		}
+		return reportSweep(p, *sweep)
+	}
+	switch *algo {
+	case "bandwidth":
+		p, ok := any.(*graph.Path)
+		if !ok {
+			return fmt.Errorf("bandwidth needs a path graph, got %T", any)
+		}
+		var part *repro.PathPartition
+		if *maxProcs > 0 {
+			part, err = repro.BandwidthLimited(p, *k, *maxProcs)
+		} else {
+			part, err = repro.Bandwidth(p, *k)
+		}
+		if err != nil {
+			return err
+		}
+		return reportPath(p, part, *dot, *procs, *speed, *bus)
+	case "bottleneck", "minproc", "pipeline":
+		t, err := asTree(any)
+		if err != nil {
+			return err
+		}
+		var part *repro.TreePartition
+		switch *algo {
+		case "bottleneck":
+			part, err = repro.Bottleneck(t, *k)
+		case "minproc":
+			part, err = repro.MinProcessors(t, *k)
+		default:
+			part, err = repro.PartitionTree(t, *k)
+		}
+		if err != nil {
+			return err
+		}
+		return reportTree(t, part, *dot, *procs, *speed, *bus)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+}
+
+func reportSweep(p *graph.Path, spec string) error {
+	var ks []float64
+	for _, tok := range strings.Split(spec, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			return fmt.Errorf("bad sweep value %q: %w", tok, err)
+		}
+		ks = append(ks, v)
+	}
+	points, err := repro.TradeoffCurve(p, ks)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-12s %-12s %s\n", "K", "cut weight", "bottleneck", "components")
+	for _, pt := range points {
+		fmt.Printf("%-12g %-12g %-12g %d\n", pt.K, pt.CutWeight, pt.Bottleneck, pt.Components)
+	}
+	return nil
+}
+
+func asTree(any any) (*graph.Tree, error) {
+	switch g := any.(type) {
+	case *graph.Tree:
+		return g, nil
+	case *graph.Path:
+		return g.AsTree(), nil
+	default:
+		return nil, fmt.Errorf("tree algorithms need a tree or path graph, got %T", any)
+	}
+}
+
+func reportPath(p *graph.Path, part *repro.PathPartition, dot string, procs int, speed, bus float64) error {
+	fmt.Printf("cut edges:        %v\n", part.Cut)
+	fmt.Printf("cut weight:       %g\n", part.CutWeight)
+	fmt.Printf("bottleneck edge:  %g\n", part.Bottleneck)
+	fmt.Printf("components:       %d\n", part.NumComponents())
+	fmt.Printf("component loads:  %v\n", part.ComponentWeights)
+	if procs == 0 {
+		procs = part.NumComponents()
+	}
+	m := &repro.Machine{Processors: procs, Speed: speed, BusBandwidth: bus}
+	met, err := repro.EvaluatePath(m, p, part.Cut)
+	if err != nil {
+		return err
+	}
+	printMetrics(met)
+	if dot != "" {
+		return writeDOT(dot, func(w io.Writer) error { return graph.PathDOT(w, p, part.Cut) })
+	}
+	return nil
+}
+
+func reportTree(t *graph.Tree, part *repro.TreePartition, dot string, procs int, speed, bus float64) error {
+	fmt.Printf("cut edges:        %v\n", part.Cut)
+	fmt.Printf("cut weight:       %g\n", part.CutWeight)
+	fmt.Printf("bottleneck edge:  %g\n", part.Bottleneck)
+	fmt.Printf("components:       %d\n", part.NumComponents())
+	fmt.Printf("component loads:  %v\n", part.ComponentWeights)
+	if procs == 0 {
+		procs = part.NumComponents()
+	}
+	m := &repro.Machine{Processors: procs, Speed: speed, BusBandwidth: bus}
+	met, err := repro.EvaluateTree(m, t, part.Cut)
+	if err != nil {
+		return err
+	}
+	printMetrics(met)
+	if dot != "" {
+		return writeDOT(dot, func(w io.Writer) error { return graph.TreeDOT(w, t, part.Cut) })
+	}
+	return nil
+}
+
+func printMetrics(m *repro.Metrics) {
+	fmt.Printf("compute makespan: %g\n", m.ComputeMakespan)
+	fmt.Printf("total traffic:    %g\n", m.TotalTraffic)
+	fmt.Printf("bus time:         %g\n", m.BusTime)
+	fmt.Printf("max proc traffic: %g\n", m.MaxProcessorTraffic)
+	fmt.Printf("utilization:      %.3f\n", m.Utilization)
+}
+
+func writeDOT(path string, render func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := render(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

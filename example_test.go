@@ -1,0 +1,114 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleBandwidth partitions a six-stage pipeline under a per-processor
+// load bound of 12, minimizing the communication crossing processors.
+func ExampleBandwidth() {
+	p, err := repro.NewPath(
+		[]float64{4, 4, 4, 4, 4, 4}, // work per stage
+		[]float64{10, 1, 10, 1, 10}, // traffic between stages
+	)
+	if err != nil {
+		panic(err)
+	}
+	part, err := repro.Bandwidth(p, 12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cut edges:", part.Cut)
+	fmt.Println("cut weight:", part.CutWeight)
+	fmt.Println("loads:", part.ComponentWeights)
+	// Output:
+	// cut edges: [1 3]
+	// cut weight: 2
+	// loads: [8 8 8]
+}
+
+// ExampleBottleneck finds the cheapest maximum cut edge that keeps every
+// component of a small tree within the bound.
+func ExampleBottleneck() {
+	t, err := repro.NewTree(
+		[]float64{6, 6, 6},
+		[]repro.Edge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 9}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	part, err := repro.Bottleneck(t, 12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("bottleneck:", part.Bottleneck)
+	fmt.Println("components:", part.NumComponents())
+	// Output:
+	// bottleneck: 5
+	// components: 2
+}
+
+// ExampleMinProcessors packs a star's leaves onto as few processors as the
+// bound allows (Algorithm 2.2's leaf pruning).
+func ExampleMinProcessors() {
+	t, err := repro.NewTree(
+		[]float64{1, 1, 2, 4},
+		[]repro.Edge{{U: 0, V: 1, W: 1}, {U: 0, V: 2, W: 1}, {U: 0, V: 3, W: 1}},
+	)
+	if err != nil {
+		panic(err)
+	}
+	part, err := repro.MinProcessors(t, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("processors:", part.NumComponents())
+	// Output:
+	// processors: 2
+}
+
+// ExamplePartitionTree runs the paper's full pipeline: bottleneck
+// minimization, contraction, processor minimization.
+func ExamplePartitionTree() {
+	t, err := repro.NewTree(
+		[]float64{2, 2, 2, 5, 5, 5, 5},
+		[]repro.Edge{
+			{U: 0, V: 1, W: 4}, {U: 1, V: 2, W: 6},
+			{U: 0, V: 3, W: 2}, {U: 0, V: 4, W: 8},
+			{U: 2, V: 5, W: 1}, {U: 2, V: 6, W: 9},
+		},
+	)
+	if err != nil {
+		panic(err)
+	}
+	part, err := repro.PartitionTree(t, 13)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("components:", part.NumComponents())
+	fmt.Println("bottleneck:", part.Bottleneck)
+	// Output:
+	// components: 3
+	// bottleneck: 4
+}
+
+// ExampleEvaluatePath maps a partition onto a shared-memory machine and
+// reads the §1/§3 quality metrics.
+func ExampleEvaluatePath() {
+	p, err := repro.NewPath([]float64{100, 200, 300}, []float64{10, 20})
+	if err != nil {
+		panic(err)
+	}
+	m := &repro.Machine{Processors: 8, Speed: 100, BusBandwidth: 50}
+	met, err := repro.EvaluatePath(m, p, []int{1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("makespan:", met.ComputeMakespan)
+	fmt.Println("bus time:", met.BusTime)
+	// Output:
+	// makespan: 3
+	// bus time: 0.4
+}

@@ -1,0 +1,78 @@
+// PDE strips (§1's motivating numerical workload): a grid decomposed into
+// strips of iterative calculation where each strip exchanges halo data with
+// its neighbours — a linear task graph. Compares the three partitioning
+// criteria on the same instance.
+//
+//	go run ./examples/pdestrips
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/arch"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	// 96 strips of a 96×4096 grid; ~5 flops per point with ±10% imbalance,
+	// 8 bytes of halo per column per step.
+	rng := workload.NewRNG(2026)
+	strips := workload.PDEStrips(rng, 96, 4096, 5, 8)
+	// Adaptive refinement: every 8th boundary sits between mesh levels and
+	// exchanges only the coarse-resolution halo (4× cheaper). A partitioner
+	// that ignores communication cuts anywhere; bandwidth minimization
+	// snaps its cuts to the refinement boundaries.
+	for i := range strips.EdgeW {
+		if (i+1)%8 == 0 {
+			strips.EdgeW[i] /= 4
+		}
+	}
+	fmt.Printf("grid: %d strips, total work %.0f, halos %g (intra-level) / %g (level boundary)\n",
+		strips.Len(), strips.TotalNodeWeight(), strips.EdgeW[0], strips.EdgeW[7])
+
+	// Budget: roughly 12 processors' worth of work per processor.
+	k := strips.TotalNodeWeight()/12 + strips.MaxNodeWeight()
+
+	band, err := repro.Bandwidth(strips, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	first, err := repro.MinProcessorsPath(strips, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nK = %.0f work units per processor\n", k)
+	fmt.Printf("bandwidth-minimal: %d components, cut weight %.0f\n",
+		band.NumComponents(), band.CutWeight)
+	fmt.Printf("first-fit minimal-processors: %d components, cut weight %.0f\n",
+		first.NumComponents(), first.CutWeight)
+
+	// With uniform halos every cut costs the same, so the interesting
+	// comparison is the simulated execution under bus contention.
+	m := &arch.Machine{Processors: strips.Len(), Speed: 1e6, BusBandwidth: 2e5}
+	cfg := sched.Config{Machine: m, Rounds: 10}
+	for _, c := range []struct {
+		name string
+		cut  []int
+	}{
+		{"bandwidth-minimal", band.Cut},
+		{"first-fit", first.Cut},
+	} {
+		res, err := sched.SimulatePath(cfg, strips, c.cut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		met, err := repro.EvaluatePath(m, strips, c.cut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-26s makespan %.4f  bus busy %.4f  utilization %.2f\n",
+			c.name+":", res.Makespan, res.BusBusy, met.Utilization)
+	}
+	fmt.Println("\nboth satisfy the load bound; the bandwidth-minimal cut snaps to the cheap")
+	fmt.Println("refinement boundaries, so it spends less serialized time on the shared bus")
+}

@@ -1,0 +1,84 @@
+// Prior-work cost models side by side (§1's related-work discussion): the
+// same task chain partitioned for a linear array under Bokhari's
+// sum-bottleneck model (each processor pays its boundary communication) and
+// for a shared-memory machine under the paper's bandwidth model (the common
+// network pays the pooled cut weight); plus the single-host/multi-satellite
+// tree case.
+//
+//	go run ./examples/priorwork
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/hostsat"
+	"repro/internal/sumbottleneck"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		n = 48
+		m = 6
+	)
+	rng := workload.NewRNG(3)
+	w := make([]int64, n)
+	e := make([]int64, n-1)
+	nodeW := make([]float64, n)
+	edgeW := make([]float64, n-1)
+	var total float64
+	for i := range w {
+		w[i] = int64(10 + rng.Intn(90))
+		nodeW[i] = float64(w[i])
+		total += nodeW[i]
+	}
+	for i := range e {
+		e[i] = int64(1 + rng.Intn(60))
+		edgeW[i] = float64(e[i])
+	}
+	fmt.Printf("chain: %d modules, total work %.0f, %d processors\n\n", n, total, m)
+
+	// Linear array (Bokhari): blocks pay their boundary edges.
+	sb, err := sumbottleneck.SolveProbe(w, e, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("linear array, sum-bottleneck model (Bokhari 1988):")
+	fmt.Printf("  optimal bottleneck %d with breaks at %v\n\n", sb.Bottleneck, sb.Breaks)
+
+	// Shared memory (the paper): the bound constrains load; communication is
+	// pooled on the uniform network and minimized in total.
+	p, err := repro.NewPath(nodeW, edgeW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	k := total/float64(m) + p.MaxNodeWeight()
+	part, err := repro.BandwidthLimited(p, k, m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("shared memory, bandwidth model (Ray & Jiang 1994):")
+	fmt.Printf("  K = %.0f → %d components, pooled cut weight %.0f (heaviest single link %.0f)\n",
+		k, part.NumComponents(), part.CutWeight, part.Bottleneck)
+	fmt.Println("  the two objectives disagree: the array model favours few, heavy boundaries;")
+	fmt.Println("  the shared-memory model hunts globally cheap edges")
+	fmt.Println()
+
+	// Host-satellite (the polynomial Bokhari tree case the paper cites).
+	tr := workload.RandomTree(rng, 32, workload.UniformWeights(10, 100), workload.UniformWeights(1, 50))
+	hp, err := hostsat.Solve(tr, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("single host + identical satellites (tree task graph):")
+	fmt.Printf("  offload %d subtrees; bottleneck %.0f (host load %.0f)\n",
+		len(hp.OffloadRoots), hp.Bottleneck, hp.HostLoad)
+	lim, err := hostsat.SolveLimited(tr, 0, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  with only 3 satellites: bottleneck %.0f\n", lim.Bottleneck)
+}

@@ -1,0 +1,100 @@
+package repro_test
+
+import (
+	"math"
+	"testing"
+
+	"repro"
+	"repro/internal/arch"
+	"repro/internal/linearize"
+	"repro/internal/logicsim"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+// Golden end-to-end regression tests: every piece of the pipeline is
+// deterministic (splitmix64 RNG, sequential event processing), so these
+// exact values pin the behaviour of the whole stack. A change to any
+// algorithm, generator, or the simulator that alters results will trip one
+// of these with a precise diff.
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("%s = %.9f, want %.9f", name, got, want)
+	}
+}
+
+func TestGoldenBandwidthPath(t *testing.T) {
+	r := workload.NewRNG(20260705)
+	p := workload.RandomPath(r, 300, workload.UniformWeights(1, 100), workload.UniformWeights(1, 50))
+	pp, err := repro.Bandwidth(p, 400)
+	if err != nil {
+		t.Fatalf("Bandwidth: %v", err)
+	}
+	if len(pp.Cut) != 52 || pp.NumComponents() != 53 {
+		t.Errorf("cut len %d comps %d, want 52/53", len(pp.Cut), pp.NumComponents())
+	}
+	approx(t, "CutWeight", pp.CutWeight, 420.555823)
+	approx(t, "Bottleneck", pp.Bottleneck, 25.723645)
+	if err := repro.CheckPathFeasible(p, pp.Cut, 400); err != nil {
+		t.Errorf("feasibility: %v", err)
+	}
+	// The RNG stream is part of the pinned behaviour: the tree drawn after
+	// the path must also reproduce exactly.
+	tr := workload.RandomTree(r, 200, workload.UniformWeights(1, 50), workload.UniformWeights(1, 80))
+	pt, err := repro.PartitionTree(tr, 300)
+	if err != nil {
+		t.Fatalf("PartitionTree: %v", err)
+	}
+	if len(pt.Cut) != 36 || pt.NumComponents() != 37 {
+		t.Errorf("tree cut len %d comps %d, want 36/37", len(pt.Cut), pt.NumComponents())
+	}
+	approx(t, "tree CutWeight", pt.CutWeight, 1041.428126)
+	approx(t, "tree Bottleneck", pt.Bottleneck, 54.205500)
+}
+
+func TestGoldenDESFlow(t *testing.T) {
+	c, err := logicsim.JohnsonCounter(16)
+	if err != nil {
+		t.Fatalf("JohnsonCounter: %v", err)
+	}
+	prof, err := logicsim.Run(c, 64, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var evals int64
+	for _, e := range prof.Evaluations {
+		evals += e
+	}
+	if evals != 83 {
+		t.Errorf("evaluations = %d, want 83", evals)
+	}
+	pg, err := logicsim.ProcessGraph(c, prof)
+	if err != nil {
+		t.Fatalf("ProcessGraph: %v", err)
+	}
+	path, _, ok := linearize.RingToPath(pg)
+	if !ok {
+		t.Fatal("Johnson counter process graph is not a ring")
+	}
+	k := path.TotalNodeWeight()/4 + path.MaxNodeWeight()
+	part, err := repro.Bandwidth(path, k)
+	if err != nil {
+		t.Fatalf("Bandwidth: %v", err)
+	}
+	if part.NumComponents() != 4 {
+		t.Errorf("components = %d, want 4", part.NumComponents())
+	}
+	approx(t, "cut weight", part.CutWeight, 15)
+	m := &arch.Machine{Processors: path.Len(), Speed: 100, BusBandwidth: 50}
+	res, err := sched.SimulatePath(sched.Config{Machine: m, Rounds: 2}, path, part.Cut)
+	if err != nil {
+		t.Fatalf("SimulatePath: %v", err)
+	}
+	approx(t, "makespan", res.Makespan, 1.38)
+	approx(t, "bus busy", res.BusBusy, 1.2)
+	if res.Messages != 12 {
+		t.Errorf("messages = %d, want 12", res.Messages)
+	}
+}

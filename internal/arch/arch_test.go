@@ -1,0 +1,159 @@
+package arch
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func validMachine() *Machine {
+	return &Machine{Processors: 8, Speed: 100, BusBandwidth: 50}
+}
+
+func TestMachineValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		m    Machine
+		ok   bool
+	}{
+		{"valid", *validMachine(), true},
+		{"zero procs", Machine{Processors: 0, Speed: 1, BusBandwidth: 1}, false},
+		{"zero speed", Machine{Processors: 1, Speed: 0, BusBandwidth: 1}, false},
+		{"nan speed", Machine{Processors: 1, Speed: math.NaN(), BusBandwidth: 1}, false},
+		{"inf bandwidth", Machine{Processors: 1, Speed: 1, BusBandwidth: math.Inf(1)}, false},
+		{"negative bandwidth", Machine{Processors: 1, Speed: 1, BusBandwidth: -2}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.m.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+			if err != nil && !errors.Is(err, ErrBadMachine) {
+				t.Errorf("error should wrap ErrBadMachine: %v", err)
+			}
+		})
+	}
+}
+
+func TestMapComponents(t *testing.T) {
+	m := validMachine()
+	mp, err := MapComponents(m, 5)
+	if err != nil {
+		t.Fatalf("MapComponents: %v", err)
+	}
+	for c, p := range mp.Processor {
+		if p != c {
+			t.Errorf("Processor[%d] = %d, want identity", c, p)
+		}
+	}
+	if _, err := MapComponents(m, 9); !errors.Is(err, ErrTooFewProcessors) {
+		t.Errorf("error = %v, want ErrTooFewProcessors", err)
+	}
+}
+
+func TestEvaluatePath(t *testing.T) {
+	m := validMachine()
+	p, _ := graph.NewPath([]float64{100, 200, 300}, []float64{10, 20})
+	got, err := EvaluatePath(m, p, []int{1})
+	if err != nil {
+		t.Fatalf("EvaluatePath: %v", err)
+	}
+	// Components: {100,200}=300 and {300}; cut edge 1 weight 20.
+	if got.ComputeMakespan != 3 { // 300/100
+		t.Errorf("ComputeMakespan = %v, want 3", got.ComputeMakespan)
+	}
+	if got.TotalTraffic != 20 {
+		t.Errorf("TotalTraffic = %v, want 20", got.TotalTraffic)
+	}
+	if got.BusTime != 0.4 { // 20/50
+		t.Errorf("BusTime = %v, want 0.4", got.BusTime)
+	}
+	if got.MaxProcessorTraffic != 20 {
+		t.Errorf("MaxProcessorTraffic = %v, want 20", got.MaxProcessorTraffic)
+	}
+	if got.Components != 2 {
+		t.Errorf("Components = %d, want 2", got.Components)
+	}
+	if math.Abs(got.Utilization-1.0) > 1e-9 {
+		t.Errorf("Utilization = %v, want 1 (both components 300)", got.Utilization)
+	}
+}
+
+func TestEvaluatePathPerProcessorTraffic(t *testing.T) {
+	m := validMachine()
+	// Cut both edges: middle component carries both edge weights.
+	p, _ := graph.NewPath([]float64{1, 1, 1}, []float64{10, 30})
+	got, err := EvaluatePath(m, p, []int{0, 1})
+	if err != nil {
+		t.Fatalf("EvaluatePath: %v", err)
+	}
+	if got.MaxProcessorTraffic != 40 {
+		t.Errorf("MaxProcessorTraffic = %v, want 40 (middle sees both)", got.MaxProcessorTraffic)
+	}
+	if got.TotalTraffic != 40 {
+		t.Errorf("TotalTraffic = %v, want 40", got.TotalTraffic)
+	}
+}
+
+func TestEvaluateTree(t *testing.T) {
+	m := validMachine()
+	tr, _ := graph.NewTree([]float64{50, 100, 150, 200}, []graph.Edge{
+		{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 7}, {U: 1, V: 3, W: 9},
+	})
+	got, err := EvaluateTree(m, tr, []int{2})
+	if err != nil {
+		t.Fatalf("EvaluateTree: %v", err)
+	}
+	// Components: {0,1,2}=300 and {3}=200; traffic 9.
+	if got.ComputeMakespan != 3 || got.TotalTraffic != 9 || got.Components != 2 {
+		t.Errorf("metrics = %+v", got)
+	}
+	wantUtil := (300.0 + 200.0) / 2 / 300.0
+	if math.Abs(got.Utilization-wantUtil) > 1e-9 {
+		t.Errorf("Utilization = %v, want %v", got.Utilization, wantUtil)
+	}
+}
+
+func TestEvaluateTooManyComponents(t *testing.T) {
+	m := &Machine{Processors: 1, Speed: 1, BusBandwidth: 1}
+	p, _ := graph.NewPath([]float64{1, 1}, []float64{1})
+	if _, err := EvaluatePath(m, p, []int{0}); !errors.Is(err, ErrTooFewProcessors) {
+		t.Errorf("error = %v, want ErrTooFewProcessors", err)
+	}
+	tr := p.AsTree()
+	if _, err := EvaluateTree(m, tr, []int{0}); !errors.Is(err, ErrTooFewProcessors) {
+		t.Errorf("tree error = %v, want ErrTooFewProcessors", err)
+	}
+}
+
+func TestEvaluateEmptyCut(t *testing.T) {
+	m := validMachine()
+	p, _ := graph.NewPath([]float64{10, 20}, []float64{5})
+	got, err := EvaluatePath(m, p, nil)
+	if err != nil {
+		t.Fatalf("EvaluatePath: %v", err)
+	}
+	if got.TotalTraffic != 0 || got.BusTime != 0 || got.Components != 1 {
+		t.Errorf("metrics = %+v", got)
+	}
+}
+
+func TestPathAndTreeMetricsAgree(t *testing.T) {
+	m := validMachine()
+	p, _ := graph.NewPath([]float64{10, 20, 30, 40}, []float64{1, 2, 3})
+	cut := []int{0, 2}
+	a, err := EvaluatePath(m, p, cut)
+	if err != nil {
+		t.Fatalf("EvaluatePath: %v", err)
+	}
+	b, err := EvaluateTree(m, p.AsTree(), cut)
+	if err != nil {
+		t.Fatalf("EvaluateTree: %v", err)
+	}
+	if *a != *b {
+		t.Errorf("path metrics %+v != tree metrics %+v", a, b)
+	}
+}

@@ -1,0 +1,73 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The paper's general formulation (§1) allows heterogeneous processors —
+// w(p_i) is the processing speed of processor p_i — even though its
+// algorithms target the homogeneous shared-memory case where the mapping is
+// trivial. This file supplies the natural mapping for the heterogeneous
+// case: heaviest component to fastest processor, which minimizes the
+// makespan over all one-to-one assignments (rearrangement: max_i load_i /
+// speed_i is minimized by pairing sorted sequences).
+
+// HeteroMachine is a shared-memory multiprocessor with per-processor speeds
+// but a still-uniform interconnect (the defining shared-memory property).
+type HeteroMachine struct {
+	// Speeds[i] is processor i's processing rate; all must be positive.
+	Speeds []float64
+	// BusBandwidth is the shared interconnect's transfer rate.
+	BusBandwidth float64
+}
+
+// Validate checks machine parameters.
+func (m *HeteroMachine) Validate() error {
+	if len(m.Speeds) == 0 {
+		return fmt.Errorf("no processors: %w", ErrBadMachine)
+	}
+	for i, s := range m.Speeds {
+		if !(s > 0) || s != s {
+			return fmt.Errorf("speed[%d] = %v: %w", i, s, ErrBadMachine)
+		}
+	}
+	if !(m.BusBandwidth > 0) {
+		return fmt.Errorf("bus bandwidth = %v: %w", m.BusBandwidth, ErrBadMachine)
+	}
+	return nil
+}
+
+// MapHeterogeneous assigns component loads to processors, heaviest load to
+// fastest processor, and returns the mapping plus the resulting makespan
+// max_i load_i / speed(assigned_i). It fails when there are more components
+// than processors.
+func MapHeterogeneous(m *HeteroMachine, loads []float64) (*Mapping, float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if len(loads) > len(m.Speeds) {
+		return nil, 0, fmt.Errorf("%d components, %d processors: %w",
+			len(loads), len(m.Speeds), ErrTooFewProcessors)
+	}
+	byLoad := make([]int, len(loads))
+	for i := range byLoad {
+		byLoad[i] = i
+	}
+	sort.SliceStable(byLoad, func(a, b int) bool { return loads[byLoad[a]] > loads[byLoad[b]] })
+	bySpeed := make([]int, len(m.Speeds))
+	for i := range bySpeed {
+		bySpeed[i] = i
+	}
+	sort.SliceStable(bySpeed, func(a, b int) bool { return m.Speeds[bySpeed[a]] > m.Speeds[bySpeed[b]] })
+	mp := &Mapping{Processor: make([]int, len(loads))}
+	var makespan float64
+	for rank, comp := range byLoad {
+		proc := bySpeed[rank]
+		mp.Processor[comp] = proc
+		if t := loads[comp] / m.Speeds[proc]; t > makespan {
+			makespan = t
+		}
+	}
+	return mp, makespan, nil
+}

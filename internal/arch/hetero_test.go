@@ -1,0 +1,99 @@
+package arch
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+func TestHeteroMachineValidate(t *testing.T) {
+	good := &HeteroMachine{Speeds: []float64{1, 2}, BusBandwidth: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid machine rejected: %v", err)
+	}
+	bad := []HeteroMachine{
+		{Speeds: nil, BusBandwidth: 1},
+		{Speeds: []float64{1, 0}, BusBandwidth: 1},
+		{Speeds: []float64{1, math.NaN()}, BusBandwidth: 1},
+		{Speeds: []float64{1}, BusBandwidth: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); !errors.Is(err, ErrBadMachine) {
+			t.Errorf("case %d: error = %v, want ErrBadMachine", i, err)
+		}
+	}
+}
+
+func TestMapHeterogeneousHandCase(t *testing.T) {
+	m := &HeteroMachine{Speeds: []float64{1, 4, 2}, BusBandwidth: 1}
+	loads := []float64{8, 2, 4}
+	mp, makespan, err := MapHeterogeneous(m, loads)
+	if err != nil {
+		t.Fatalf("MapHeterogeneous: %v", err)
+	}
+	// Heaviest (8) → fastest (speed 4, proc 1); 4 → speed 2 (proc 2);
+	// 2 → speed 1 (proc 0). Makespan = max(8/4, 4/2, 2/1) = 2.
+	if mp.Processor[0] != 1 || mp.Processor[2] != 2 || mp.Processor[1] != 0 {
+		t.Errorf("mapping = %v", mp.Processor)
+	}
+	if makespan != 2 {
+		t.Errorf("makespan = %v, want 2", makespan)
+	}
+}
+
+func TestMapHeterogeneousTooFew(t *testing.T) {
+	m := &HeteroMachine{Speeds: []float64{1}, BusBandwidth: 1}
+	if _, _, err := MapHeterogeneous(m, []float64{1, 2}); !errors.Is(err, ErrTooFewProcessors) {
+		t.Errorf("error = %v, want ErrTooFewProcessors", err)
+	}
+}
+
+// Property: sorted pairing is optimal — no permutation of the assignment
+// achieves a smaller makespan (verified exhaustively for small sizes).
+func TestMapHeterogeneousOptimalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := workload.NewRNG(seed)
+		n := 1 + r.Intn(6)
+		m := &HeteroMachine{Speeds: make([]float64, n), BusBandwidth: 1}
+		loads := make([]float64, n)
+		for i := 0; i < n; i++ {
+			m.Speeds[i] = r.Uniform(1, 10)
+			loads[i] = r.Uniform(1, 100)
+		}
+		_, got, err := MapHeterogeneous(m, loads)
+		if err != nil {
+			return false
+		}
+		best := math.Inf(1)
+		perm := make([]int, n)
+		var rec func(pos int, used uint)
+		rec = func(pos int, used uint) {
+			if pos == n {
+				var mk float64
+				for c, p := range perm {
+					if t := loads[c] / m.Speeds[p]; t > mk {
+						mk = t
+					}
+				}
+				if mk < best {
+					best = mk
+				}
+				return
+			}
+			for p := 0; p < n; p++ {
+				if used&(1<<p) == 0 {
+					perm[pos] = p
+					rec(pos+1, used|1<<p)
+				}
+			}
+		}
+		rec(0, 0)
+		return math.Abs(got-best) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

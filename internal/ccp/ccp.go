@@ -1,0 +1,264 @@
+// Package ccp implements chains-on-chains partitioning — the prior-work
+// problem family the paper positions itself against (§1): partition a chain
+// of n tasks into at most m contiguous blocks, one per processor of a linear
+// array, minimizing the bottleneck (the heaviest block).
+//
+// Bokhari (1988) solved it in O(n³m); Nicol & O'Hallaron (1991) in O(n²m)
+// and, under bounded weights, O(mn log n); Hansen & Lih (1992) in O(m²n).
+// This package provides three exact solvers spanning those complexity
+// classes plus a fast heuristic, all over integer task weights (integrality
+// makes exact binary search on the bottleneck value well-defined):
+//
+//   - SolveDPQuadratic — the textbook O(n²·m) dynamic program (the
+//     Bokhari / Nicol–O'Hallaron complexity class).
+//   - SolveDPBinary — the same DP with a binary-searched split point,
+//     O(n·m·log n) (the bounded-weight Nicol–O'Hallaron class).
+//   - SolveProbe — binary search on the bottleneck value with a greedy
+//     feasibility probe, O(n·log Σw) (the modern exact method).
+//   - GreedyAverage — probe once at the load-balance lower bound and repair;
+//     fast, not optimal, used as a contrast heuristic.
+package ccp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadInput is returned for empty chains, non-positive m, or negative
+	// weights.
+	ErrBadInput = errors.New("ccp: bad input")
+)
+
+// Result is a chains-on-chains partition.
+type Result struct {
+	// Breaks lists the last task index of every block except the final one;
+	// block i spans tasks (Breaks[i-1], Breaks[i]].
+	Breaks []int
+	// Bottleneck is the heaviest block weight.
+	Bottleneck int64
+	// Blocks is the number of blocks used (≤ m).
+	Blocks int
+}
+
+func validate(w []int64, m int) error {
+	if len(w) == 0 {
+		return fmt.Errorf("empty chain: %w", ErrBadInput)
+	}
+	if m <= 0 {
+		return fmt.Errorf("m = %d: %w", m, ErrBadInput)
+	}
+	for i, x := range w {
+		if x < 0 {
+			return fmt.Errorf("w[%d] = %d: %w", i, x, ErrBadInput)
+		}
+	}
+	return nil
+}
+
+func prefixSums(w []int64) []int64 {
+	p := make([]int64, len(w)+1)
+	for i, x := range w {
+		p[i+1] = p[i] + x
+	}
+	return p
+}
+
+// breaksFromBottleneck greedily fills blocks up to bound b, returning the
+// break list; callers guarantee b ≥ max(w).
+func breaksFromBottleneck(w []int64, b int64, m int) []int {
+	var breaks []int
+	var load int64
+	for i, x := range w {
+		if load+x > b && len(breaks) < m-1 {
+			breaks = append(breaks, i-1)
+			load = 0
+		}
+		load += x
+	}
+	return breaks
+}
+
+// finalize computes the actual bottleneck of a break list.
+func finalize(w []int64, breaks []int) *Result {
+	prefix := prefixSums(w)
+	res := &Result{Breaks: breaks, Blocks: len(breaks) + 1}
+	start := 0
+	for _, b := range breaks {
+		if s := prefix[b+1] - prefix[start]; s > res.Bottleneck {
+			res.Bottleneck = s
+		}
+		start = b + 1
+	}
+	if s := prefix[len(w)] - prefix[start]; s > res.Bottleneck {
+		res.Bottleneck = s
+	}
+	return res
+}
+
+// probe returns the minimum number of blocks needed when no block may exceed
+// b; returns len(w)+1 when b < max(w) (infeasible).
+func probe(w []int64, b int64) int {
+	blocks := 1
+	var load int64
+	for _, x := range w {
+		if x > b {
+			return len(w) + 1
+		}
+		if load+x > b {
+			blocks++
+			load = 0
+		}
+		load += x
+	}
+	return blocks
+}
+
+// SolveProbe finds the optimal bottleneck by binary search on its value with
+// the greedy probe: O(n log Σw).
+func SolveProbe(w []int64, m int) (*Result, error) {
+	if err := validate(w, m); err != nil {
+		return nil, err
+	}
+	var lo, hi int64
+	for _, x := range w {
+		if x > lo {
+			lo = x
+		}
+		hi += x
+	}
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if probe(w, mid) <= m {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return finalize(w, breaksFromBottleneck(w, lo, m)), nil
+}
+
+// SolveDPQuadratic runs the classic dynamic program
+//
+//	B[j][i] = min over k < i of max(B[j-1][k], S(k+1, i))
+//
+// in O(n²·m) time, the complexity class of the Bokhari and Nicol–O'Hallaron
+// exact algorithms for heterogeneous chains.
+func SolveDPQuadratic(w []int64, m int) (*Result, error) {
+	return solveDP(w, m, false)
+}
+
+// SolveDPBinary runs the same dynamic program but finds each optimal split
+// point by binary search over the crossing of the two monotone arguments:
+// O(n·m·log n).
+func SolveDPBinary(w []int64, m int) (*Result, error) {
+	return solveDP(w, m, true)
+}
+
+func solveDP(w []int64, m int, binary bool) (*Result, error) {
+	if err := validate(w, m); err != nil {
+		return nil, err
+	}
+	n := len(w)
+	if m > n {
+		m = n
+	}
+	prefix := prefixSums(w)
+	seg := func(a, b int) int64 { return prefix[b+1] - prefix[a] } // tasks a..b
+	const inf = int64(1) << 62
+	// prev[i] = optimal bottleneck for tasks 0..i with j-1 blocks.
+	prev := make([]int64, n)
+	cur := make([]int64, n)
+	split := make([][]int32, m) // split[j][i] = chosen k for reconstruction
+	for i := 0; i < n; i++ {
+		prev[i] = seg(0, i)
+	}
+	for j := 1; j < m; j++ {
+		split[j] = make([]int32, n)
+		for i := 0; i < n; i++ {
+			best, bestK := inf, -1
+			eval := func(k int) {
+				// Blocks: tasks 0..k in j blocks... prev covers j blocks?
+				v := prev[k]
+				if s := seg(k+1, i); s > v {
+					v = s
+				}
+				if v < best {
+					best, bestK = v, k
+				}
+			}
+			if i == 0 {
+				// A single task occupies one block regardless of how many
+				// blocks are available.
+				cur[0] = seg(0, 0)
+				split[j][0] = -1
+				continue
+			}
+			if !binary {
+				for k := 0; k < i; k++ {
+					eval(k)
+				}
+			} else {
+				// prev[k] is non-decreasing in k, seg(k+1, i) is
+				// non-increasing: the max is minimized around their
+				// crossing. Find the first k where prev[k] >= seg(k+1, i)
+				// and evaluate the two neighbours of the crossing.
+				k := sort.Search(i, func(k int) bool { return prev[k] >= seg(k+1, i) })
+				if k < i {
+					eval(k)
+				}
+				if k > 0 {
+					eval(k - 1)
+				}
+				if bestK == -1 {
+					eval(i - 1)
+				}
+			}
+			cur[i] = best
+			split[j][i] = int32(bestK)
+		}
+		prev, cur = cur, prev
+	}
+	// Reconstruct the break list.
+	var breaks []int
+	i := n - 1
+	for j := m - 1; j >= 1 && i >= 0; j-- {
+		k := int(split[j][i])
+		if k < 0 {
+			break
+		}
+		breaks = append(breaks, k)
+		i = k
+	}
+	sort.Ints(breaks)
+	return finalize(w, breaks), nil
+}
+
+// GreedyAverage probes once at the load-balance lower bound
+// max(⌈Σw/m⌉, max w) and, if the probe overflows m blocks, retries at
+// increasing bounds (doubling the slack) until it fits. Fast and simple; not
+// optimal. Used as the heuristic contrast in benches.
+func GreedyAverage(w []int64, m int) (*Result, error) {
+	if err := validate(w, m); err != nil {
+		return nil, err
+	}
+	var maxW, total int64
+	for _, x := range w {
+		if x > maxW {
+			maxW = x
+		}
+		total += x
+	}
+	b := (total + int64(m) - 1) / int64(m)
+	if maxW > b {
+		b = maxW
+	}
+	slack := int64(1)
+	for probe(w, b) > m {
+		b += slack
+		slack *= 2
+	}
+	return finalize(w, breaksFromBottleneck(w, b, m)), nil
+}

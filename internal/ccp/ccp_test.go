@@ -1,0 +1,217 @@
+package ccp
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+// bruteBottleneck enumerates all ways to place at most m-1 breaks; exact for
+// small n.
+func bruteBottleneck(w []int64, m int) int64 {
+	n := len(w)
+	if m > n {
+		m = n
+	}
+	best := int64(1) << 62
+	var rec func(start, blocksLeft int, curMax int64)
+	rec = func(start, blocksLeft int, curMax int64) {
+		if curMax >= best {
+			return
+		}
+		if blocksLeft == 1 {
+			var s int64
+			for _, x := range w[start:] {
+				s += x
+			}
+			if s > curMax {
+				curMax = s
+			}
+			if curMax < best {
+				best = curMax
+			}
+			return
+		}
+		var s int64
+		for end := start; end < n-(blocksLeft-1); end++ {
+			s += w[end]
+			m2 := curMax
+			if s > m2 {
+				m2 = s
+			}
+			rec(end+1, blocksLeft-1, m2)
+		}
+	}
+	rec(0, m, 0)
+	return best
+}
+
+func exactSolvers() []struct {
+	name string
+	f    func([]int64, int) (*Result, error)
+} {
+	return []struct {
+		name string
+		f    func([]int64, int) (*Result, error)
+	}{
+		{"Probe", SolveProbe},
+		{"DPQuadratic", SolveDPQuadratic},
+		{"DPBinary", SolveDPBinary},
+	}
+}
+
+func TestCCPHandCases(t *testing.T) {
+	tests := []struct {
+		name string
+		w    []int64
+		m    int
+		want int64
+	}{
+		{"single task", []int64{7}, 3, 7},
+		{"one block", []int64{1, 2, 3}, 1, 6},
+		{"m exceeds n", []int64{4, 5, 6}, 10, 6},
+		{"even split", []int64{2, 2, 2, 2}, 2, 4},
+		{"classic", []int64{10, 20, 30, 40}, 2, 60},
+		{"heavy middle", []int64{1, 1, 100, 1, 1}, 3, 100},
+		{"zeros", []int64{0, 0, 5, 0, 0}, 2, 5},
+	}
+	for _, tt := range tests {
+		for _, s := range exactSolvers() {
+			t.Run(tt.name+"/"+s.name, func(t *testing.T) {
+				got, err := s.f(tt.w, tt.m)
+				if err != nil {
+					t.Fatalf("%v", err)
+				}
+				if got.Bottleneck != tt.want {
+					t.Errorf("Bottleneck = %d (breaks %v), want %d", got.Bottleneck, got.Breaks, tt.want)
+				}
+				if got.Blocks > tt.m {
+					t.Errorf("used %d blocks, allowed %d", got.Blocks, tt.m)
+				}
+			})
+		}
+	}
+}
+
+func TestCCPErrors(t *testing.T) {
+	for _, s := range exactSolvers() {
+		if _, err := s.f(nil, 3); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s empty: %v", s.name, err)
+		}
+		if _, err := s.f([]int64{1}, 0); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s m=0: %v", s.name, err)
+		}
+		if _, err := s.f([]int64{-1}, 1); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s negative: %v", s.name, err)
+		}
+	}
+	if _, err := GreedyAverage(nil, 1); !errors.Is(err, ErrBadInput) {
+		t.Errorf("greedy empty: %v", err)
+	}
+}
+
+func TestCCPExactSolversMatchBrute(t *testing.T) {
+	r := workload.NewRNG(1988) // Bokhari's year
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(12)
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = int64(r.Intn(40))
+		}
+		m := 1 + r.Intn(5)
+		want := bruteBottleneck(w, m)
+		for _, s := range exactSolvers() {
+			got, err := s.f(w, m)
+			if err != nil {
+				t.Fatalf("%s: %v", s.name, err)
+			}
+			if got.Bottleneck != want {
+				t.Fatalf("%s bottleneck %d != brute %d (w=%v m=%d breaks=%v)",
+					s.name, got.Bottleneck, want, w, m, got.Breaks)
+			}
+		}
+	}
+}
+
+func TestCCPLargeAgreement(t *testing.T) {
+	r := workload.NewRNG(777)
+	for trial := 0; trial < 10; trial++ {
+		n := 1000 + r.Intn(2000)
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = int64(1 + r.Intn(100))
+		}
+		m := 2 + r.Intn(30)
+		probe, err := SolveProbe(w, m)
+		if err != nil {
+			t.Fatalf("probe: %v", err)
+		}
+		dp, err := SolveDPBinary(w, m)
+		if err != nil {
+			t.Fatalf("dp: %v", err)
+		}
+		if probe.Bottleneck != dp.Bottleneck {
+			t.Fatalf("probe %d != dp %d (n=%d m=%d)", probe.Bottleneck, dp.Bottleneck, n, m)
+		}
+	}
+}
+
+func TestGreedyAverageNeverBeatsExactAndIsFeasible(t *testing.T) {
+	r := workload.NewRNG(99)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(50)
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = int64(r.Intn(30))
+		}
+		m := 1 + r.Intn(8)
+		exact, err := SolveProbe(w, m)
+		if err != nil {
+			t.Fatalf("probe: %v", err)
+		}
+		greedy, err := GreedyAverage(w, m)
+		if err != nil {
+			t.Fatalf("greedy: %v", err)
+		}
+		if greedy.Bottleneck < exact.Bottleneck {
+			t.Fatalf("greedy %d beat exact %d — exact solver broken (w=%v m=%d)",
+				greedy.Bottleneck, exact.Bottleneck, w, m)
+		}
+		if greedy.Blocks > m {
+			t.Fatalf("greedy used %d blocks > m=%d", greedy.Blocks, m)
+		}
+	}
+}
+
+// Property: the probe solver's bottleneck is sandwiched between the
+// load-balance lower bound and the single-block upper bound.
+func TestCCPBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := workload.NewRNG(seed)
+		n := 1 + r.Intn(200)
+		w := make([]int64, n)
+		var total, maxW int64
+		for i := range w {
+			w[i] = int64(r.Intn(1000))
+			total += w[i]
+			if w[i] > maxW {
+				maxW = w[i]
+			}
+		}
+		m := 1 + r.Intn(10)
+		res, err := SolveProbe(w, m)
+		if err != nil {
+			return false
+		}
+		lower := (total + int64(m) - 1) / int64(m)
+		if maxW > lower {
+			lower = maxW
+		}
+		return res.Bottleneck >= lower && res.Bottleneck <= total && res.Blocks <= m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func TestBottleneckHandCases(t *testing.T) {
+	tests := []struct {
+		name  string
+		nodeW []float64
+		edges []graph.Edge
+		k     float64
+		want  float64 // optimal bottleneck
+	}{
+		{
+			name:  "no cut needed",
+			nodeW: []float64{1, 1, 1},
+			edges: []graph.Edge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 9}},
+			k:     10,
+			want:  0,
+		},
+		{
+			name:  "cut lightest works",
+			nodeW: []float64{6, 6, 6},
+			edges: []graph.Edge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 9}},
+			k:     12,
+			want:  5,
+		},
+		{
+			name:  "must cut heavy edge",
+			nodeW: []float64{6, 6, 6},
+			edges: []graph.Edge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 9}},
+			k:     7,
+			want:  9,
+		},
+		{
+			name:  "star heavy centre",
+			nodeW: []float64{9, 2, 2, 2},
+			edges: []graph.Edge{{U: 0, V: 1, W: 1}, {U: 0, V: 2, W: 2}, {U: 0, V: 3, W: 3}},
+			k:     11,
+			// centre(9)+all leaves = 15 > 11; cutting leaves in increasing
+			// edge weight: cut w=1 → 13 > 11; cut w=2 too → 11 ≤ 11.
+			want: 2,
+		},
+		{
+			name:  "single vertex",
+			nodeW: []float64{5},
+			edges: nil,
+			k:     5,
+			want:  0,
+		},
+	}
+	for _, tt := range tests {
+		tr, err := graph.NewTree(tt.nodeW, tt.edges)
+		if err != nil {
+			t.Fatalf("%s: NewTree: %v", tt.name, err)
+		}
+		for _, impl := range []struct {
+			name string
+			f    func(*graph.Tree, float64) (*TreePartition, error)
+		}{{"binary", Bottleneck}, {"greedy", BottleneckGreedy}} {
+			t.Run(tt.name+"/"+impl.name, func(t *testing.T) {
+				got, err := impl.f(tr, tt.k)
+				if err != nil {
+					t.Fatalf("%v", err)
+				}
+				if got.Bottleneck != tt.want {
+					t.Errorf("Bottleneck = %v (cut %v), want %v", got.Bottleneck, got.Cut, tt.want)
+				}
+				if err := CheckTreeFeasible(tr, got.Cut, tt.k); err != nil {
+					t.Errorf("infeasible: %v", err)
+				}
+			})
+		}
+	}
+}
+
+func TestBottleneckBinaryEqualsGreedy(t *testing.T) {
+	r := workload.NewRNG(42)
+	for trial := 0; trial < 200; trial++ {
+		tr, k := randomTreeForTest(r, 40)
+		a, err1 := Bottleneck(tr, k)
+		b, err2 := BottleneckGreedy(tr, k)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("error mismatch: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !reflect.DeepEqual(a.Cut, b.Cut) {
+			t.Fatalf("cuts differ: binary %v, greedy %v", a.Cut, b.Cut)
+		}
+	}
+}
+
+func TestBottleneckOptimalVsBrute(t *testing.T) {
+	r := workload.NewRNG(314)
+	for trial := 0; trial < 200; trial++ {
+		tr, k := randomTreeForTest(r, 11)
+		want := treeBrute(t, tr, k)
+		got, err := Bottleneck(tr, k)
+		if want.components == -1 {
+			if !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("want infeasible, got %v / err %v", got, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Bottleneck: %v (tree %+v k=%v)", err, tr, k)
+		}
+		if math.Abs(got.Bottleneck-want.bottleneck) > 1e-9 {
+			t.Fatalf("Bottleneck = %v, brute = %v\ntree=%+v k=%v cut=%v",
+				got.Bottleneck, want.bottleneck, tr, k, got.Cut)
+		}
+	}
+}
+
+func TestBottleneckInfeasibleAndBadInput(t *testing.T) {
+	tr, _ := graph.NewTree([]float64{5, 50}, []graph.Edge{{U: 0, V: 1, W: 1}})
+	if _, err := Bottleneck(tr, 10); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("error = %v, want ErrInfeasible", err)
+	}
+	if _, err := Bottleneck(tr, -1); !errors.Is(err, ErrBadBound) {
+		t.Errorf("error = %v, want ErrBadBound", err)
+	}
+	bad := &graph.Tree{NodeW: []float64{1, 2}, Edges: nil}
+	if _, err := Bottleneck(bad, 10); !errors.Is(err, graph.ErrBadShape) {
+		t.Errorf("error = %v, want ErrBadShape", err)
+	}
+}
+
+func TestBottleneckValue(t *testing.T) {
+	tr, _ := graph.NewTree([]float64{6, 6, 6},
+		[]graph.Edge{{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 9}})
+	v, err := BottleneckValue(tr, 7)
+	if err != nil {
+		t.Fatalf("BottleneckValue: %v", err)
+	}
+	if v != 9 {
+		t.Errorf("BottleneckValue = %v, want 9", v)
+	}
+}
+
+func TestBottleneckCutIsSortedPrefixOfWeights(t *testing.T) {
+	// Paper invariant: the output is a subset of {e_1..e_s}, the lightest
+	// edges — every uncut edge weighs at least the bottleneck.
+	r := workload.NewRNG(2718)
+	for trial := 0; trial < 100; trial++ {
+		tr, k := randomTreeForTest(r, 30)
+		got, err := Bottleneck(tr, k)
+		if errors.Is(err, ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("Bottleneck: %v", err)
+		}
+		inCut := make(map[int]bool, len(got.Cut))
+		for _, e := range got.Cut {
+			inCut[e] = true
+		}
+		for i, e := range tr.Edges {
+			if !inCut[i] && e.W < got.Bottleneck {
+				// Uncut edges strictly lighter than the bottleneck would mean
+				// the greedy skipped a lighter edge, violating Algorithm 2.1.
+				// (Ties with the bottleneck weight may legitimately be split
+				// by index order.)
+				t.Fatalf("edge %d (w=%v) uncut but lighter than bottleneck %v", i, e.W, got.Bottleneck)
+			}
+		}
+	}
+}

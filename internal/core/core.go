@@ -1,0 +1,154 @@
+// Package core implements the paper's three partitioning algorithms on task
+// graphs:
+//
+//   - Bandwidth minimization for linear task graphs (§2.3, Algorithm 4.1):
+//     minimum total cut weight subject to every component weighing ≤ K.
+//   - Bottleneck minimization for tree task graphs (§2.1, Algorithm 2.1):
+//     minimum max cut-edge weight subject to the same bound.
+//   - Processor minimization for tree task graphs (§2.2, Algorithm 2.2):
+//     minimum number of components subject to the same bound.
+//
+// PartitionTree composes them the way §2.2 prescribes: bottleneck
+// minimization first, then contraction into super-nodes, then processor
+// minimization over the contracted tree.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Sentinel errors.
+var (
+	// ErrInfeasible is returned when no cut satisfies the execution-time
+	// bound K — some single task already exceeds it.
+	ErrInfeasible = errors.New("core: no feasible partition for bound K")
+	// ErrBadBound is returned when K is not a positive finite number.
+	ErrBadBound = errors.New("core: bound K must be positive and finite")
+)
+
+// PathPartition is the result of partitioning a linear task graph.
+type PathPartition struct {
+	// Cut lists the removed edge indices in increasing order.
+	Cut []int
+	// CutWeight is β(Cut), the total communication ("bandwidth") crossing
+	// the partition.
+	CutWeight float64
+	// Bottleneck is the largest single cut-edge weight, 0 for an empty cut.
+	Bottleneck float64
+	// ComponentWeights are the component loads left to right.
+	ComponentWeights []float64
+	// K is the execution-time bound the partition satisfies.
+	K float64
+}
+
+// NumComponents returns the number of connected components (processors used).
+func (pp *PathPartition) NumComponents() int { return len(pp.ComponentWeights) }
+
+// TreePartition is the result of partitioning a tree task graph.
+type TreePartition struct {
+	// Cut lists the removed edge indices (into Tree.Edges) in increasing
+	// order.
+	Cut []int
+	// CutWeight is δ(Cut), the total weight of cut edges.
+	CutWeight float64
+	// Bottleneck is the largest single cut-edge weight, 0 for an empty cut.
+	Bottleneck float64
+	// ComponentWeights are the component loads.
+	ComponentWeights []float64
+	// K is the execution-time bound the partition satisfies.
+	K float64
+}
+
+// NumComponents returns the number of connected components (processors used).
+func (tp *TreePartition) NumComponents() int { return len(tp.ComponentWeights) }
+
+func checkBound(k float64) error {
+	if !(k > 0) || math.IsNaN(k) || math.IsInf(k, 0) {
+		return fmt.Errorf("K = %v: %w", k, ErrBadBound)
+	}
+	return nil
+}
+
+// newPathPartition assembles a PathPartition from a cut, validating nothing;
+// callers guarantee the cut is sorted and in range.
+func newPathPartition(p *graph.Path, cut []int, k float64) (*PathPartition, error) {
+	cw, err := p.CutWeight(cut)
+	if err != nil {
+		return nil, err
+	}
+	bn, err := p.MaxCutEdgeWeight(cut)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := p.ComponentWeights(cut)
+	if err != nil {
+		return nil, err
+	}
+	return &PathPartition{
+		Cut:              cut,
+		CutWeight:        cw,
+		Bottleneck:       bn,
+		ComponentWeights: ws,
+		K:                k,
+	}, nil
+}
+
+func newTreePartition(t *graph.Tree, cut []int, k float64) (*TreePartition, error) {
+	cw, err := t.CutWeight(cut)
+	if err != nil {
+		return nil, err
+	}
+	bn, err := t.MaxCutEdgeWeight(cut)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := t.ComponentWeights(cut)
+	if err != nil {
+		return nil, err
+	}
+	return &TreePartition{
+		Cut:              cut,
+		CutWeight:        cw,
+		Bottleneck:       bn,
+		ComponentWeights: ws,
+		K:                k,
+	}, nil
+}
+
+// CheckPathFeasible verifies that cut satisfies the execution-time bound on
+// p: every component of P − cut weighs at most K. It returns nil when
+// feasible and a descriptive error otherwise. All algorithm outputs in this
+// repository are expected to pass this check; tests enforce it.
+func CheckPathFeasible(p *graph.Path, cut []int, k float64) error {
+	if err := checkBound(k); err != nil {
+		return err
+	}
+	m, err := p.MaxComponentWeight(cut)
+	if err != nil {
+		return err
+	}
+	if m > k {
+		return fmt.Errorf("component weight %v exceeds K=%v: %w", m, k, ErrInfeasible)
+	}
+	return nil
+}
+
+// CheckTreeFeasible verifies that cut satisfies the execution-time bound on
+// t.
+func CheckTreeFeasible(t *graph.Tree, cut []int, k float64) error {
+	if err := checkBound(k); err != nil {
+		return err
+	}
+	m, err := t.MaxComponentWeight(cut)
+	if err != nil {
+		return err
+	}
+	if m > k {
+		return fmt.Errorf("component weight %v exceeds K=%v: %w", m, k, ErrInfeasible)
+	}
+	return nil
+}

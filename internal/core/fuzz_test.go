@@ -1,0 +1,113 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzBandwidthAgreement drives the paper's algorithm and the two DP
+// baselines with adversarial byte-derived instances and requires exact
+// agreement on the optimal cut weight (or identical infeasibility). Run
+// with `go test -fuzz=FuzzBandwidthAgreement ./internal/core` to explore;
+// the seed corpus runs under plain `go test`.
+func FuzzBandwidthAgreement(f *testing.F) {
+	f.Add([]byte{10, 20, 30, 5, 5}, byte(40))
+	f.Add([]byte{1, 1, 1, 1, 1, 1, 1, 1}, byte(2))
+	f.Add([]byte{255, 0, 255, 0, 255}, byte(255))
+	f.Add([]byte{7}, byte(7))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw byte) {
+		if len(raw) < 1 || len(raw) > 300 {
+			t.Skip()
+		}
+		// Odd bytes become node weights, even bytes edge weights.
+		n := len(raw)/2 + 1
+		nodeW := make([]float64, n)
+		edgeW := make([]float64, n-1)
+		for i := range nodeW {
+			nodeW[i] = float64(raw[(2*i)%len(raw)]) + 1
+		}
+		for i := range edgeW {
+			edgeW[i] = float64(raw[(2*i+1)%len(raw)])
+		}
+		p, err := graph.NewPath(nodeW, edgeW)
+		if err != nil {
+			t.Fatalf("generator produced invalid path: %v", err)
+		}
+		k := float64(kRaw) + 1
+		a, errA := Bandwidth(p, k)
+		b, errB := BandwidthDeque(p, k)
+		c, errC := BandwidthHeap(p, k)
+		if (errA == nil) != (errB == nil) || (errB == nil) != (errC == nil) {
+			t.Fatalf("error disagreement: %v / %v / %v", errA, errB, errC)
+		}
+		if errA != nil {
+			if !errors.Is(errA, ErrInfeasible) {
+				t.Fatalf("unexpected error class: %v", errA)
+			}
+			return
+		}
+		if math.Abs(a.CutWeight-b.CutWeight) > 1e-9 || math.Abs(b.CutWeight-c.CutWeight) > 1e-9 {
+			t.Fatalf("weights diverge: TempS %v, deque %v, heap %v\nnodeW=%v\nedgeW=%v\nk=%v",
+				a.CutWeight, b.CutWeight, c.CutWeight, nodeW, edgeW, k)
+		}
+		if err := CheckPathFeasible(p, a.Cut, k); err != nil {
+			t.Fatalf("TempS cut infeasible: %v", err)
+		}
+	})
+}
+
+// FuzzTreeAlgorithms checks that the tree algorithms never return an
+// infeasible cut and respect their mutual dominance relations on
+// byte-derived random trees.
+func FuzzTreeAlgorithms(f *testing.F) {
+	f.Add([]byte{3, 1, 4, 1, 5, 9, 2, 6}, byte(12))
+	f.Add([]byte{100, 100, 100}, byte(200))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw byte) {
+		if len(raw) < 2 || len(raw) > 120 {
+			t.Skip()
+		}
+		n := len(raw)
+		nodeW := make([]float64, n)
+		edges := make([]graph.Edge, n-1)
+		for i := range nodeW {
+			nodeW[i] = float64(raw[i]%50) + 1
+		}
+		for v := 1; v < n; v++ {
+			parent := int(raw[v-1]) % v
+			edges[v-1] = graph.Edge{U: parent, V: v, W: float64(raw[(v*7)%len(raw)])}
+		}
+		tr, err := graph.NewTree(nodeW, edges)
+		if err != nil {
+			t.Fatalf("generator produced invalid tree: %v", err)
+		}
+		k := float64(kRaw) + 1
+		bt, errB := Bottleneck(tr, k)
+		mp, errM := MinProcessors(tr, k)
+		pt, errP := PartitionTree(tr, k)
+		if (errB == nil) != (errM == nil) || (errM == nil) != (errP == nil) {
+			t.Fatalf("feasibility disagreement: %v / %v / %v", errB, errM, errP)
+		}
+		if errB != nil {
+			return
+		}
+		for name, cut := range map[string][]int{"bottleneck": bt.Cut, "minproc": mp.Cut, "pipeline": pt.Cut} {
+			if err := CheckTreeFeasible(tr, cut, k); err != nil {
+				t.Fatalf("%s cut infeasible: %v", name, err)
+			}
+		}
+		if mp.NumComponents() > bt.NumComponents() {
+			t.Fatalf("minproc used more components (%d) than the greedy bottleneck cut (%d)",
+				mp.NumComponents(), bt.NumComponents())
+		}
+		if pt.Bottleneck > bt.Bottleneck+1e-9 {
+			t.Fatalf("pipeline bottleneck %v exceeds stage bottleneck %v", pt.Bottleneck, bt.Bottleneck)
+		}
+		if pt.NumComponents() < mp.NumComponents() {
+			t.Fatalf("pipeline components %d below the unconstrained minimum %d",
+				pt.NumComponents(), mp.NumComponents())
+		}
+	})
+}

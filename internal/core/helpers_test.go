@@ -1,0 +1,81 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// treeBrute computes, by exhaustive enumeration over all 2^(n-1) cuts of a
+// small tree, the optimal bottleneck, the optimal bandwidth, and the minimum
+// number of components, each subject to the execution-time bound k. A result
+// of math.Inf(1) (or -1 components) means infeasible.
+type treeBruteResult struct {
+	bottleneck float64
+	bandwidth  float64
+	components int
+}
+
+func treeBrute(t *testing.T, tr *graph.Tree, k float64) treeBruteResult {
+	t.Helper()
+	m := tr.NumEdges()
+	if m > 18 {
+		t.Fatalf("treeBrute: %d edges too many", m)
+	}
+	res := treeBruteResult{bottleneck: math.Inf(1), bandwidth: math.Inf(1), components: -1}
+	for mask := 0; mask < 1<<m; mask++ {
+		var cut []int
+		for i := 0; i < m; i++ {
+			if mask&(1<<i) != 0 {
+				cut = append(cut, i)
+			}
+		}
+		maxW, err := tr.MaxComponentWeight(cut)
+		if err != nil {
+			t.Fatalf("MaxComponentWeight: %v", err)
+		}
+		if maxW > k {
+			continue
+		}
+		bw, _ := tr.CutWeight(cut)
+		bn, _ := tr.MaxCutEdgeWeight(cut)
+		if bn < res.bottleneck {
+			res.bottleneck = bn
+		}
+		if bw < res.bandwidth {
+			res.bandwidth = bw
+		}
+		if res.components == -1 || len(cut)+1 < res.components {
+			res.components = len(cut) + 1
+		}
+	}
+	return res
+}
+
+// randomPathForTest draws a modest random path guaranteed feasible for the
+// returned bound.
+func randomPathForTest(r *workload.RNG, maxN int) (*graph.Path, float64) {
+	n := 2 + r.Intn(maxN-1)
+	nodeW := make([]float64, n)
+	for i := range nodeW {
+		nodeW[i] = float64(1 + r.Intn(20))
+	}
+	edgeW := make([]float64, n-1)
+	for i := range edgeW {
+		edgeW[i] = float64(r.Intn(50))
+	}
+	k := 20 + float64(r.Intn(100))
+	p := &graph.Path{NodeW: nodeW, EdgeW: edgeW}
+	return p, k
+}
+
+// randomTreeForTest draws a modest random tree guaranteed feasible for the
+// returned bound.
+func randomTreeForTest(r *workload.RNG, maxN int) (*graph.Tree, float64) {
+	n := 2 + r.Intn(maxN-1)
+	tr := workload.RandomTree(r, n, workload.UniformWeights(1, 20), workload.UniformWeights(0, 50))
+	k := 20 + float64(r.Intn(100))
+	return tr, k
+}

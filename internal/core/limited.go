@@ -1,0 +1,159 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Extensions beyond the paper's fixed-K formulation that a deployment
+// actually needs: bounding the processor count as well as the load, and
+// exploring the K ↔ bandwidth ↔ processors trade-off before choosing K.
+
+// BandwidthLimited solves bandwidth minimization with an additional cap on
+// the number of components (processors): a minimum-weight cut such that
+// every component weighs ≤ K and at most m components result. The paper's
+// Bandwidth is the m = ∞ case; this variant covers machines with fewer
+// processors than the unconstrained optimum would use. Level-wise prefix DP
+// with a monotone deque per level: O(n·m) time.
+func BandwidthLimited(p *graph.Path, k float64, m int) (*PathPartition, error) {
+	if err := checkBound(k); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("m = %d: %w", m, ErrBadBound)
+	}
+	if p.MaxNodeWeight() > k {
+		return nil, fmt.Errorf("max vertex weight %v > K=%v: %w", p.MaxNodeWeight(), k, ErrInfeasible)
+	}
+	if p.TotalNodeWeight() <= k {
+		return newPathPartition(p, nil, k)
+	}
+	n := p.Len()
+	if m == 1 {
+		// One component must hold everything, but the total exceeds K.
+		return nil, fmt.Errorf("total weight %v > K=%v with m=1: %w", p.TotalNodeWeight(), k, ErrInfeasible)
+	}
+	if m > n {
+		m = n
+	}
+	prefix := p.PrefixNodeWeights()
+	// f[j][i]: min cut weight for the prefix ending with a cut at edge i,
+	// using exactly j cuts so far (j ≥ 1); parent for reconstruction.
+	// Level j consumes level j−1 via a sliding-window minimum.
+	const inf = math.MaxFloat64
+	fPrev := make([]float64, n-1)
+	fCur := make([]float64, n-1)
+	parent := make([][]int32, m) // parent[j][i], j ≥ 2
+	// Level 1: single cut at edge i; first block v_0..v_i must fit.
+	for i := 0; i < n-1; i++ {
+		if prefix[i+1] <= k {
+			fPrev[i] = p.EdgeW[i]
+		} else {
+			fPrev[i] = inf
+		}
+	}
+	best := inf
+	bestLevel, bestI := 0, -1
+	scanFinal := func(level int, f []float64) {
+		total := prefix[n]
+		for i := n - 2; i >= 0; i-- {
+			if total-prefix[i+1] > k {
+				break
+			}
+			if f[i] < best {
+				best, bestLevel, bestI = f[i], level, i
+			}
+		}
+	}
+	scanFinal(1, fPrev)
+	for j := 2; j <= m-1; j++ {
+		parent[j] = make([]int32, n-1)
+		// Monotone deque over predecessors from level j−1.
+		deque := make([]int32, 0, n)
+		ptr := 0 // next predecessor index to admit
+		for i := 0; i < n-1; i++ {
+			// Admit predecessors ending before i.
+			for ; ptr < i; ptr++ {
+				if fPrev[ptr] == inf {
+					continue
+				}
+				for len(deque) > 0 && fPrev[deque[len(deque)-1]] >= fPrev[ptr] {
+					deque = deque[:len(deque)-1]
+				}
+				deque = append(deque, int32(ptr))
+			}
+			// Evict predecessors whose segment to i overflows K.
+			for len(deque) > 0 && prefix[i+1]-prefix[deque[0]+1] > k {
+				deque = deque[1:]
+			}
+			if len(deque) == 0 {
+				fCur[i] = inf
+				parent[j][i] = -1
+			} else {
+				fCur[i] = p.EdgeW[i] + fPrev[deque[0]]
+				parent[j][i] = deque[0]
+			}
+		}
+		scanFinal(j, fCur)
+		fPrev, fCur = fCur, fPrev
+	}
+	if bestI < 0 {
+		return nil, fmt.Errorf("no feasible cut with at most %d components: %w", m, ErrInfeasible)
+	}
+	// Reconstruct: bestLevel cuts ending at bestI. Levels above 1 recorded
+	// parents; level-1 entries are roots. Because fPrev/fCur swap, walk
+	// using the recorded parent arrays directly.
+	cut := make([]int, 0, bestLevel)
+	i := bestI
+	for j := bestLevel; j >= 2; j-- {
+		cut = append(cut, i)
+		i = int(parent[j][i])
+	}
+	cut = append(cut, i)
+	// Reverse into ascending order.
+	for l, r := 0, len(cut)-1; l < r; l, r = l+1, r-1 {
+		cut[l], cut[r] = cut[r], cut[l]
+	}
+	return newPathPartition(p, cut, k)
+}
+
+// TradeoffPoint is one row of the K ↔ cost trade-off curve.
+type TradeoffPoint struct {
+	K          float64
+	CutWeight  float64
+	Bottleneck float64
+	Components int
+}
+
+// TradeoffCurve evaluates Bandwidth across the given bounds, returning one
+// point per feasible K (infeasible bounds are skipped). Cut weight is
+// non-increasing in K; the curve is how a deployment picks its
+// per-processor budget.
+func TradeoffCurve(p *graph.Path, ks []float64) ([]TradeoffPoint, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	points := make([]TradeoffPoint, 0, len(ks))
+	for _, k := range ks {
+		pp, err := Bandwidth(p, k)
+		if err != nil {
+			if errors.Is(err, ErrInfeasible) {
+				continue
+			}
+			return nil, err
+		}
+		points = append(points, TradeoffPoint{
+			K:          k,
+			CutWeight:  pp.CutWeight,
+			Bottleneck: pp.Bottleneck,
+			Components: pp.NumComponents(),
+		})
+	}
+	return points, nil
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// This file implements processor minimization on tree task graphs (§2.2,
+// Algorithm 2.2): find an edge cut S such that every component of T − S
+// weighs at most K and the number of components (equivalently |S|, since
+// removing one tree edge creates exactly one extra component) is minimum.
+//
+// The paper's recursion repeatedly selects an internal node v adjacent to at
+// most one internal node, absorbs v's leaves if they fit within K, and
+// otherwise prunes the heaviest leaves until the remainder fits. Processing
+// vertices of a rooted tree in post-order visits exactly such nodes — every
+// child of v has already been reduced to a (super-)leaf — so MinProcessors
+// realizes Algorithm 2.2 as a single post-order sweep with the per-node
+// sort-and-prune step, the same greedy that Kundu and Misra proved produces
+// the minimum number of parts. O(Σ d(v) log d(v)) = O(n log n).
+
+// MinProcessors solves processor minimization with Algorithm 2.2.
+func MinProcessors(t *graph.Tree, k float64) (*TreePartition, error) {
+	if err := checkBound(k); err != nil {
+		return nil, err
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if t.MaxNodeWeight() > k {
+		return nil, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
+	}
+	n := t.Len()
+	adj := t.Adjacency()
+	// Iterative BFS from the root; reverse BFS order is a post-order for
+	// trees (children precede parents).
+	order := make([]int, 0, n)
+	parentEdge := make([]int, n)
+	parent := make([]int, n)
+	for v := range parent {
+		parent[v] = -1
+		parentEdge[v] = -1
+	}
+	order = append(order, 0)
+	for qi := 0; qi < len(order); qi++ {
+		v := order[qi]
+		for _, a := range adj[v] {
+			if a.To != parent[v] {
+				parent[a.To] = v
+				parentEdge[a.To] = a.Edge
+				order = append(order, a.To)
+			}
+		}
+	}
+	// res[v] is the weight of the super-node that v has been merged into so
+	// far: v plus all absorbed descendant subtrees.
+	res := make([]float64, n)
+	copy(res, t.NodeW)
+	var cut []int
+	type child struct {
+		res  float64
+		edge int
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		var children []child
+		total := t.NodeW[v]
+		for _, a := range adj[v] {
+			if a.To == parent[v] {
+				continue
+			}
+			children = append(children, child{res: res[a.To], edge: a.Edge})
+			total += res[a.To]
+		}
+		if total <= k {
+			res[v] = total
+			continue
+		}
+		// Prune the heaviest absorbed leaves first (paper step 5: "sort the
+		// leaves adjacent to v in decreasing order of weights ... find
+		// minimum r such that W − Σ_{i≤r} w_i ≤ K").
+		sort.Slice(children, func(a, b int) bool { return children[a].res > children[b].res })
+		for _, c := range children {
+			if total <= k {
+				break
+			}
+			total -= c.res
+			cut = append(cut, c.edge)
+		}
+		if total > k {
+			// Cannot happen: total is now just t.NodeW[v] ≤ k. Guard anyway.
+			return nil, ErrInfeasible
+		}
+		res[v] = total
+	}
+	return newTreePartition(t, graph.NormalizeCut(cut), k)
+}
+
+// MinProcessorsPath solves processor minimization on a linear task graph by
+// first-fit accumulation, which is optimal for paths: O(n).
+func MinProcessorsPath(p *graph.Path, k float64) (*PathPartition, error) {
+	if err := checkBound(k); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.MaxNodeWeight() > k {
+		return nil, fmt.Errorf("max vertex weight %v > K=%v: %w", p.MaxNodeWeight(), k, ErrInfeasible)
+	}
+	var cut []int
+	var load float64
+	for i, w := range p.NodeW {
+		if load+w > k {
+			cut = append(cut, i-1)
+			load = 0
+		}
+		load += w
+	}
+	return newPathPartition(p, cut, k)
+}
+
+// PartitionTree runs the paper's full tree pipeline (§2.2): bottleneck
+// minimization to fix the smallest achievable bottleneck, contraction of the
+// resulting components into super-nodes, then processor minimization over
+// the contracted tree to undo the over-fragmentation of the greedy
+// bottleneck cut. The final cut is a subset of the bottleneck cut, so its
+// bottleneck never exceeds the optimum, and among such cuts it uses the
+// minimum number of processors.
+func PartitionTree(t *graph.Tree, k float64) (*TreePartition, error) {
+	bt, err := Bottleneck(t, k)
+	if err != nil {
+		return nil, err
+	}
+	contraction, err := t.Contract(bt.Cut)
+	if err != nil {
+		return nil, err
+	}
+	mp, err := MinProcessors(contraction.Tree, k)
+	if err != nil {
+		return nil, err
+	}
+	cut := make([]int, len(mp.Cut))
+	for i, ce := range mp.Cut {
+		cut[i] = contraction.CutEdges[ce]
+	}
+	return newTreePartition(t, graph.NormalizeCut(cut), k)
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallFig2 keeps test runs fast.
+func smallFig2() Fig2Config {
+	return Fig2Config{
+		Seed:    1,
+		N:       []int{500, 2000},
+		KRatios: []float64{1.2, 3, 10},
+		W1:      1, W2: 100,
+		EdgeW1: 1, EdgeW2: 100,
+		Trials: 2,
+	}
+}
+
+func TestRunFig2ShapeAndInvariants(t *testing.T) {
+	rows, err := RunFig2(smallFig2())
+	if err != nil {
+		t.Fatalf("RunFig2: %v", err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.P < 0 || r.R < 0 || r.Q < 0 {
+			t.Errorf("negative statistic in %+v", r)
+		}
+		// Paper bounds: r ≤ n−1 and r ≤ 2p−1 (averaged, still must hold).
+		if r.R > float64(r.N-1)+1e-9 || (r.P > 0 && r.R > 2*r.P-1+1e-9) {
+			t.Errorf("non-redundant edge bound violated: %+v", r)
+		}
+		// q ≤ p always.
+		if r.Q > r.P+1e-9 {
+			t.Errorf("q %v > p %v", r.Q, r.P)
+		}
+		// Headline claim at every sweep point we generate: p·log q stays
+		// below n·log n.
+		if r.PLogQ >= r.NLogN {
+			t.Errorf("p log q %v >= n log n %v at n=%d ratio=%v", r.PLogQ, r.NLogN, r.N, r.KRatio)
+		}
+	}
+	// Shape: p at the loosest bound (K/wmax=10) must be far below p at the
+	// tightest (1.2) for the same n.
+	var tight, loose float64
+	for _, r := range rows {
+		if r.N == 2000 && r.KRatio == 1.2 {
+			tight = r.P
+		}
+		if r.N == 2000 && r.KRatio == 10 {
+			loose = r.P
+		}
+	}
+	if loose >= tight {
+		t.Errorf("p should fall as K grows: p(1.2)=%v p(10)=%v", tight, loose)
+	}
+}
+
+func TestFig2Renderers(t *testing.T) {
+	rows, err := RunFig2(Fig2Config{
+		Seed: 2, N: []int{300}, KRatios: []float64{2},
+		W1: 1, W2: 50, EdgeW1: 1, EdgeW2: 10, Trials: 1,
+	})
+	if err != nil {
+		t.Fatalf("RunFig2: %v", err)
+	}
+	var tab, csv bytes.Buffer
+	if err := RenderFig2(&tab, rows); err != nil {
+		t.Fatalf("RenderFig2: %v", err)
+	}
+	if !strings.Contains(tab.String(), "p·log q") {
+		t.Errorf("table missing header:\n%s", tab.String())
+	}
+	if err := Fig2CSV(&csv, rows); err != nil {
+		t.Fatalf("Fig2CSV: %v", err)
+	}
+	if !strings.HasPrefix(csv.String(), "n,k_ratio,") {
+		t.Errorf("csv malformed: %s", csv.String())
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 2 {
+		t.Errorf("csv lines = %d, want 2", got)
+	}
+}
+
+func TestRunComplexitySolversAgree(t *testing.T) {
+	rows, err := RunComplexity(ComplexityConfig{
+		Seed: 3, N: []int{2000, 8000}, KRatio: 4, Trials: 1, NaiveMaxN: 4000,
+	})
+	if err != nil {
+		t.Fatalf("RunComplexity: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].NaiveNs < 0 || rows[1].NaiveNs >= 0 {
+		t.Errorf("naive gating wrong: %+v", rows)
+	}
+	var buf bytes.Buffer
+	if err := RenderComplexity(&buf, rows); err != nil {
+		t.Fatalf("RenderComplexity: %v", err)
+	}
+	if !strings.Contains(buf.String(), "TempS(ms)") {
+		t.Errorf("table malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunCCPAgrees(t *testing.T) {
+	rows, err := RunCCP(CCPConfig{
+		Seed:   4,
+		Points: []CCPPoint{{500, 4}, {20000, 8}},
+		Trials: 1,
+	})
+	if err != nil {
+		t.Fatalf("RunCCP: %v", err)
+	}
+	if rows[0].DPQuadNs < 0 || rows[1].DPQuadNs >= 0 {
+		t.Errorf("quadratic gating wrong")
+	}
+	for _, r := range rows {
+		if r.GreedyExcess < -1e-9 {
+			t.Errorf("greedy beat optimal: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderCCP(&buf, rows); err != nil {
+		t.Fatalf("RenderCCP: %v", err)
+	}
+}
+
+func TestRunDESBandwidthWins(t *testing.T) {
+	rows, err := RunDES(8, 60)
+	if err != nil {
+		t.Fatalf("RunDES: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Components < 1 || r.Gates < 10 {
+			t.Errorf("degenerate row %+v", r)
+		}
+		// The optimal cut dominates equal blocks only when the naive cut is
+		// itself feasible; an infeasible naive cut may buy lower traffic by
+		// overloading a processor.
+		if r.NaiveFeasible && r.Components > 1 && r.OptTraffic > r.NaiveTraffic+1e-9 {
+			t.Errorf("%s: optimal traffic %v exceeds feasible equal-blocks %v",
+				r.Circuit, r.OptTraffic, r.NaiveTraffic)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderDES(&buf, rows); err != nil {
+		t.Fatalf("RenderDES: %v", err)
+	}
+	if !strings.Contains(buf.String(), "adder-chain-32b") {
+		t.Errorf("table missing circuit:\n%s", buf.String())
+	}
+}
+
+func TestRunRTAllMeetDeadlines(t *testing.T) {
+	rows, err := RunRT(6)
+	if err != nil {
+		t.Fatalf("RunRT: %v", err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Meets {
+			t.Errorf("plan misses deadline: %+v", r)
+		}
+		if r.Components < r.MinprocsRef {
+			t.Errorf("bandwidth plan uses fewer processors than the minimum: %+v", r)
+		}
+		if r.Throughput <= 0 {
+			t.Errorf("throughput not positive: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderRT(&buf, rows); err != nil {
+		t.Fatalf("RenderRT: %v", err)
+	}
+}
+
+func TestRunTreeHeuristic(t *testing.T) {
+	rows, err := RunTreeHeuristic(5, 40, 20)
+	if err != nil {
+		t.Fatalf("RunTreeHeuristic: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.MeanRatio < 1-1e-9 {
+			t.Errorf("%s: greedy beat exact on average (%v) — exact solver broken", r.Family, r.MeanRatio)
+		}
+		if r.OptimalRate < 0 || r.OptimalRate > 1 {
+			t.Errorf("%s: optimal rate %v out of range", r.Family, r.OptimalRate)
+		}
+		if r.MaxRatio < r.MeanRatio-1e-9 {
+			t.Errorf("%s: max ratio %v below mean %v", r.Family, r.MaxRatio, r.MeanRatio)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderTreeHeuristic(&buf, rows); err != nil {
+		t.Fatalf("RenderTreeHeuristic: %v", err)
+	}
+	if !strings.Contains(buf.String(), "caterpillar") {
+		t.Errorf("table missing family:\n%s", buf.String())
+	}
+}

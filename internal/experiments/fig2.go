@@ -1,0 +1,151 @@
+// Package experiments regenerates the paper's evaluation artifacts: the
+// Figure 2 simulation study of the bandwidth algorithm's instance parameters
+// (p, q, p·log q vs n·log n, TEMP_S queue behaviour), the related-work
+// complexity comparisons, and the §3 application studies. Each experiment in
+// DESIGN.md's index maps to one entry point here; cmd/experiments exposes
+// them on the command line and EXPERIMENTS.md records representative output.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/prime"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig2Config parameterizes the Figure 2 sweep. The paper's study draws
+// vertex weights uniformly from [W1, W2] and varies K relative to the
+// maximum module execution time (§2.3.2).
+type Fig2Config struct {
+	// Seed makes the sweep reproducible.
+	Seed uint64
+	// N are the path lengths to sweep.
+	N []int
+	// KRatios are the K / max-vertex-weight ratios to sweep.
+	KRatios []float64
+	// W1, W2 bound the uniform vertex weight distribution.
+	W1, W2 float64
+	// EdgeW1, EdgeW2 bound the uniform edge weight distribution.
+	EdgeW1, EdgeW2 float64
+	// Trials is the number of random instances averaged per point.
+	Trials int
+}
+
+// DefaultFig2Config mirrors the study's shape at laptop scale.
+func DefaultFig2Config() Fig2Config {
+	return Fig2Config{
+		Seed:    1994,
+		N:       []int{1000, 10000, 100000},
+		KRatios: []float64{1.1, 1.5, 2, 3, 5, 8, 12, 20, 35, 50, 100, 200, 400},
+		W1:      1, W2: 100,
+		EdgeW1: 1, EdgeW2: 100,
+		Trials: 5,
+	}
+}
+
+// Fig2Row is one averaged sweep point.
+type Fig2Row struct {
+	N      int
+	KRatio float64
+	K      float64
+	// P, R, Q, QMax are the instance statistics of §2.3: prime subpaths,
+	// non-redundant edges, mean and max prime-subpath coverage.
+	P, R, Q, QMax float64
+	// PLogQ and NLogN are the cost proxies the paper compares: our
+	// algorithm's O(n + p log q) term vs the prior O(n log n).
+	PLogQ, NLogN float64
+	// MeanQueueLen and MaxQueueLen instrument the TEMP_S queue (Appendix B
+	// predicts mean O(log q)).
+	MeanQueueLen, MaxQueueLen float64
+	// CutWeight is the mean optimal bandwidth, for reference.
+	CutWeight float64
+}
+
+// RunFig2 executes the sweep.
+func RunFig2(cfg Fig2Config) ([]Fig2Row, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 1
+	}
+	rng := workload.NewRNG(cfg.Seed)
+	var rows []Fig2Row
+	for _, n := range cfg.N {
+		for _, ratio := range cfg.KRatios {
+			row := Fig2Row{N: n, KRatio: ratio}
+			for trial := 0; trial < cfg.Trials; trial++ {
+				p := workload.RandomPath(rng, n,
+					workload.UniformWeights(cfg.W1, cfg.W2),
+					workload.UniformWeights(cfg.EdgeW1, cfg.EdgeW2))
+				k := ratio * p.MaxNodeWeight()
+				inst, _, err := prime.Analyze(p.NodeW, p.EdgeW, k)
+				if err != nil {
+					return nil, fmt.Errorf("analyze n=%d ratio=%v: %w", n, ratio, err)
+				}
+				st := prime.Summarize(n, inst)
+				pp, trace, err := core.BandwidthInstrumented(p, k)
+				if err != nil {
+					return nil, fmt.Errorf("bandwidth n=%d ratio=%v: %w", n, ratio, err)
+				}
+				row.K += k
+				row.P += float64(st.P)
+				row.R += float64(st.R)
+				row.Q += st.Q
+				row.QMax += float64(st.QMax)
+				row.PLogQ += costPLogQ(st.P, st.Q)
+				row.MeanQueueLen += trace.MeanQueueLen()
+				row.MaxQueueLen += float64(trace.MaxQueueLen)
+				row.CutWeight += pp.CutWeight
+			}
+			inv := 1 / float64(cfg.Trials)
+			row.K *= inv
+			row.P *= inv
+			row.R *= inv
+			row.Q *= inv
+			row.QMax *= inv
+			row.PLogQ *= inv
+			row.MeanQueueLen *= inv
+			row.MaxQueueLen *= inv
+			row.CutWeight *= inv
+			row.NLogN = float64(row.N) * math.Log2(float64(row.N))
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// costPLogQ is the paper's O(p log q) search-cost proxy: p binary searches
+// over queues of ~q entries (1+log so that q ≤ 1 still costs p).
+func costPLogQ(p int, q float64) float64 {
+	return float64(p) * (1 + math.Log2(1+q))
+}
+
+// RenderFig2 writes the sweep as an aligned table.
+func RenderFig2(w io.Writer, rows []Fig2Row) error {
+	t := stats.NewTable("n", "K/wmax", "p", "r", "q", "qmax", "p·log q", "n·log n", "ratio", "queue(mean)", "queue(max)", "cutW")
+	for _, r := range rows {
+		ratio := 0.0
+		if r.NLogN > 0 {
+			ratio = r.PLogQ / r.NLogN
+		}
+		t.AddRow(r.N, r.KRatio, r.P, r.R, r.Q, r.QMax, r.PLogQ, r.NLogN, ratio, r.MeanQueueLen, r.MaxQueueLen, r.CutWeight)
+	}
+	return t.Render(w)
+}
+
+// Fig2CSV writes the sweep as CSV.
+func Fig2CSV(w io.Writer, rows []Fig2Row) error {
+	headers := []string{"n", "k_ratio", "k", "p", "r", "q", "q_max", "p_log_q", "n_log_n", "queue_mean", "queue_max", "cut_weight"}
+	out := make([][]string, len(rows))
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+	for i, r := range rows {
+		out[i] = []string{
+			strconv.Itoa(r.N), f(r.KRatio), f(r.K), f(r.P), f(r.R), f(r.Q), f(r.QMax),
+			f(r.PLogQ), f(r.NLogN), f(r.MeanQueueLen), f(r.MaxQueueLen), f(r.CutWeight),
+		}
+	}
+	return stats.WriteCSV(w, headers, out)
+}

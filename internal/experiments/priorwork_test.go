@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSumBottleneck(t *testing.T) {
+	rows, err := RunSumBottleneck(5, []CCPPoint{{N: 400, M: 4}, {N: 3000, M: 8}}, 2)
+	if err != nil {
+		t.Fatalf("RunSumBottleneck: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].DPNs < 0 || rows[1].DPNs >= 0 {
+		t.Errorf("DP gating wrong: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Bottleneck <= 0 {
+			t.Errorf("bottleneck %v not positive", r.Bottleneck)
+		}
+		// The linear-array bottleneck includes compute, so it always
+		// exceeds the shared-memory cut weight at this scale — the point of
+		// the contrast column.
+		if r.SharedMemCut >= r.Bottleneck {
+			t.Errorf("shared-mem cut %v >= linear-array bottleneck %v", r.SharedMemCut, r.Bottleneck)
+		}
+	}
+	var buf bytes.Buffer
+	if err := RenderSumBottleneck(&buf, rows); err != nil {
+		t.Fatalf("RenderSumBottleneck: %v", err)
+	}
+	if !strings.Contains(buf.String(), "linear-array bottleneck") {
+		t.Errorf("table malformed:\n%s", buf.String())
+	}
+}
+
+func TestRunHostSat(t *testing.T) {
+	rows, err := RunHostSat(7, []int{300, 3000}, 2)
+	if err != nil {
+		t.Fatalf("RunHostSat: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].LimitedBottleneck <= 0 {
+		t.Errorf("limited bottleneck missing for small n: %+v", rows[0])
+	}
+	if rows[1].LimitedBottleneck != 0 {
+		t.Errorf("limited bottleneck should be gated off for large n: %+v", rows[1])
+	}
+	for _, r := range rows {
+		if r.Bottleneck <= 0 || r.Satellites <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	// Unlimited satellites can only do at least as well as m=4.
+	if rows[0].Bottleneck > rows[0].LimitedBottleneck+1e-9 {
+		t.Errorf("unlimited %v worse than m=4 %v", rows[0].Bottleneck, rows[0].LimitedBottleneck)
+	}
+	var buf bytes.Buffer
+	if err := RenderHostSat(&buf, rows); err != nil {
+		t.Fatalf("RenderHostSat: %v", err)
+	}
+}

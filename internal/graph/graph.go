@@ -1,0 +1,148 @@
+// Package graph provides the weighted task-graph types used throughout the
+// reproduction: linear task graphs (Path), tree task graphs (Tree), and
+// general task graphs (Graph) for the application substrates.
+//
+// Conventions, following the paper (Ray & Jiang, ICDCS 1994, §1):
+//
+//   - A vertex weight w(t_i) is the processing requirement of task t_i.
+//   - An edge weight w(m_i) is the communication volume between two tasks.
+//   - All weights are non-negative float64 values.
+//   - A cut is a sorted slice of edge indices; removing the cut edges splits
+//     the graph into connected components, one per processor.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sentinel errors returned by constructors and validators.
+var (
+	// ErrEmptyGraph is returned when a graph has no vertices.
+	ErrEmptyGraph = errors.New("graph: empty graph")
+	// ErrBadWeight is returned when a weight is negative, NaN, or infinite.
+	ErrBadWeight = errors.New("graph: weight must be finite and non-negative")
+	// ErrBadShape is returned when slice lengths or edge endpoints are
+	// inconsistent with the declared graph shape.
+	ErrBadShape = errors.New("graph: inconsistent shape")
+	// ErrNotTree is returned when an edge list does not form a tree.
+	ErrNotTree = errors.New("graph: edge list is not a spanning tree")
+	// ErrBadCut is returned when a cut references edges out of range or
+	// contains duplicates.
+	ErrBadCut = errors.New("graph: invalid cut")
+)
+
+// Edge is an undirected weighted edge between vertices U and V.
+type Edge struct {
+	U, V int
+	W    float64
+}
+
+// validWeight reports whether w is usable as a task or message weight.
+func validWeight(w float64) bool {
+	return w >= 0 && !math.IsNaN(w) && !math.IsInf(w, 0)
+}
+
+// checkWeights validates every weight in ws, naming the slice in errors.
+func checkWeights(name string, ws []float64) error {
+	for i, w := range ws {
+		if !validWeight(w) {
+			return fmt.Errorf("%s[%d] = %v: %w", name, i, w, ErrBadWeight)
+		}
+	}
+	return nil
+}
+
+// checkCut validates that cut is a strictly increasing slice of edge indices
+// in [0, numEdges).
+func checkCut(cut []int, numEdges int) error {
+	for i, e := range cut {
+		if e < 0 || e >= numEdges {
+			return fmt.Errorf("cut[%d] = %d out of range [0,%d): %w", i, e, numEdges, ErrBadCut)
+		}
+		if i > 0 && cut[i-1] >= e {
+			return fmt.Errorf("cut not strictly increasing at index %d: %w", i, ErrBadCut)
+		}
+	}
+	return nil
+}
+
+// NormalizeCut returns a sorted, de-duplicated copy of cut. It does not
+// validate ranges; pair it with the owning graph's validation when needed.
+func NormalizeCut(cut []int) []int {
+	if len(cut) == 0 {
+		return nil
+	}
+	out := make([]int, len(cut))
+	copy(out, cut)
+	sort.Ints(out)
+	j := 0
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[j] {
+			j++
+			out[j] = out[i]
+		}
+	}
+	return out[:j+1]
+}
+
+// SumWeights returns the sum of ws.
+func SumWeights(ws []float64) float64 {
+	var s float64
+	for _, w := range ws {
+		s += w
+	}
+	return s
+}
+
+// MaxWeight returns the maximum of ws, or 0 for an empty slice.
+func MaxWeight(ws []float64) float64 {
+	var m float64
+	for _, w := range ws {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// unionFind is a standard disjoint-set structure used by tree validation and
+// component extraction.
+type unionFind struct {
+	parent []int
+	rank   []int
+}
+
+func newUnionFind(n int) *unionFind {
+	uf := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+	}
+	return uf
+}
+
+func (uf *unionFind) find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// union merges the sets of x and y and reports whether they were distinct.
+func (uf *unionFind) union(x, y int) bool {
+	rx, ry := uf.find(x), uf.find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	return true
+}

@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON codec for task graphs, used for interchange with external tooling.
+// The envelope carries an explicit kind so files are self-describing:
+//
+//	{"kind":"path","nodeWeights":[1,2,3],"edgeWeights":[10,20]}
+//	{"kind":"tree","nodeWeights":[1,2],"edges":[{"u":0,"v":1,"w":5}]}
+//	{"kind":"graph","nodeWeights":[...],"edges":[...]}
+
+type jsonEdge struct {
+	U int     `json:"u"`
+	V int     `json:"v"`
+	W float64 `json:"w"`
+}
+
+type jsonGraph struct {
+	Kind        string     `json:"kind"`
+	NodeWeights []float64  `json:"nodeWeights"`
+	EdgeWeights []float64  `json:"edgeWeights,omitempty"`
+	Edges       []jsonEdge `json:"edges,omitempty"`
+}
+
+func toJSONEdges(es []Edge) []jsonEdge {
+	out := make([]jsonEdge, len(es))
+	for i, e := range es {
+		out[i] = jsonEdge{U: e.U, V: e.V, W: e.W}
+	}
+	return out
+}
+
+func fromJSONEdges(es []jsonEdge) []Edge {
+	out := make([]Edge, len(es))
+	for i, e := range es {
+		out[i] = Edge{U: e.U, V: e.V, W: e.W}
+	}
+	return out
+}
+
+// WriteJSON encodes a *Path, *Tree, or *Graph.
+func WriteJSON(w io.Writer, g any) error {
+	var env jsonGraph
+	switch v := g.(type) {
+	case *Path:
+		env = jsonGraph{Kind: "path", NodeWeights: v.NodeW, EdgeWeights: v.EdgeW}
+	case *Tree:
+		env = jsonGraph{Kind: "tree", NodeWeights: v.NodeW, Edges: toJSONEdges(v.Edges)}
+	case *Graph:
+		env = jsonGraph{Kind: "graph", NodeWeights: v.NodeW, Edges: toJSONEdges(v.Edges)}
+	default:
+		return fmt.Errorf("cannot encode %T: %w", g, ErrBadFormat)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&env)
+}
+
+// ReadJSON decodes a graph envelope, returning exactly one of *Path, *Tree,
+// or *Graph, validated.
+func ReadJSON(r io.Reader) (any, error) {
+	var env jsonGraph
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("decoding graph JSON: %w", err)
+	}
+	switch env.Kind {
+	case "path":
+		return NewPath(env.NodeWeights, env.EdgeWeights)
+	case "tree":
+		return NewTree(env.NodeWeights, fromJSONEdges(env.Edges))
+	case "graph":
+		return NewGraph(env.NodeWeights, fromJSONEdges(env.Edges))
+	default:
+		return nil, fmt.Errorf("unknown graph kind %q: %w", env.Kind, ErrBadFormat)
+	}
+}
+
+// ReadJSONPath decodes a path envelope, rejecting other kinds.
+func ReadJSONPath(r io.Reader) (*Path, error) {
+	g, err := ReadJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	p, ok := g.(*Path)
+	if !ok {
+		return nil, fmt.Errorf("expected path, got %T: %w", g, ErrBadFormat)
+	}
+	return p, nil
+}
+
+// ReadJSONTree decodes a tree envelope, rejecting other kinds.
+func ReadJSONTree(r io.Reader) (*Tree, error) {
+	g, err := ReadJSON(r)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := g.(*Tree)
+	if !ok {
+		return nil, fmt.Errorf("expected tree, got %T: %w", g, ErrBadFormat)
+	}
+	return t, nil
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestJSONPathRoundTrip(t *testing.T) {
+	p := mustPath(t, []float64{1.5, 2, 3}, []float64{0.25, 7})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, p); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"kind":"path"`) {
+		t.Errorf("missing kind: %s", buf.String())
+	}
+	got, err := ReadJSONPath(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONPath: %v", err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Errorf("round trip = %+v, want %+v", got, p)
+	}
+}
+
+func TestJSONTreeRoundTrip(t *testing.T) {
+	tr := mustTree(t, []float64{1, 2, 3}, []Edge{{0, 1, 4}, {1, 2, 5}})
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadJSONTree(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONTree: %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip = %+v, want %+v", got, tr)
+	}
+}
+
+func TestJSONGraphRoundTrip(t *testing.T) {
+	g, err := NewGraph([]float64{1, 1, 1}, []Edge{{0, 1, 1}, {1, 2, 2}, {0, 2, 3}})
+	if err != nil {
+		t.Fatalf("NewGraph: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	any, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	got, ok := any.(*Graph)
+	if !ok || !reflect.DeepEqual(got, g) {
+		t.Errorf("round trip = %+v (%T), want %+v", any, any, g)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, 42); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("encode int: %v", err)
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"kind":"blob"}`)); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("unknown kind: %v", err)
+	}
+	if _, err := ReadJSON(strings.NewReader(`{`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	// Validation still applies.
+	if _, err := ReadJSON(strings.NewReader(`{"kind":"path","nodeWeights":[1,-2],"edgeWeights":[1]}`)); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("invalid weight: %v", err)
+	}
+	// Kind mismatch helpers.
+	var tb bytes.Buffer
+	tr := mustTree(t, []float64{1, 2}, []Edge{{0, 1, 1}})
+	if err := WriteJSON(&tb, tr); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if _, err := ReadJSONPath(bytes.NewReader(tb.Bytes())); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("tree as path: %v", err)
+	}
+	var pb bytes.Buffer
+	p := mustPath(t, []float64{1, 2}, []float64{1})
+	if err := WriteJSON(&pb, p); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if _, err := ReadJSONTree(bytes.NewReader(pb.Bytes())); !errors.Is(err, ErrBadFormat) {
+		t.Errorf("path as tree: %v", err)
+	}
+}

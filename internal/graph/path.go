@@ -1,0 +1,158 @@
+package graph
+
+import "fmt"
+
+// Path is a linear task graph: vertices v_0..v_{n-1} in pipeline order, with
+// edge e_i joining v_i and v_{i+1}. This models the chain-like workloads of
+// §1 (pipelines, PDE strips, iterative computations).
+type Path struct {
+	// NodeW[i] is the processing requirement of task i.
+	NodeW []float64
+	// EdgeW[i] is the communication volume between tasks i and i+1.
+	// len(EdgeW) == len(NodeW)-1.
+	EdgeW []float64
+}
+
+// NewPath constructs and validates a linear task graph. The slices are
+// copied, so the caller retains ownership of its arguments.
+func NewPath(nodeW, edgeW []float64) (*Path, error) {
+	p := &Path{
+		NodeW: append([]float64(nil), nodeW...),
+		EdgeW: append([]float64(nil), edgeW...),
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Len returns the number of tasks (vertices).
+func (p *Path) Len() int { return len(p.NodeW) }
+
+// NumEdges returns the number of data dependencies (edges).
+func (p *Path) NumEdges() int {
+	if len(p.NodeW) == 0 {
+		return 0
+	}
+	return len(p.NodeW) - 1
+}
+
+// Validate checks shape and weight invariants.
+func (p *Path) Validate() error {
+	if len(p.NodeW) == 0 {
+		return ErrEmptyGraph
+	}
+	if len(p.EdgeW) != len(p.NodeW)-1 {
+		return fmt.Errorf("path with %d nodes has %d edges, want %d: %w",
+			len(p.NodeW), len(p.EdgeW), len(p.NodeW)-1, ErrBadShape)
+	}
+	if err := checkWeights("NodeW", p.NodeW); err != nil {
+		return err
+	}
+	return checkWeights("EdgeW", p.EdgeW)
+}
+
+// Clone returns a deep copy of the path.
+func (p *Path) Clone() *Path {
+	return &Path{
+		NodeW: append([]float64(nil), p.NodeW...),
+		EdgeW: append([]float64(nil), p.EdgeW...),
+	}
+}
+
+// TotalNodeWeight returns the sum of all task weights.
+func (p *Path) TotalNodeWeight() float64 { return SumWeights(p.NodeW) }
+
+// MaxNodeWeight returns the largest task weight.
+func (p *Path) MaxNodeWeight() float64 { return MaxWeight(p.NodeW) }
+
+// PrefixNodeWeights returns the exclusive prefix sums of NodeW: the result
+// has length Len()+1 and result[j]-result[i] is the weight of tasks i..j-1.
+func (p *Path) PrefixNodeWeights() []float64 {
+	prefix := make([]float64, len(p.NodeW)+1)
+	for i, w := range p.NodeW {
+		prefix[i+1] = prefix[i] + w
+	}
+	return prefix
+}
+
+// Components returns the vertex ranges induced by removing the cut edges.
+// Each element is the half-open pair {first vertex, last vertex} (inclusive).
+// The cut must be sorted, duplicate-free, and in range.
+func (p *Path) Components(cut []int) ([][2]int, error) {
+	if err := checkCut(cut, p.NumEdges()); err != nil {
+		return nil, err
+	}
+	comps := make([][2]int, 0, len(cut)+1)
+	start := 0
+	for _, e := range cut {
+		comps = append(comps, [2]int{start, e})
+		start = e + 1
+	}
+	comps = append(comps, [2]int{start, p.Len() - 1})
+	return comps, nil
+}
+
+// ComponentWeights returns the total task weight of each component of
+// P − cut, in left-to-right order.
+func (p *Path) ComponentWeights(cut []int) ([]float64, error) {
+	comps, err := p.Components(cut)
+	if err != nil {
+		return nil, err
+	}
+	prefix := p.PrefixNodeWeights()
+	ws := make([]float64, len(comps))
+	for i, c := range comps {
+		ws[i] = prefix[c[1]+1] - prefix[c[0]]
+	}
+	return ws, nil
+}
+
+// MaxComponentWeight returns the heaviest component weight of P − cut.
+func (p *Path) MaxComponentWeight(cut []int) (float64, error) {
+	ws, err := p.ComponentWeights(cut)
+	if err != nil {
+		return 0, err
+	}
+	return MaxWeight(ws), nil
+}
+
+// CutWeight returns β(cut), the total communication weight of the cut edges.
+func (p *Path) CutWeight(cut []int) (float64, error) {
+	if err := checkCut(cut, p.NumEdges()); err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, e := range cut {
+		s += p.EdgeW[e]
+	}
+	return s, nil
+}
+
+// MaxCutEdgeWeight returns the bottleneck, max over cut edges of β, or 0 for
+// an empty cut.
+func (p *Path) MaxCutEdgeWeight(cut []int) (float64, error) {
+	if err := checkCut(cut, p.NumEdges()); err != nil {
+		return 0, err
+	}
+	var m float64
+	for _, e := range cut {
+		if p.EdgeW[e] > m {
+			m = p.EdgeW[e]
+		}
+	}
+	return m, nil
+}
+
+// AsTree converts the path into the equivalent tree task graph, with edge i
+// of the path becoming Edges[i] of the tree.
+func (p *Path) AsTree() *Tree {
+	edges := make([]Edge, p.NumEdges())
+	for i := range edges {
+		edges[i] = Edge{U: i, V: i + 1, W: p.EdgeW[i]}
+	}
+	return &Tree{
+		NodeW: append([]float64(nil), p.NodeW...),
+		Edges: edges,
+	}
+}

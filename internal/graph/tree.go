@@ -1,0 +1,283 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tree is a tree task graph: n vertices and exactly n−1 undirected weighted
+// edges forming a spanning tree. This models the divide-and-conquer workloads
+// of §1.
+type Tree struct {
+	// NodeW[i] is the processing requirement of task i.
+	NodeW []float64
+	// Edges are the n−1 data dependencies. Edge order is significant: cuts
+	// index into this slice.
+	Edges []Edge
+}
+
+// Arc is one direction of an undirected edge in an adjacency list.
+type Arc struct {
+	// To is the neighbouring vertex.
+	To int
+	// Edge is the index into Tree.Edges of the traversed edge.
+	Edge int
+}
+
+// NewTree constructs and validates a tree task graph. Slices are copied.
+func NewTree(nodeW []float64, edges []Edge) (*Tree, error) {
+	t := &Tree{
+		NodeW: append([]float64(nil), nodeW...),
+		Edges: append([]Edge(nil), edges...),
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Len returns the number of tasks (vertices).
+func (t *Tree) Len() int { return len(t.NodeW) }
+
+// NumEdges returns the number of edges.
+func (t *Tree) NumEdges() int { return len(t.Edges) }
+
+// Validate checks that the edge list forms a spanning tree over the vertices
+// and that all weights are valid.
+func (t *Tree) Validate() error {
+	n := len(t.NodeW)
+	if n == 0 {
+		return ErrEmptyGraph
+	}
+	if len(t.Edges) != n-1 {
+		return fmt.Errorf("tree with %d nodes has %d edges, want %d: %w",
+			n, len(t.Edges), n-1, ErrBadShape)
+	}
+	if err := checkWeights("NodeW", t.NodeW); err != nil {
+		return err
+	}
+	uf := newUnionFind(n)
+	for i, e := range t.Edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return fmt.Errorf("edge %d endpoints (%d,%d) out of range [0,%d): %w",
+				i, e.U, e.V, n, ErrBadShape)
+		}
+		if e.U == e.V {
+			return fmt.Errorf("edge %d is a self-loop at %d: %w", i, e.U, ErrNotTree)
+		}
+		if !validWeight(e.W) {
+			return fmt.Errorf("edge %d weight %v: %w", i, e.W, ErrBadWeight)
+		}
+		if !uf.union(e.U, e.V) {
+			return fmt.Errorf("edge %d (%d,%d) closes a cycle: %w", i, e.U, e.V, ErrNotTree)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	return &Tree{
+		NodeW: append([]float64(nil), t.NodeW...),
+		Edges: append([]Edge(nil), t.Edges...),
+	}
+}
+
+// TotalNodeWeight returns the sum of all task weights.
+func (t *Tree) TotalNodeWeight() float64 { return SumWeights(t.NodeW) }
+
+// MaxNodeWeight returns the largest task weight.
+func (t *Tree) MaxNodeWeight() float64 { return MaxWeight(t.NodeW) }
+
+// Adjacency returns the adjacency lists of the tree. adj[v] holds one Arc per
+// incident edge of v.
+func (t *Tree) Adjacency() [][]Arc {
+	adj := make([][]Arc, len(t.NodeW))
+	deg := make([]int, len(t.NodeW))
+	for _, e := range t.Edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	for v := range adj {
+		adj[v] = make([]Arc, 0, deg[v])
+	}
+	for i, e := range t.Edges {
+		adj[e.U] = append(adj[e.U], Arc{To: e.V, Edge: i})
+		adj[e.V] = append(adj[e.V], Arc{To: e.U, Edge: i})
+	}
+	return adj
+}
+
+// componentLabels returns, for each vertex, the index of its component in
+// T − cut, along with the number of components. The cut must be valid.
+func (t *Tree) componentLabels(cut []int) ([]int, int, error) {
+	if err := checkCut(cut, len(t.Edges)); err != nil {
+		return nil, 0, err
+	}
+	inCut := make([]bool, len(t.Edges))
+	for _, e := range cut {
+		inCut[e] = true
+	}
+	uf := newUnionFind(len(t.NodeW))
+	for i, e := range t.Edges {
+		if !inCut[i] {
+			uf.union(e.U, e.V)
+		}
+	}
+	label := make([]int, len(t.NodeW))
+	next := 0
+	rootLabel := make(map[int]int, len(cut)+1)
+	for v := range label {
+		r := uf.find(v)
+		l, ok := rootLabel[r]
+		if !ok {
+			l = next
+			next++
+			rootLabel[r] = l
+		}
+		label[v] = l
+	}
+	return label, next, nil
+}
+
+// Components returns the vertex sets of the connected components of T − cut.
+// Vertices within each component and the components themselves are ordered by
+// smallest contained vertex.
+func (t *Tree) Components(cut []int) ([][]int, error) {
+	label, k, err := t.componentLabels(cut)
+	if err != nil {
+		return nil, err
+	}
+	comps := make([][]int, k)
+	for v, l := range label {
+		comps[l] = append(comps[l], v)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps, nil
+}
+
+// ComponentWeights returns the total task weight of each component of
+// T − cut.
+func (t *Tree) ComponentWeights(cut []int) ([]float64, error) {
+	label, k, err := t.componentLabels(cut)
+	if err != nil {
+		return nil, err
+	}
+	ws := make([]float64, k)
+	for v, l := range label {
+		ws[l] += t.NodeW[v]
+	}
+	return ws, nil
+}
+
+// MaxComponentWeight returns the heaviest component weight of T − cut.
+func (t *Tree) MaxComponentWeight(cut []int) (float64, error) {
+	ws, err := t.ComponentWeights(cut)
+	if err != nil {
+		return 0, err
+	}
+	return MaxWeight(ws), nil
+}
+
+// CutWeight returns δ(cut), the total weight of the cut edges.
+func (t *Tree) CutWeight(cut []int) (float64, error) {
+	if err := checkCut(cut, len(t.Edges)); err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, e := range cut {
+		s += t.Edges[e].W
+	}
+	return s, nil
+}
+
+// MaxCutEdgeWeight returns the bottleneck of the cut: the largest weight of
+// any cut edge, or 0 for an empty cut.
+func (t *Tree) MaxCutEdgeWeight(cut []int) (float64, error) {
+	if err := checkCut(cut, len(t.Edges)); err != nil {
+		return 0, err
+	}
+	var m float64
+	for _, e := range cut {
+		if t.Edges[e].W > m {
+			m = t.Edges[e].W
+		}
+	}
+	return m, nil
+}
+
+// Contraction is the result of contracting the components of T − cut into
+// super-nodes (§2.2): a new tree whose vertices are the components and whose
+// edges are exactly the original cut edges.
+type Contraction struct {
+	// Tree is the contracted super-node tree. Tree.Edges[i] corresponds to
+	// the original edge CutEdges[i].
+	Tree *Tree
+	// Members[s] lists the original vertices merged into super-node s.
+	Members [][]int
+	// CutEdges[i] is the original edge index behind contracted edge i.
+	CutEdges []int
+}
+
+// Contract lumps each component of T − cut into a super-node whose weight is
+// the component's total weight, producing the super-node tree used by the
+// processor-minimization stage of the paper's pipeline (§2.2: "the resulting
+// graph is still a tree").
+func (t *Tree) Contract(cut []int) (*Contraction, error) {
+	label, k, err := t.componentLabels(cut)
+	if err != nil {
+		return nil, err
+	}
+	nodeW := make([]float64, k)
+	members := make([][]int, k)
+	for v, l := range label {
+		nodeW[l] += t.NodeW[v]
+		members[l] = append(members[l], v)
+	}
+	edges := make([]Edge, 0, len(cut))
+	cutEdges := make([]int, 0, len(cut))
+	for _, e := range cut {
+		orig := t.Edges[e]
+		edges = append(edges, Edge{U: label[orig.U], V: label[orig.V], W: orig.W})
+		cutEdges = append(cutEdges, e)
+	}
+	ct := &Tree{NodeW: nodeW, Edges: edges}
+	if err := ct.Validate(); err != nil {
+		return nil, fmt.Errorf("contract: %w", err)
+	}
+	return &Contraction{Tree: ct, Members: members, CutEdges: cutEdges}, nil
+}
+
+// IsStar reports whether the tree is a star: one centre vertex adjacent to
+// all others. Trees with at most 2 vertices count as stars.
+func (t *Tree) IsStar() bool {
+	n := len(t.NodeW)
+	if n <= 2 {
+		return true
+	}
+	deg := make([]int, n)
+	for _, e := range t.Edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	centres := 0
+	for _, d := range deg {
+		switch {
+		case d == n-1:
+			centres++
+		case d != 1:
+			return false
+		}
+	}
+	return centres == 1
+}
+
+// Degrees returns the degree of every vertex.
+func (t *Tree) Degrees() []int {
+	deg := make([]int, len(t.NodeW))
+	for _, e := range t.Edges {
+		deg[e.U]++
+		deg[e.V]++
+	}
+	return deg
+}

@@ -1,0 +1,184 @@
+package hitting
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements general weighted hitting set (the paper's Definition
+// 2.1, generalized with weights) for arbitrary set families. The general
+// problem is NP-hard even with |A_i| ≤ 2; these solvers exist to contrast
+// the structured path case with the general one in tests and docs, and to
+// hit small instances exactly.
+
+// GeneralInstance is an arbitrary weighted hitting-set instance over the
+// universe 0..len(Weight)-1.
+type GeneralInstance struct {
+	// Sets are the subsets A_1..A_r that must each be hit.
+	Sets [][]int
+	// Weight[i] is the cost of choosing element i.
+	Weight []float64
+}
+
+// Validate checks element ranges and weights.
+func (g *GeneralInstance) Validate() error {
+	m := len(g.Weight)
+	for i, w := range g.Weight {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("weight[%d] = %v: %w", i, w, ErrBadInstance)
+		}
+	}
+	for si, s := range g.Sets {
+		if len(s) == 0 {
+			return fmt.Errorf("set %d is empty (unhittable): %w", si, ErrBadInstance)
+		}
+		for _, e := range s {
+			if e < 0 || e >= m {
+				return fmt.Errorf("set %d element %d out of range [0,%d): %w", si, e, m, ErrBadInstance)
+			}
+		}
+	}
+	return nil
+}
+
+// SolveGeneralExact finds a minimum-weight hitting set by branching on the
+// elements of the first unhit set, with a running upper bound for pruning.
+// Exponential in the worst case; intended for small instances in tests.
+func SolveGeneralExact(g *GeneralInstance) (*Solution, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	chosen := make([]bool, len(g.Weight))
+	best := math.Inf(1)
+	var bestSet []int
+	var cur []int
+	var curW float64
+	var rec func()
+	rec = func() {
+		if curW >= best {
+			return
+		}
+		// Find the first unhit set.
+		var unhit []int
+		for _, s := range g.Sets {
+			hit := false
+			for _, e := range s {
+				if chosen[e] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				unhit = s
+				break
+			}
+		}
+		if unhit == nil {
+			best = curW
+			bestSet = append([]int(nil), cur...)
+			return
+		}
+		for _, e := range unhit {
+			chosen[e] = true
+			cur = append(cur, e)
+			curW += g.Weight[e]
+			rec()
+			curW -= g.Weight[e]
+			cur = cur[:len(cur)-1]
+			chosen[e] = false
+		}
+	}
+	rec()
+	if math.IsInf(best, 1) {
+		return nil, fmt.Errorf("no hitting set exists: %w", ErrBadInstance)
+	}
+	sol := &Solution{Points: normalizeInts(bestSet), Weight: best}
+	return sol, nil
+}
+
+// SolveGeneralGreedy runs the classic cost-effectiveness greedy (pick the
+// element covering the most unhit sets per unit weight): an O(log r)
+// approximation, used as a heuristic contrast to the exact path algorithms.
+func SolveGeneralGreedy(g *GeneralInstance) (*Solution, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	hit := make([]bool, len(g.Sets))
+	remaining := len(g.Sets)
+	var sol Solution
+	chosen := make([]bool, len(g.Weight))
+	for remaining > 0 {
+		bestE, bestScore := -1, 0.0
+		for e := range g.Weight {
+			if chosen[e] {
+				continue
+			}
+			covers := 0
+			for si, s := range g.Sets {
+				if hit[si] {
+					continue
+				}
+				for _, x := range s {
+					if x == e {
+						covers++
+						break
+					}
+				}
+			}
+			if covers == 0 {
+				continue
+			}
+			score := float64(covers) / math.Max(g.Weight[e], 1e-300)
+			if score > bestScore {
+				bestScore, bestE = score, e
+			}
+		}
+		if bestE < 0 {
+			return nil, fmt.Errorf("no hitting set exists: %w", ErrBadInstance)
+		}
+		chosen[bestE] = true
+		sol.Points = append(sol.Points, bestE)
+		sol.Weight += g.Weight[bestE]
+		for si, s := range g.Sets {
+			if hit[si] {
+				continue
+			}
+			for _, x := range s {
+				if x == bestE {
+					hit[si] = true
+					remaining--
+					break
+				}
+			}
+		}
+	}
+	sol.Points = normalizeInts(sol.Points)
+	return &sol, nil
+}
+
+// FromIntervals converts an ordered-interval instance into a general one, for
+// cross-checking the structured solvers against the general ones.
+func FromIntervals(in *Instance) *GeneralInstance {
+	g := &GeneralInstance{Weight: append([]float64(nil), in.Beta...)}
+	for j := range in.A {
+		s := make([]int, 0, in.B[j]-in.A[j]+1)
+		for e := in.A[j]; e <= in.B[j]; e++ {
+			s = append(s, e)
+		}
+		g.Sets = append(g.Sets, s)
+	}
+	return g
+}
+
+func normalizeInts(xs []int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := append([]int(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

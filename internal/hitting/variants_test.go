@@ -1,0 +1,144 @@
+package hitting
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prime"
+	"repro/internal/workload"
+)
+
+func TestVariantsMatchOnHandCases(t *testing.T) {
+	cases := []Instance{
+		{},
+		{Beta: []float64{5, 2, 9}, A: []int{0}, B: []int{2}},
+		{Beta: []float64{1, 9, 5, 9, 1}, A: []int{0, 2}, B: []int{2, 4}},
+		{Beta: []float64{8, 2, 8, 2, 8}, A: []int{0, 1, 2}, B: []int{2, 3, 4}},
+		{Beta: []float64{0, 5, 0}, A: []int{0, 1}, B: []int{1, 2}},
+	}
+	for i, in := range cases {
+		base, err := SolveTempS(&in)
+		if err != nil {
+			t.Fatalf("case %d base: %v", i, err)
+		}
+		for name, f := range map[string]func(*Instance) (*Solution, error){
+			"gallop":    SolveTempSGallop,
+			"amortized": SolveTempSAmortized,
+		} {
+			got, err := f(&in)
+			if err != nil {
+				t.Fatalf("case %d %s: %v", i, name, err)
+			}
+			if math.Abs(got.Weight-base.Weight) > 1e-9 {
+				t.Errorf("case %d: %s weight %v != base %v", i, name, got.Weight, base.Weight)
+			}
+			if !got.covers(&in) {
+				t.Errorf("case %d: %s solution does not cover", i, name)
+			}
+		}
+	}
+}
+
+func TestVariantsMatchOnRandomInstances(t *testing.T) {
+	r := workload.NewRNG(4242)
+	for trial := 0; trial < 300; trial++ {
+		in := randomInstance(r, 200)
+		base, err := SolveTempS(in)
+		if err != nil {
+			t.Fatalf("base: %v", err)
+		}
+		gallop, err := SolveTempSGallop(in)
+		if err != nil {
+			t.Fatalf("gallop: %v", err)
+		}
+		amortized, err := SolveTempSAmortized(in)
+		if err != nil {
+			t.Fatalf("amortized: %v", err)
+		}
+		if math.Abs(gallop.Weight-base.Weight) > 1e-9 || math.Abs(amortized.Weight-base.Weight) > 1e-9 {
+			t.Fatalf("weights diverge: base %v gallop %v amortized %v on %+v",
+				base.Weight, gallop.Weight, amortized.Weight, in)
+		}
+	}
+}
+
+func TestVariantsMatchOnPrimeInstances(t *testing.T) {
+	r := workload.NewRNG(777)
+	for trial := 0; trial < 100; trial++ {
+		n := 50 + r.Intn(500)
+		nodeW := make([]float64, n)
+		edgeW := make([]float64, n-1)
+		for i := range nodeW {
+			nodeW[i] = r.Uniform(1, 50)
+		}
+		for i := range edgeW {
+			edgeW[i] = r.Uniform(1, 100)
+		}
+		k := r.Uniform(60, 600)
+		pinst, _, err := prime.Analyze(nodeW, edgeW, k)
+		if err != nil {
+			trial--
+			continue
+		}
+		in := &Instance{Beta: pinst.Beta, A: pinst.A, B: pinst.B}
+		base, err := SolveTempS(in)
+		if err != nil {
+			t.Fatalf("base: %v", err)
+		}
+		gallop, err := SolveTempSGallop(in)
+		if err != nil {
+			t.Fatalf("gallop: %v", err)
+		}
+		if math.Abs(gallop.Weight-base.Weight) > 1e-9 {
+			t.Fatalf("gallop %v != base %v", gallop.Weight, base.Weight)
+		}
+	}
+}
+
+func TestGallopSearchAgainstBinary(t *testing.T) {
+	// Direct unit test of the search primitive over a synthetic sorted
+	// window.
+	rows := make([]row, 12)
+	ws := []float64{1, 1, 2, 3, 5, 5, 6, 9, 9, 10, 12, 20}
+	for i, w := range ws {
+		rows[i].w = w
+	}
+	for head := 0; head < len(rows); head++ {
+		for tail := head - 1; tail < len(rows); tail++ {
+			for _, w := range []float64{0, 1, 4, 5, 9.5, 20, 21} {
+				want := tail + 1
+				for s := head; s <= tail; s++ {
+					if rows[s].w >= w {
+						want = s
+						break
+					}
+				}
+				if got := gallopSearch(rows, head, tail, w); got != want {
+					t.Fatalf("gallopSearch(head=%d tail=%d w=%v) = %d, want %d", head, tail, w, got, want)
+				}
+				if got := popSearch(rows, head, tail, w); got != want {
+					t.Fatalf("popSearch(head=%d tail=%d w=%v) = %d, want %d", head, tail, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: all three sweep implementations agree for arbitrary seeds.
+func TestVariantEquivalenceProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := workload.NewRNG(seed)
+		in := randomInstance(r, 300)
+		a, e1 := SolveTempS(in)
+		b, e2 := SolveTempSGallop(in)
+		c, e3 := SolveTempSAmortized(in)
+		if e1 != nil || e2 != nil || e3 != nil {
+			return false
+		}
+		return math.Abs(a.Weight-b.Weight) < 1e-9 && math.Abs(a.Weight-c.Weight) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

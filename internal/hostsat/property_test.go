@@ -1,0 +1,64 @@
+package hostsat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+// Property: the O(n log n) crossing search equals the O(n²) exact scan on
+// trees too large for brute force.
+func TestSolveEqualsExactProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := workload.NewRNG(seed)
+		n := 2 + r.Intn(120)
+		tr := workload.RandomTree(r, n, workload.UniformWeights(1, 50), workload.UniformWeights(0, 30))
+		host := r.Intn(n)
+		fast, err1 := Solve(tr, host)
+		slow, err2 := SolveExact(tr, host)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(fast.Bottleneck-slow.Bottleneck) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: offloading can never push the bottleneck above running
+// everything on the host, and never below the trivial lower bounds.
+func TestSolveBoundsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := workload.NewRNG(seed)
+		n := 1 + r.Intn(100)
+		tr := workload.RandomTree(r, n, workload.UniformWeights(1, 20), workload.UniformWeights(0, 20))
+		p, err := Solve(tr, 0)
+		if err != nil {
+			return false
+		}
+		total := tr.TotalNodeWeight()
+		if p.Bottleneck > total+1e-9 {
+			return false
+		}
+		// The host's own task weight is a lower bound, as is any satellite's
+		// subtree weight share argument: bottleneck ≥ host vertex weight.
+		if p.Bottleneck < tr.NodeW[0]-1e-9 {
+			return false
+		}
+		// Consistency of the reported fields.
+		maxSat := 0.0
+		for _, c := range p.SatelliteCosts {
+			if c > maxSat {
+				maxSat = c
+			}
+		}
+		want := math.Max(p.HostLoad, maxSat)
+		return math.Abs(p.Bottleneck-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package logicsim
+
+import "fmt"
+
+// Netlist builders for the §3 evaluation circuits. All return validated
+// circuits.
+
+// Adder is a ripple-carry adder netlist with handles to its ports.
+type Adder struct {
+	Circuit *Circuit
+	// A, B are the operand input gate indices, least-significant bit first.
+	A, B []int
+	// CarryIn is the carry input gate index.
+	CarryIn int
+	// Sum are the per-bit sum gate indices; CarryOut is the final carry.
+	Sum      []int
+	CarryOut int
+}
+
+// RippleCarryAdder builds a bits-wide ripple-carry adder. Its process graph
+// is the chain-of-full-adders shape the paper's linear algorithms target.
+func RippleCarryAdder(bits int) (*Adder, error) {
+	if bits <= 0 {
+		return nil, fmt.Errorf("bits = %d: %w", bits, ErrBadCircuit)
+	}
+	c := &Circuit{}
+	add := func(t GateType, in ...int) int {
+		c.Gates = append(c.Gates, Gate{Type: t, In: in})
+		return len(c.Gates) - 1
+	}
+	ad := &Adder{Circuit: c}
+	for i := 0; i < bits; i++ {
+		ad.A = append(ad.A, add(GateInput))
+		ad.B = append(ad.B, add(GateInput))
+	}
+	ad.CarryIn = add(GateInput)
+	carry := ad.CarryIn
+	for i := 0; i < bits; i++ {
+		axb := add(GateXor, ad.A[i], ad.B[i])
+		sum := add(GateXor, axb, carry)
+		and1 := add(GateAnd, ad.A[i], ad.B[i])
+		and2 := add(GateAnd, axb, carry)
+		carry = add(GateOr, and1, and2)
+		ad.Sum = append(ad.Sum, sum)
+	}
+	ad.CarryOut = carry
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return ad, nil
+}
+
+// JohnsonCounter builds an n-stage twisted-ring counter: a ring of D
+// flip-flops with the last output inverted into the first input. It
+// oscillates with no external stimulus and its process graph is the §3
+// "circular type logic circuit".
+func JohnsonCounter(n int) (*Circuit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("stages = %d: %w", n, ErrBadCircuit)
+	}
+	c := &Circuit{Gates: make([]Gate, n+1)}
+	// Gates 0..n-1 are DFFs; gate n is the inverter feeding DFF 0.
+	for i := 0; i < n; i++ {
+		in := i - 1
+		if i == 0 {
+			in = n // inverter
+		}
+		c.Gates[i] = Gate{Type: GateDFF, In: []int{in}}
+	}
+	c.Gates[n] = Gate{Type: GateNot, In: []int{n - 1}}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// LFSRCircuit is an n-bit linear feedback shift register with XOR feedback
+// from given tap positions. Seeding is by an injected input gate raised on
+// cycle 0 to break the all-zeros state.
+type LFSRCircuit struct {
+	Circuit *Circuit
+	// Seed is the input gate index; drive it true on the first cycle.
+	Seed int
+	// Stages are the DFF indices, stage 0 first.
+	Stages []int
+}
+
+// LFSR constructs the register.
+func LFSR(n int, taps []int) (*LFSRCircuit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("stages = %d: %w", n, ErrBadCircuit)
+	}
+	if len(taps) < 2 {
+		return nil, fmt.Errorf("%d taps, want ≥2: %w", len(taps), ErrBadCircuit)
+	}
+	for _, t := range taps {
+		if t < 0 || t >= n {
+			return nil, fmt.Errorf("tap %d out of range [0,%d): %w", t, n, ErrBadCircuit)
+		}
+	}
+	c := &Circuit{}
+	add := func(t GateType, in ...int) int {
+		c.Gates = append(c.Gates, Gate{Type: t, In: in})
+		return len(c.Gates) - 1
+	}
+	seed := add(GateInput)
+	// Stage DFFs; wire inputs afterwards since the feedback gate does not
+	// exist yet.
+	lc := &LFSRCircuit{Seed: seed}
+	for i := 0; i < n; i++ {
+		lc.Stages = append(lc.Stages, add(GateDFF, 0)) // placeholder driver
+	}
+	tapIns := make([]int, 0, len(taps)+1)
+	for _, t := range taps {
+		tapIns = append(tapIns, lc.Stages[t])
+	}
+	tapIns = append(tapIns, seed)
+	feedback := add(GateXor, tapIns...)
+	c.Gates[lc.Stages[0]].In[0] = feedback
+	for i := 1; i < n; i++ {
+		c.Gates[lc.Stages[i]].In[0] = lc.Stages[i-1]
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	lc.Circuit = c
+	return lc, nil
+}
+
+// SeedStimulus drives the LFSR seed input true on cycle 0 only.
+func (l *LFSRCircuit) SeedStimulus() Stimulus {
+	return func(cycle, inputIdx int) bool {
+		return cycle == 0
+	}
+}

@@ -1,0 +1,344 @@
+// Package logicsim is a gate-level event-driven logic simulator: the §3
+// "Distributed Discrete Event Simulation" application substrate. A process
+// (gate) changes state upon the occurrence of an event — a value change
+// arriving from another process — and the simulation's process graph (gate ↔
+// gate wires, weighted by event and message counts) is exactly the task
+// graph the paper's partitioning algorithms consume: "a weight is associated
+// with each process to indicate its processing requirement, whereas the
+// number of messages needed to be passed between two processes is signified
+// by a weight associated with the connecting edge."
+//
+// The simulator profiles a run of a generated circuit (ripple-carry adder
+// chain, shift-register ring, LFSR) and derives that process graph, which
+// examples and benches then partition with the paper's algorithms and
+// replay on the shared-memory bus model of package sched.
+package logicsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Sentinel errors.
+var (
+	// ErrBadCircuit is returned for malformed netlists.
+	ErrBadCircuit = errors.New("logicsim: bad circuit")
+	// ErrCombinationalCycle is returned when gates form a cycle not broken
+	// by a flip-flop.
+	ErrCombinationalCycle = errors.New("logicsim: combinational cycle")
+)
+
+// GateType enumerates supported gate kinds.
+type GateType int
+
+// Gate kinds. GateInput gates take stimulus values; GateDFF is a D
+// flip-flop latching its input at each cycle boundary, which is what breaks
+// feedback loops into well-defined sequential behaviour.
+const (
+	GateInput GateType = iota + 1
+	GateAnd
+	GateOr
+	GateNot
+	GateXor
+	GateNand
+	GateDFF
+)
+
+// String implements fmt.Stringer.
+func (g GateType) String() string {
+	switch g {
+	case GateInput:
+		return "IN"
+	case GateAnd:
+		return "AND"
+	case GateOr:
+		return "OR"
+	case GateNot:
+		return "NOT"
+	case GateXor:
+		return "XOR"
+	case GateNand:
+		return "NAND"
+	case GateDFF:
+		return "DFF"
+	default:
+		return fmt.Sprintf("GateType(%d)", int(g))
+	}
+}
+
+// Gate is one netlist element; In lists driver gate indices.
+type Gate struct {
+	Type GateType
+	In   []int
+}
+
+// Circuit is a structural netlist. Gate index is identity.
+type Circuit struct {
+	Gates []Gate
+
+	// derived by Validate
+	fanout   [][]int
+	topoRank []int
+	inputs   []int
+}
+
+// Inputs returns the indices of GateInput gates in index order. Validate
+// must have succeeded.
+func (c *Circuit) Inputs() []int { return c.inputs }
+
+// Validate checks arities and wiring and prepares the combinational
+// topological order (flip-flop outputs are sources; flip-flop inputs are
+// sinks).
+func (c *Circuit) Validate() error {
+	n := len(c.Gates)
+	if n == 0 {
+		return fmt.Errorf("empty netlist: %w", ErrBadCircuit)
+	}
+	c.fanout = make([][]int, n)
+	c.inputs = c.inputs[:0]
+	for i, g := range c.Gates {
+		switch g.Type {
+		case GateInput:
+			if len(g.In) != 0 {
+				return fmt.Errorf("gate %d: input gate with %d drivers: %w", i, len(g.In), ErrBadCircuit)
+			}
+			c.inputs = append(c.inputs, i)
+		case GateNot, GateDFF:
+			if len(g.In) != 1 {
+				return fmt.Errorf("gate %d (%v): want 1 driver, have %d: %w", i, g.Type, len(g.In), ErrBadCircuit)
+			}
+		case GateAnd, GateOr, GateXor, GateNand:
+			if len(g.In) < 2 {
+				return fmt.Errorf("gate %d (%v): want ≥2 drivers, have %d: %w", i, g.Type, len(g.In), ErrBadCircuit)
+			}
+		default:
+			return fmt.Errorf("gate %d: unknown type %d: %w", i, int(g.Type), ErrBadCircuit)
+		}
+		for _, d := range g.In {
+			if d < 0 || d >= n {
+				return fmt.Errorf("gate %d: driver %d out of range: %w", i, d, ErrBadCircuit)
+			}
+			c.fanout[d] = append(c.fanout[d], i)
+		}
+	}
+	// Kahn's algorithm over combinational dependencies: an edge d→g counts
+	// unless g is a DFF (its input is consumed at the cycle boundary).
+	indeg := make([]int, n)
+	for i, g := range c.Gates {
+		if g.Type == GateDFF || g.Type == GateInput {
+			continue
+		}
+		indeg[i] = len(g.In)
+	}
+	queue := make([]int, 0, n)
+	for i, d := range indeg {
+		if d == 0 {
+			queue = append(queue, i)
+		}
+	}
+	c.topoRank = make([]int, n)
+	rank := 0
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		c.topoRank[g] = rank
+		rank++
+		for _, f := range c.fanout[g] {
+			if c.Gates[f].Type == GateDFF || c.Gates[f].Type == GateInput {
+				continue
+			}
+			indeg[f]--
+			if indeg[f] == 0 {
+				queue = append(queue, f)
+			}
+		}
+	}
+	if rank != n {
+		return fmt.Errorf("%d of %d gates unreachable in topological order: %w", n-rank, n, ErrCombinationalCycle)
+	}
+	return nil
+}
+
+func eval(t GateType, in []bool) bool {
+	switch t {
+	case GateAnd, GateNand:
+		v := true
+		for _, x := range in {
+			v = v && x
+		}
+		if t == GateNand {
+			return !v
+		}
+		return v
+	case GateOr:
+		for _, x := range in {
+			if x {
+				return true
+			}
+		}
+		return false
+	case GateXor:
+		v := false
+		for _, x := range in {
+			v = v != x
+		}
+		return v
+	case GateNot:
+		return !in[0]
+	default:
+		return false
+	}
+}
+
+// Stimulus supplies the value of input gate inputIdx (position within
+// Inputs()) at the given cycle.
+type Stimulus func(cycle, inputIdx int) bool
+
+// Profile is the per-run activity profile the §3 process graph is built
+// from.
+type Profile struct {
+	// Evaluations[g] counts how many times gate g was evaluated (its
+	// processing requirement).
+	Evaluations []int64
+	// Messages counts value-change notifications per directed wire
+	// {driver, sink}.
+	Messages map[[2]int]int64
+	// Cycles is the number of simulated clock cycles.
+	Cycles int
+	// FinalValues is the circuit state after the last cycle.
+	FinalValues []bool
+}
+
+// Run simulates the circuit for the given number of cycles. A nil stimulus
+// holds all inputs at false (useful for self-oscillating circuits such as
+// Johnson counters and LFSRs seeded by their reset state).
+func Run(c *Circuit, cycles int, stim Stimulus) (*Profile, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if cycles <= 0 {
+		return nil, fmt.Errorf("cycles = %d: %w", cycles, ErrBadCircuit)
+	}
+	n := len(c.Gates)
+	val := make([]bool, n)
+	dffState := make([]bool, n)
+	prof := &Profile{
+		Evaluations: make([]int64, n),
+		Messages:    make(map[[2]int]int64),
+		Cycles:      cycles,
+	}
+	dirty := make([]bool, n)
+	// announce propagates a value change from g to its fanout.
+	announce := func(g int) {
+		for _, f := range c.fanout[g] {
+			prof.Messages[[2]int{g, f}]++
+			if c.Gates[f].Type != GateDFF && c.Gates[f].Type != GateInput {
+				dirty[f] = true
+			}
+		}
+	}
+	// order holds non-source gates sorted by topological rank, computed
+	// once.
+	order := make([]int, 0, n)
+	for g := range c.Gates {
+		if c.Gates[g].Type != GateDFF && c.Gates[g].Type != GateInput {
+			order = append(order, g)
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && c.topoRank[order[j]] < c.topoRank[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	inbuf := make([]bool, 0, 8)
+	for cycle := 0; cycle < cycles; cycle++ {
+		// Cycle start: inputs take stimulus values, DFFs present their
+		// latched state.
+		for idx, g := range c.inputs {
+			v := false
+			if stim != nil {
+				v = stim(cycle, idx)
+			}
+			if v != val[g] || cycle == 0 {
+				val[g] = v
+				prof.Evaluations[g]++
+				announce(g)
+			}
+		}
+		for g, gate := range c.Gates {
+			if gate.Type != GateDFF {
+				continue
+			}
+			if dffState[g] != val[g] || cycle == 0 {
+				val[g] = dffState[g]
+				prof.Evaluations[g]++
+				announce(g)
+			}
+		}
+		// Combinational settle: one pass in topological order reaches the
+		// fixpoint.
+		for _, g := range order {
+			if !dirty[g] {
+				continue
+			}
+			dirty[g] = false
+			inbuf = inbuf[:0]
+			for _, d := range c.Gates[g].In {
+				inbuf = append(inbuf, val[d])
+			}
+			v := eval(c.Gates[g].Type, inbuf)
+			prof.Evaluations[g]++
+			if v != val[g] {
+				val[g] = v
+				announce(g)
+			}
+		}
+		// Cycle end: DFFs latch their input; the new state appears next
+		// cycle.
+		for g, gate := range c.Gates {
+			if gate.Type == GateDFF {
+				dffState[g] = val[gate.In[0]]
+			}
+		}
+	}
+	prof.FinalValues = val
+	return prof, nil
+}
+
+// ProcessGraph converts a profile into the §3 process graph: vertex weight =
+// evaluation count (plus one so that idle gates still carry their fixed
+// per-process overhead), undirected edge weight = total messages exchanged
+// over the wire in both directions.
+func ProcessGraph(c *Circuit, prof *Profile) (*graph.Graph, error) {
+	if len(prof.Evaluations) != len(c.Gates) {
+		return nil, fmt.Errorf("profile covers %d gates, circuit has %d: %w",
+			len(prof.Evaluations), len(c.Gates), ErrBadCircuit)
+	}
+	nodeW := make([]float64, len(c.Gates))
+	for g, e := range prof.Evaluations {
+		nodeW[g] = float64(e) + 1
+	}
+	var edges []graph.Edge
+	seen := make(map[[2]int]bool)
+	for g, gate := range c.Gates {
+		for _, d := range gate.In {
+			a, b := d, g
+			if a > b {
+				a, b = b, a
+			}
+			if seen[[2]int{a, b}] {
+				continue
+			}
+			seen[[2]int{a, b}] = true
+			w := float64(prof.Messages[[2]int{a, b}] + prof.Messages[[2]int{b, a}])
+			edges = append(edges, graph.Edge{U: a, V: b, W: w})
+		}
+	}
+	g, err := graph.NewGraph(nodeW, edges)
+	if err != nil {
+		return nil, err
+	}
+	return g.MergeParallel(), nil
+}

@@ -1,0 +1,241 @@
+package logicsim
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestCircuitValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		c    Circuit
+		want error
+	}{
+		{"empty", Circuit{}, ErrBadCircuit},
+		{"input with driver", Circuit{Gates: []Gate{{Type: GateInput, In: []int{0}}}}, ErrBadCircuit},
+		{"not with two drivers", Circuit{Gates: []Gate{{Type: GateInput}, {Type: GateNot, In: []int{0, 0}}}}, ErrBadCircuit},
+		{"and with one driver", Circuit{Gates: []Gate{{Type: GateInput}, {Type: GateAnd, In: []int{0}}}}, ErrBadCircuit},
+		{"driver out of range", Circuit{Gates: []Gate{{Type: GateNot, In: []int{5}}}}, ErrBadCircuit},
+		{"unknown type", Circuit{Gates: []Gate{{Type: GateType(99)}}}, ErrBadCircuit},
+		{
+			"combinational cycle",
+			Circuit{Gates: []Gate{{Type: GateNot, In: []int{1}}, {Type: GateNot, In: []int{0}}}},
+			ErrCombinationalCycle,
+		},
+		{
+			"dff breaks cycle",
+			Circuit{Gates: []Gate{{Type: GateDFF, In: []int{1}}, {Type: GateNot, In: []int{0}}}},
+			nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.c.Validate()
+			if !errors.Is(err, tt.want) {
+				t.Errorf("Validate() = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestGateTypeString(t *testing.T) {
+	if GateXor.String() != "XOR" || GateType(42).String() != "GateType(42)" {
+		t.Error("GateType.String labels wrong")
+	}
+}
+
+// addNumbers drives the adder with constants and checks the sum.
+func addNumbers(t *testing.T, bits, a, b, cin int) int {
+	t.Helper()
+	ad, err := RippleCarryAdder(bits)
+	if err != nil {
+		t.Fatalf("RippleCarryAdder: %v", err)
+	}
+	// Map input gate index -> stimulus position.
+	pos := make(map[int]int)
+	for i, g := range ad.Circuit.Inputs() {
+		pos[g] = i
+	}
+	stim := func(cycle, inputIdx int) bool {
+		for bit := 0; bit < bits; bit++ {
+			if inputIdx == pos[ad.A[bit]] {
+				return a>>bit&1 == 1
+			}
+			if inputIdx == pos[ad.B[bit]] {
+				return b>>bit&1 == 1
+			}
+		}
+		if inputIdx == pos[ad.CarryIn] {
+			return cin == 1
+		}
+		return false
+	}
+	prof, err := Run(ad.Circuit, 2, stim)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	sum := 0
+	for bit, g := range ad.Sum {
+		if prof.FinalValues[g] {
+			sum |= 1 << bit
+		}
+	}
+	if prof.FinalValues[ad.CarryOut] {
+		sum |= 1 << bits
+	}
+	return sum
+}
+
+func TestRippleCarryAdderComputesCorrectSums(t *testing.T) {
+	const bits = 6
+	r := workload.NewRNG(12)
+	for trial := 0; trial < 100; trial++ {
+		a := r.Intn(1 << bits)
+		b := r.Intn(1 << bits)
+		cin := r.Intn(2)
+		got := addNumbers(t, bits, a, b, cin)
+		if got != a+b+cin {
+			t.Fatalf("adder(%d, %d, %d) = %d, want %d", a, b, cin, got, a+b+cin)
+		}
+	}
+}
+
+func TestJohnsonCounterOscillates(t *testing.T) {
+	c, err := JohnsonCounter(4)
+	if err != nil {
+		t.Fatalf("JohnsonCounter: %v", err)
+	}
+	prof, err := Run(c, 16, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// A 4-stage Johnson counter has period 8; over 16 cycles every DFF
+	// toggles 4 times (2 full periods), so every stage must show activity.
+	for g := 0; g < 4; g++ {
+		if prof.Evaluations[g] < 2 {
+			t.Errorf("DFF %d evaluated only %d times — counter not oscillating", g, prof.Evaluations[g])
+		}
+	}
+	var msgs int64
+	for _, m := range prof.Messages {
+		msgs += m
+	}
+	if msgs == 0 {
+		t.Error("no messages recorded")
+	}
+}
+
+func TestLFSRCyclesThroughStates(t *testing.T) {
+	l, err := LFSR(5, []int{2, 4})
+	if err != nil {
+		t.Fatalf("LFSR: %v", err)
+	}
+	prof, err := Run(l.Circuit, 40, l.SeedStimulus())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	active := 0
+	for _, g := range l.Stages {
+		if prof.Evaluations[g] > 1 {
+			active++
+		}
+	}
+	if active < 4 {
+		t.Errorf("only %d of 5 LFSR stages active", active)
+	}
+}
+
+func TestLFSRErrors(t *testing.T) {
+	if _, err := LFSR(1, []int{0, 0}); !errors.Is(err, ErrBadCircuit) {
+		t.Errorf("n=1: %v", err)
+	}
+	if _, err := LFSR(5, []int{0}); !errors.Is(err, ErrBadCircuit) {
+		t.Errorf("one tap: %v", err)
+	}
+	if _, err := LFSR(5, []int{0, 9}); !errors.Is(err, ErrBadCircuit) {
+		t.Errorf("tap range: %v", err)
+	}
+	if _, err := JohnsonCounter(1); !errors.Is(err, ErrBadCircuit) {
+		t.Errorf("johnson n=1: %v", err)
+	}
+	if _, err := RippleCarryAdder(0); !errors.Is(err, ErrBadCircuit) {
+		t.Errorf("adder bits=0: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	c, _ := JohnsonCounter(3)
+	if _, err := Run(c, 0, nil); !errors.Is(err, ErrBadCircuit) {
+		t.Errorf("cycles=0: %v", err)
+	}
+}
+
+func TestProcessGraphShape(t *testing.T) {
+	c, err := JohnsonCounter(6)
+	if err != nil {
+		t.Fatalf("JohnsonCounter: %v", err)
+	}
+	prof, err := Run(c, 24, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	g, err := ProcessGraph(c, prof)
+	if err != nil {
+		t.Fatalf("ProcessGraph: %v", err)
+	}
+	if g.Len() != 7 { // 6 DFFs + inverter
+		t.Fatalf("process graph has %d vertices, want 7", g.Len())
+	}
+	// The Johnson counter's process graph is a ring: 7 vertices, 7 edges,
+	// connected.
+	if len(g.Edges) != 7 {
+		t.Errorf("process graph has %d edges, want 7 (ring)", len(g.Edges))
+	}
+	if !g.IsConnected() {
+		t.Error("process graph disconnected")
+	}
+	for v, w := range g.NodeW {
+		if w < 1 {
+			t.Errorf("vertex %d weight %v < 1", v, w)
+		}
+	}
+}
+
+func TestProcessGraphProfileMismatch(t *testing.T) {
+	c, _ := JohnsonCounter(3)
+	bad := &Profile{Evaluations: make([]int64, 2)}
+	if _, err := ProcessGraph(c, bad); !errors.Is(err, ErrBadCircuit) {
+		t.Errorf("error = %v, want ErrBadCircuit", err)
+	}
+}
+
+func TestAdderProcessGraphIsChainLike(t *testing.T) {
+	ad, err := RippleCarryAdder(8)
+	if err != nil {
+		t.Fatalf("RippleCarryAdder: %v", err)
+	}
+	r := workload.NewRNG(3)
+	stim := func(cycle, inputIdx int) bool { return r.Float64() < 0.5 }
+	prof, err := Run(ad.Circuit, 50, stim)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	g, err := ProcessGraph(ad.Circuit, prof)
+	if err != nil {
+		t.Fatalf("ProcessGraph: %v", err)
+	}
+	if !g.IsConnected() {
+		t.Error("adder process graph disconnected")
+	}
+	// Total evaluations must exceed the gate count (plenty of switching
+	// under random stimulus).
+	var evals int64
+	for _, e := range prof.Evaluations {
+		evals += e
+	}
+	if evals < int64(len(ad.Circuit.Gates)) {
+		t.Errorf("only %d evaluations for %d gates", evals, len(ad.Circuit.Gates))
+	}
+}

@@ -1,0 +1,112 @@
+package logicsim
+
+import "fmt"
+
+// Multiplier is a combinational array multiplier: n² partial-product AND
+// gates reduced by a cascade of ripple-carry adders. Unlike the adder chain
+// and the counter rings, its process graph is two-dimensional, which
+// exercises the §3 "more general system" path: BFS banding must flatten it
+// into a linear super-graph before the paper's algorithms apply.
+type Multiplier struct {
+	Circuit *Circuit
+	// A, B are the operand input gate indices, least-significant bit first.
+	A, B []int
+	// Product are the 2n product bit gate indices, least-significant first.
+	Product []int
+}
+
+// ArrayMultiplier builds a bits×bits array multiplier.
+func ArrayMultiplier(bits int) (*Multiplier, error) {
+	if bits <= 0 || bits > 24 {
+		return nil, fmt.Errorf("bits = %d (want 1..24): %w", bits, ErrBadCircuit)
+	}
+	c := &Circuit{}
+	add := func(t GateType, in ...int) int {
+		c.Gates = append(c.Gates, Gate{Type: t, In: in})
+		return len(c.Gates) - 1
+	}
+	m := &Multiplier{Circuit: c}
+	for i := 0; i < bits; i++ {
+		m.A = append(m.A, add(GateInput))
+	}
+	for i := 0; i < bits; i++ {
+		m.B = append(m.B, add(GateInput))
+	}
+	// A constant-false rail for absent addend positions (an input gate that
+	// stimuli leave low).
+	zero := add(GateInput)
+	// Partial products pp[i][j] = a_i AND b_j.
+	pp := make([][]int, bits)
+	for i := range pp {
+		pp[i] = make([]int, bits)
+		for j := range pp[i] {
+			pp[i][j] = add(GateAnd, m.A[i], m.B[j])
+		}
+	}
+	width := 2 * bits
+	// Running sum starts as row 0 (positions 0..bits-1), zero elsewhere.
+	sum := make([]int, width)
+	for p := range sum {
+		if p < bits {
+			sum[p] = pp[0][p]
+		} else {
+			sum[p] = zero
+		}
+	}
+	// fullAdder returns (sumBit, carryOut).
+	fullAdder := func(x, y, cin int) (int, int) {
+		xy := add(GateXor, x, y)
+		s := add(GateXor, xy, cin)
+		c1 := add(GateAnd, x, y)
+		c2 := add(GateAnd, xy, cin)
+		return s, add(GateOr, c1, c2)
+	}
+	for i := 1; i < bits; i++ {
+		carry := zero
+		next := make([]int, width)
+		copy(next, sum)
+		for p := i; p < width; p++ {
+			addend := zero
+			if p-i < bits {
+				addend = pp[i][p-i]
+			}
+			next[p], carry = fullAdder(sum[p], addend, carry)
+		}
+		sum = next
+	}
+	m.Product = sum
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// OperandStimulus drives the multiplier's inputs with the constant operands
+// a and b (least-significant bit first); the zero rail stays low.
+func (m *Multiplier) OperandStimulus(a, b uint64) Stimulus {
+	pos := make(map[int]int, len(m.Circuit.Inputs()))
+	for i, g := range m.Circuit.Inputs() {
+		pos[g] = i
+	}
+	values := make(map[int]bool)
+	for bit, g := range m.A {
+		values[pos[g]] = a>>bit&1 == 1
+	}
+	for bit, g := range m.B {
+		values[pos[g]] = b>>bit&1 == 1
+	}
+	return func(cycle, inputIdx int) bool {
+		return values[inputIdx]
+	}
+}
+
+// ReadProduct decodes the product bits from a profile's final values.
+func (m *Multiplier) ReadProduct(prof *Profile) uint64 {
+	var out uint64
+	for bit, g := range m.Product {
+		if prof.FinalValues[g] {
+			out |= 1 << bit
+		}
+	}
+	return out
+}

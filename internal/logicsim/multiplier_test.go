@@ -1,0 +1,92 @@
+package logicsim
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linearize"
+	"repro/internal/workload"
+)
+
+func TestArrayMultiplierComputesProducts(t *testing.T) {
+	const bits = 6
+	m, err := ArrayMultiplier(bits)
+	if err != nil {
+		t.Fatalf("ArrayMultiplier: %v", err)
+	}
+	r := workload.NewRNG(9)
+	for trial := 0; trial < 60; trial++ {
+		a := uint64(r.Intn(1 << bits))
+		b := uint64(r.Intn(1 << bits))
+		prof, err := Run(m.Circuit, 2, m.OperandStimulus(a, b))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if got := m.ReadProduct(prof); got != a*b {
+			t.Fatalf("multiplier(%d, %d) = %d, want %d", a, b, got, a*b)
+		}
+	}
+}
+
+func TestArrayMultiplierErrors(t *testing.T) {
+	for _, bits := range []int{0, -1, 25} {
+		if _, err := ArrayMultiplier(bits); !errors.Is(err, ErrBadCircuit) {
+			t.Errorf("bits=%d: %v", bits, err)
+		}
+	}
+}
+
+// Property: the multiplier is correct for arbitrary operand pairs.
+func TestArrayMultiplierProperty(t *testing.T) {
+	m, err := ArrayMultiplier(8)
+	if err != nil {
+		t.Fatalf("ArrayMultiplier: %v", err)
+	}
+	f := func(a, b uint8) bool {
+		prof, err := Run(m.Circuit, 2, m.OperandStimulus(uint64(a), uint64(b)))
+		if err != nil {
+			return false
+		}
+		return m.ReadProduct(prof) == uint64(a)*uint64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMultiplierProcessGraphLinearizes(t *testing.T) {
+	// The §3 flow for a genuinely 2-D circuit: profile → process graph →
+	// BFS bands → a valid linear task graph losing no cross-band weight.
+	m, err := ArrayMultiplier(8)
+	if err != nil {
+		t.Fatalf("ArrayMultiplier: %v", err)
+	}
+	r := workload.NewRNG(10)
+	stim := func(cycle, inputIdx int) bool { return r.Float64() < 0.5 }
+	prof, err := Run(m.Circuit, 100, stim)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	pg, err := ProcessGraph(m.Circuit, prof)
+	if err != nil {
+		t.Fatalf("ProcessGraph: %v", err)
+	}
+	if !pg.IsConnected() {
+		t.Fatal("multiplier process graph disconnected")
+	}
+	banding, err := linearize.BFSBands(pg, m.A[0])
+	if err != nil {
+		t.Fatalf("BFSBands: %v", err)
+	}
+	q := banding.Quality(pg)
+	if q.SkippedWeight != 0 {
+		t.Errorf("BFS banding skipped weight %v, want 0", q.SkippedWeight)
+	}
+	if banding.Path.Len() < 3 {
+		t.Errorf("only %d bands for a 2-D circuit", banding.Path.Len())
+	}
+	if err := banding.Path.Validate(); err != nil {
+		t.Errorf("banded path invalid: %v", err)
+	}
+}

@@ -1,0 +1,258 @@
+// Package prime computes the prime critical subpaths of a linear task graph
+// and the non-redundant edge compression that the paper's bandwidth
+// minimization algorithm (§2.3) is built on.
+//
+// A critical subpath is a contiguous run of tasks whose total vertex weight
+// exceeds the bound K; a feasible cut must contain at least one edge of every
+// critical subpath. A critical subpath that contains no other critical
+// subpath is prime (the paper's minimal subpaths); only the prime ones
+// constrain the solution, and there are at most n−1 of them. Two edges that
+// belong to exactly the same set of prime subpaths are interchangeable except
+// for weight, so only the lightest of each such run — the non-redundant
+// edges — can ever appear in an optimal cut (§2.3: "a list of non-redundant
+// edges may be prepared in O(n) time", with at most 2p−1 of them).
+package prime
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrVertexTooHeavy is returned when a single task exceeds the bound K, in
+// which case no edge cut can make every component feasible (the paper assumes
+// K > max α_i).
+var ErrVertexTooHeavy = errors.New("prime: single vertex weight exceeds K")
+
+// Interval is a prime critical subpath expressed both in vertex and edge
+// terms. For a subpath spanning vertices [FirstVertex, LastVertex], the edge
+// set is the contiguous edge range [A, B] with A = FirstVertex and
+// B = LastVertex−1.
+type Interval struct {
+	A, B                    int // inclusive edge index range
+	FirstVertex, LastVertex int // inclusive vertex range
+}
+
+// Find returns the prime critical subpaths of the path with the given vertex
+// weights and bound K, in increasing order of both endpoints. It runs in
+// O(n) time (two pointers). It returns ErrVertexTooHeavy if some single
+// vertex already exceeds K.
+func Find(nodeW []float64, k float64) ([]Interval, error) {
+	// First pass: count the prime subpaths so the result is allocated
+	// exactly once (the count is the number of distinct minimal right ends).
+	count, err := countPrime(nodeW, k)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 {
+		return nil, nil
+	}
+	out := make([]Interval, 0, count)
+	n := len(nodeW)
+	// Two pointers: for each left vertex l, rv is the minimal exclusive right
+	// bound with weight(l .. rv-1) > K.
+	rv := 0
+	var sum float64
+	for l := 0; l < n; l++ {
+		if rv < l {
+			rv, sum = l, 0
+		}
+		for rv < n && sum <= k {
+			sum += nodeW[rv]
+			rv++
+		}
+		if sum <= k {
+			// The whole suffix from l fits; later suffixes are subsets.
+			break
+		}
+		// Window l .. rv-1 is critical and minimal in its right end.
+		iv := Interval{A: l, B: rv - 2, FirstVertex: l, LastVertex: rv - 1}
+		// Keep only prime (minimal) subpaths: if the previously recorded
+		// subpath has the same right end, it strictly contains this one and
+		// is dominated.
+		if len(out) > 0 && out[len(out)-1].LastVertex == iv.LastVertex {
+			out[len(out)-1] = iv
+		} else {
+			out = append(out, iv)
+		}
+		sum -= nodeW[l]
+	}
+	return out, nil
+}
+
+// countPrime runs the Find sweep without materializing intervals, returning
+// the number of prime subpaths (distinct minimal right ends) or
+// ErrVertexTooHeavy.
+func countPrime(nodeW []float64, k float64) (int, error) {
+	n := len(nodeW)
+	rv := 0
+	var sum float64
+	count := 0
+	lastEnd := -1
+	for l := 0; l < n; l++ {
+		if rv < l {
+			rv, sum = l, 0
+		}
+		for rv < n && sum <= k {
+			sum += nodeW[rv]
+			rv++
+		}
+		if sum <= k {
+			break
+		}
+		if rv-1 == l {
+			return 0, fmt.Errorf("vertex %d weight %v > K=%v: %w", l, nodeW[l], k, ErrVertexTooHeavy)
+		}
+		if rv-1 != lastEnd {
+			count++
+			lastEnd = rv - 1
+		}
+		sum -= nodeW[l]
+	}
+	return count, nil
+}
+
+// Instance is the compressed bandwidth-minimization instance: the
+// non-redundant edges and the prime subpaths re-indexed over them.
+type Instance struct {
+	// Beta[i] is the weight of the i-th non-redundant edge.
+	Beta []float64
+	// Orig[i] is the original path edge index of the i-th non-redundant edge.
+	Orig []int
+	// A[j], B[j] are interval j's inclusive endpoints over compressed edge
+	// indices; both strictly increasing in j.
+	A, B []int
+	// First[i], Last[i] are the first and last interval containing compressed
+	// edge i (the paper's c_i and d_i); every compressed edge belongs to the
+	// contiguous interval range [First[i], Last[i]].
+	First, Last []int
+}
+
+// NumIntervals returns p, the number of prime subpaths.
+func (in *Instance) NumIntervals() int { return len(in.A) }
+
+// NumEdges returns r, the number of non-redundant edges.
+func (in *Instance) NumEdges() int { return len(in.Beta) }
+
+// MeanCoverage returns the paper's q = Σ q_i / r, the mean number of prime
+// subpaths a non-redundant edge belongs to, or 0 when there are no edges.
+func (in *Instance) MeanCoverage() float64 {
+	if len(in.Beta) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range in.Beta {
+		sum += float64(in.Last[i] - in.First[i] + 1)
+	}
+	return sum / float64(len(in.Beta))
+}
+
+// MaxCoverage returns max_i q_i, or 0 when there are no edges.
+func (in *Instance) MaxCoverage() int {
+	m := 0
+	for i := range in.Beta {
+		if c := in.Last[i] - in.First[i] + 1; c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Compress builds the compressed instance from the original edge weights and
+// the prime subpaths returned by Find. Edges covered by no prime subpath are
+// dropped; among consecutive edges covered by exactly the same prime
+// subpaths, only a lightest one is kept. Runs in O(n + p) time.
+func Compress(edgeW []float64, ivs []Interval) *Instance {
+	p := len(ivs)
+	inst := &Instance{A: make([]int, p), B: make([]int, p)}
+	if p == 0 {
+		return inst
+	}
+	// At most min(n-1, 2p-1) non-redundant edges survive (§2.3); allocate
+	// once.
+	capHint := 2*p - 1
+	if m := len(edgeW); capHint > m {
+		capHint = m
+	}
+	inst.Beta = make([]float64, 0, capHint)
+	inst.Orig = make([]int, 0, capHint)
+	inst.First = make([]int, 0, capHint)
+	inst.Last = make([]int, 0, capHint)
+	// For each original edge e, membership is the contiguous interval range
+	// [c(e), d(e)] with c = min{j : ivs[j].B >= e} and d = max{j : ivs[j].A <= e}.
+	cPtr, dPtr := 0, -1
+	prevC, prevD := -1, -1
+	for e := 0; e <= ivs[p-1].B; e++ {
+		for cPtr < p && ivs[cPtr].B < e {
+			cPtr++
+		}
+		for dPtr+1 < p && ivs[dPtr+1].A <= e {
+			dPtr++
+		}
+		c, d := cPtr, dPtr
+		if c > d {
+			continue // edge covered by no prime subpath
+		}
+		if c == prevC && d == prevD {
+			// Same membership run: keep the lighter edge.
+			last := len(inst.Beta) - 1
+			if edgeW[e] < inst.Beta[last] {
+				inst.Beta[last] = edgeW[e]
+				inst.Orig[last] = e
+			}
+			continue
+		}
+		prevC, prevD = c, d
+		inst.Beta = append(inst.Beta, edgeW[e])
+		inst.Orig = append(inst.Orig, e)
+		inst.First = append(inst.First, c)
+		inst.Last = append(inst.Last, d)
+	}
+	// Re-index interval endpoints over compressed edges. First/Last are
+	// monotone non-decreasing across groups, so two linear sweeps suffice.
+	r := len(inst.Beta)
+	g := 0
+	for j := 0; j < p; j++ {
+		for g < r && inst.Last[g] < j {
+			g++
+		}
+		inst.A[j] = g
+	}
+	g = r - 1
+	for j := p - 1; j >= 0; j-- {
+		for g >= 0 && inst.First[g] > j {
+			g--
+		}
+		inst.B[j] = g
+	}
+	return inst
+}
+
+// Analyze runs Find and Compress together, returning the instance, the prime
+// subpaths, or an infeasibility error.
+func Analyze(nodeW, edgeW []float64, k float64) (*Instance, []Interval, error) {
+	ivs, err := Find(nodeW, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return Compress(edgeW, ivs), ivs, nil
+}
+
+// Stats summarizes an instance for the Figure 2 study.
+type Stats struct {
+	N    int     // tasks in the original path
+	P    int     // prime subpaths
+	R    int     // non-redundant edges
+	Q    float64 // mean prime-subpath coverage per non-redundant edge
+	QMax int     // max coverage
+}
+
+// Summarize computes the Figure 2 statistics for one instance.
+func Summarize(n int, inst *Instance) Stats {
+	return Stats{
+		N:    n,
+		P:    inst.NumIntervals(),
+		R:    inst.NumEdges(),
+		Q:    inst.MeanCoverage(),
+		QMax: inst.MaxCoverage(),
+	}
+}

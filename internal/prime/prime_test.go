@@ -1,0 +1,307 @@
+package prime
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/workload"
+)
+
+// bruteIntervals computes prime critical subpaths by definition: every
+// contiguous window with weight > K that contains no smaller such window.
+func bruteIntervals(nodeW []float64, k float64) []Interval {
+	n := len(nodeW)
+	sum := func(a, b int) float64 {
+		var s float64
+		for i := a; i <= b; i++ {
+			s += nodeW[i]
+		}
+		return s
+	}
+	var out []Interval
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			if sum(a, b) <= k {
+				continue
+			}
+			// minimal: both one-shorter windows are feasible
+			minimal := (b == a || sum(a+1, b) <= k) && (b == a || sum(a, b-1) <= k)
+			if b == a {
+				minimal = true
+			}
+			if minimal {
+				out = append(out, Interval{A: a, B: b - 1, FirstVertex: a, LastVertex: b})
+			}
+		}
+	}
+	return out
+}
+
+func TestFindBasic(t *testing.T) {
+	tests := []struct {
+		name  string
+		nodeW []float64
+		k     float64
+		want  []Interval
+	}{
+		{
+			name:  "no critical windows",
+			nodeW: []float64{1, 1, 1},
+			k:     10,
+			want:  nil,
+		},
+		{
+			name:  "single window",
+			nodeW: []float64{3, 3, 3},
+			k:     8,
+			// whole path weighs 9 > 8; any 2 vertices weigh 6 <= 8
+			want: []Interval{{A: 0, B: 1, FirstVertex: 0, LastVertex: 2}},
+		},
+		{
+			name:  "each pair critical",
+			nodeW: []float64{3, 3, 3},
+			k:     5,
+			want: []Interval{
+				{A: 0, B: 0, FirstVertex: 0, LastVertex: 1},
+				{A: 1, B: 1, FirstVertex: 1, LastVertex: 2},
+			},
+		},
+		{
+			name:  "dominated subpath removed",
+			nodeW: []float64{1, 5, 5, 1},
+			k:     9,
+			// windows of weight >9: {0..2}=11 (contains {1..2}=10), {1..2}=10,
+			// {1..3}=11 (contains {1..2}), {0..3}=12 ... prime is only {1,2}.
+			want: []Interval{{A: 1, B: 1, FirstVertex: 1, LastVertex: 2}},
+		},
+		{
+			name:  "exact K boundary is feasible",
+			nodeW: []float64{5, 5},
+			k:     10,
+			want:  nil,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Find(tt.nodeW, tt.k)
+			if err != nil {
+				t.Fatalf("Find: %v", err)
+			}
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Find = %+v, want %+v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFindVertexTooHeavy(t *testing.T) {
+	_, err := Find([]float64{1, 12, 1}, 10)
+	if !errors.Is(err, ErrVertexTooHeavy) {
+		t.Errorf("error = %v, want ErrVertexTooHeavy", err)
+	}
+	// Heavy vertex at the first position.
+	_, err = Find([]float64{12, 1}, 10)
+	if !errors.Is(err, ErrVertexTooHeavy) {
+		t.Errorf("error = %v, want ErrVertexTooHeavy", err)
+	}
+	// Heavy vertex at the last position.
+	_, err = Find([]float64{1, 1, 12}, 10)
+	if !errors.Is(err, ErrVertexTooHeavy) {
+		t.Errorf("error = %v, want ErrVertexTooHeavy", err)
+	}
+	// Weight exactly K is fine.
+	if _, err := Find([]float64{10, 1}, 10); err != nil {
+		t.Errorf("weight == K should be feasible, got %v", err)
+	}
+}
+
+func TestFindMatchesBruteForce(t *testing.T) {
+	r := workload.NewRNG(99)
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + r.Intn(30)
+		nodeW := make([]float64, n)
+		for i := range nodeW {
+			nodeW[i] = float64(1 + r.Intn(9))
+		}
+		k := float64(9 + r.Intn(30))
+		got, err := Find(nodeW, k)
+		if err != nil {
+			t.Fatalf("Find(%v, %v): %v", nodeW, k, err)
+		}
+		want := bruteIntervals(nodeW, k)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("nodeW=%v k=%v:\nFind  = %+v\nbrute = %+v", nodeW, k, got, want)
+		}
+	}
+}
+
+func TestFindEndpointsStrictlyIncreasing(t *testing.T) {
+	r := workload.NewRNG(5)
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + r.Intn(200)
+		nodeW := make([]float64, n)
+		for i := range nodeW {
+			nodeW[i] = r.Uniform(1, 100)
+		}
+		k := r.Uniform(100, 500)
+		ivs, err := Find(nodeW, k)
+		if err != nil {
+			t.Fatalf("Find: %v", err)
+		}
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].A <= ivs[i-1].A || ivs[i].B <= ivs[i-1].B {
+				t.Fatalf("endpoints not strictly increasing: %+v then %+v", ivs[i-1], ivs[i])
+			}
+		}
+		for _, iv := range ivs {
+			if iv.B < iv.A {
+				t.Fatalf("empty edge range in %+v", iv)
+			}
+		}
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	inst := Compress([]float64{1, 2, 3}, nil)
+	if inst.NumIntervals() != 0 || inst.NumEdges() != 0 {
+		t.Errorf("empty compress: %+v", inst)
+	}
+	if inst.MeanCoverage() != 0 || inst.MaxCoverage() != 0 {
+		t.Error("empty coverage should be 0")
+	}
+}
+
+func TestCompressSingleInterval(t *testing.T) {
+	// One interval covering edges 1..3; all have identical membership, so a
+	// single lightest edge survives.
+	ivs := []Interval{{A: 1, B: 3, FirstVertex: 1, LastVertex: 4}}
+	inst := Compress([]float64{9, 5, 2, 7, 9}, ivs)
+	if inst.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1: %+v", inst.NumEdges(), inst)
+	}
+	if inst.Beta[0] != 2 || inst.Orig[0] != 2 {
+		t.Errorf("kept edge = (%v, orig %d), want (2, orig 2)", inst.Beta[0], inst.Orig[0])
+	}
+	if inst.A[0] != 0 || inst.B[0] != 0 {
+		t.Errorf("interval range = [%d,%d], want [0,0]", inst.A[0], inst.B[0])
+	}
+}
+
+func TestCompressOverlapping(t *testing.T) {
+	// Two intervals: edges 0..2 and 2..4. Membership runs: {0,1}->interval 0
+	// only; {2}->both; {3,4}->interval 1 only.
+	ivs := []Interval{
+		{A: 0, B: 2, FirstVertex: 0, LastVertex: 3},
+		{A: 2, B: 4, FirstVertex: 2, LastVertex: 5},
+	}
+	edgeW := []float64{4, 3, 10, 6, 5}
+	inst := Compress(edgeW, ivs)
+	if inst.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3: %+v", inst.NumEdges(), inst)
+	}
+	if !reflect.DeepEqual(inst.Orig, []int{1, 2, 4}) {
+		t.Errorf("Orig = %v, want [1 2 4]", inst.Orig)
+	}
+	if !reflect.DeepEqual(inst.Beta, []float64{3, 10, 5}) {
+		t.Errorf("Beta = %v, want [3 10 5]", inst.Beta)
+	}
+	if !reflect.DeepEqual(inst.A, []int{0, 1}) || !reflect.DeepEqual(inst.B, []int{1, 2}) {
+		t.Errorf("A=%v B=%v, want A=[0 1] B=[1 2]", inst.A, inst.B)
+	}
+	if !reflect.DeepEqual(inst.First, []int{0, 0, 1}) || !reflect.DeepEqual(inst.Last, []int{0, 1, 1}) {
+		t.Errorf("First=%v Last=%v", inst.First, inst.Last)
+	}
+	if got := inst.MeanCoverage(); math.Abs(got-4.0/3.0) > 1e-12 {
+		t.Errorf("MeanCoverage = %v, want 4/3", got)
+	}
+	if inst.MaxCoverage() != 2 {
+		t.Errorf("MaxCoverage = %d, want 2", inst.MaxCoverage())
+	}
+}
+
+func TestCompressDropsUncoveredEdges(t *testing.T) {
+	// Interval covers only edges 2..3 of a 6-edge path; edges 0,1,4,5 are
+	// uncovered and must be dropped.
+	ivs := []Interval{{A: 2, B: 3, FirstVertex: 2, LastVertex: 4}}
+	inst := Compress([]float64{1, 1, 8, 9, 1, 1}, ivs)
+	if inst.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", inst.NumEdges())
+	}
+	if inst.Orig[0] != 2 {
+		t.Errorf("Orig = %v, want [2]", inst.Orig)
+	}
+}
+
+// Property: compression invariants hold for random instances.
+func TestCompressInvariantsProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := workload.NewRNG(seed)
+		n := 2 + r.Intn(300)
+		nodeW := make([]float64, n)
+		for i := range nodeW {
+			nodeW[i] = r.Uniform(1, 50)
+		}
+		edgeW := make([]float64, n-1)
+		for i := range edgeW {
+			edgeW[i] = r.Uniform(1, 20)
+		}
+		k := r.Uniform(50, 400)
+		inst, ivs, err := Analyze(nodeW, edgeW, k)
+		if err != nil {
+			return false
+		}
+		p, rr := inst.NumIntervals(), inst.NumEdges()
+		if p != len(ivs) {
+			return false
+		}
+		if p == 0 {
+			return rr == 0
+		}
+		// r <= min(n-1, 2p-1), the paper's bound.
+		if rr > n-1 || rr > 2*p-1 {
+			return false
+		}
+		// A and B strictly increasing, ranges valid and within [0, r).
+		for j := 0; j < p; j++ {
+			if inst.A[j] > inst.B[j] || inst.A[j] < 0 || inst.B[j] >= rr {
+				return false
+			}
+			if j > 0 && (inst.A[j] <= inst.A[j-1] || inst.B[j] <= inst.B[j-1]) {
+				return false
+			}
+		}
+		// Membership consistency: edge i covered by intervals [First, Last],
+		// and A/B agree with First/Last.
+		for i := 0; i < rr; i++ {
+			if inst.First[i] > inst.Last[i] {
+				return false
+			}
+			for j := 0; j < p; j++ {
+				inRange := inst.A[j] <= i && i <= inst.B[j]
+				member := inst.First[i] <= j && j <= inst.Last[i]
+				if inRange != member {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ivs := []Interval{{A: 0, B: 1, FirstVertex: 0, LastVertex: 2}}
+	inst := Compress([]float64{2, 3}, ivs)
+	s := Summarize(3, inst)
+	if s.N != 3 || s.P != 1 || s.R != 1 || s.Q != 1 || s.QMax != 1 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}

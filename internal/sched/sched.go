@@ -1,0 +1,273 @@
+// Package sched is a discrete-event simulator of partitioned iterative
+// execution on the shared-memory machine of package arch. It exists to
+// validate the paper's premise end-to-end: partitions with lower cut
+// bandwidth place less serialized demand on the shared interconnect and
+// therefore finish iterative computations sooner.
+//
+// Execution model (the iterative/pipelined pattern of §1): the task graph
+// has been partitioned into components, one per processor. Computation
+// proceeds in rounds. In each round every processor computes for
+// (component load / speed) time, then posts one message per incident cut
+// edge to the interconnect; transfers are served FIFO by Config.Links
+// identical channels (1 = shared bus; many = crossbar / multistage network,
+// the other §1 shared-memory interconnects). A processor completes round r —
+// and may begin round r+1 — once it has finished computing round r and has
+// received round r's message on every incident cut edge. Message rounds are
+// tracked per edge direction (channel), so a fast neighbour running ahead
+// can never satisfy a wait with a later round's message.
+package sched
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/graph"
+)
+
+// ErrBadConfig is returned for invalid simulation parameters.
+var ErrBadConfig = errors.New("sched: bad configuration")
+
+// Config describes one simulation run.
+type Config struct {
+	// Machine is the target multiprocessor.
+	Machine *arch.Machine
+	// Rounds is the number of iterations to simulate.
+	Rounds int
+	// Links is the number of independent interconnect channels, each of
+	// Machine.BusBandwidth: 1 (the default when zero) models a shared bus;
+	// a large value models a crossbar or multistage network where transfers
+	// between distinct pairs never contend (§1 lists all three as
+	// shared-memory interconnects).
+	Links int
+	// Trace, when non-nil, receives one tab-separated line per simulation
+	// event: time, kind (compute|transfer), subject, detail. For debugging
+	// and teaching; adds I/O cost.
+	Trace io.Writer
+}
+
+// Result reports the simulation outcome.
+type Result struct {
+	// Makespan is the completion time of the final round on the last
+	// processor (including the final message exchange).
+	Makespan float64
+	// BusBusy is the aggregate transfer time across all links.
+	BusBusy float64
+	// BusUtilization is BusBusy / (Makespan × links), in [0, 1].
+	BusUtilization float64
+	// Messages is the number of point-to-point transfers performed.
+	Messages int
+	// MeanMessageLatency is the average time from message post to delivery.
+	MeanMessageLatency float64
+	// ComputeTime is the total processor-seconds spent computing.
+	ComputeTime float64
+}
+
+const (
+	evComputeDone = iota
+	evTransferDone
+)
+
+type event struct {
+	at   float64
+	kind int
+	comp int      // component that finished computing (evComputeDone)
+	tr   transfer // in-flight transfer (evTransferDone)
+	seq  int      // tie-break for determinism
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}
+
+// transfer is one queued bus message on a directed channel.
+type transfer struct {
+	channel int
+	size    float64
+	posted  float64
+}
+
+// SimulateTree runs the model on a tree task graph with the given cut.
+func SimulateTree(cfg Config, t *graph.Tree, cut []int) (*Result, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("nil machine: %w", ErrBadConfig)
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Rounds <= 0 {
+		return nil, fmt.Errorf("rounds = %d: %w", cfg.Rounds, ErrBadConfig)
+	}
+	links := cfg.Links
+	if links == 0 {
+		links = 1
+	}
+	if links < 0 {
+		return nil, fmt.Errorf("links = %d: %w", cfg.Links, ErrBadConfig)
+	}
+	comps, err := t.Components(cut)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := arch.MapComponents(cfg.Machine, len(comps)); err != nil {
+		return nil, err
+	}
+	nc := len(comps)
+	comp := make([]int, t.Len())
+	loads := make([]float64, nc)
+	for ci, vs := range comps {
+		for _, v := range vs {
+			comp[v] = ci
+			loads[ci] += t.NodeW[v]
+		}
+	}
+	// Directed channels: one per (cut edge, direction). sendChannels[c] are
+	// the channels c posts to after computing; recvChannels[c] are the
+	// channels c must drain to finish a round.
+	type channel struct {
+		to   int
+		size float64
+	}
+	var channels []channel
+	sendChannels := make([][]int, nc)
+	recvChannels := make([][]int, nc)
+	for _, e := range cut {
+		u, v := comp[t.Edges[e].U], comp[t.Edges[e].V]
+		w := t.Edges[e].W
+		channels = append(channels, channel{to: v, size: w})
+		sendChannels[u] = append(sendChannels[u], len(channels)-1)
+		recvChannels[v] = append(recvChannels[v], len(channels)-1)
+		channels = append(channels, channel{to: u, size: w})
+		sendChannels[v] = append(sendChannels[v], len(channels)-1)
+		recvChannels[u] = append(recvChannels[u], len(channels)-1)
+	}
+	speed := cfg.Machine.Speed
+	bw := cfg.Machine.BusBandwidth
+
+	round := make([]int, nc)                // round currently being executed
+	computed := make([]bool, nc)            // current round's compute finished
+	delivered := make([]int, len(channels)) // messages delivered per channel
+	done := make([]bool, nc)
+
+	var q eventQueue
+	seq := 0
+	push := func(ev event) {
+		ev.seq = seq
+		heap.Push(&q, ev)
+		seq++
+	}
+	var busQueue []transfer
+	// linksBusy counts in-flight transfers; an explicit counter rather than
+	// time comparisons so that zero-duration transfers cannot double-start
+	// a link.
+	linksBusy := 0
+	res := &Result{}
+	var latencySum float64
+
+	for c := 0; c < nc; c++ {
+		d := loads[c] / speed
+		res.ComputeTime += d
+		push(event{at: d, kind: evComputeDone, comp: c})
+	}
+	startLinks := func(now float64) {
+		for linksBusy < links && len(busQueue) > 0 {
+			tr := busQueue[0]
+			busQueue = busQueue[1:]
+			linksBusy++
+			d := tr.size / bw
+			res.BusBusy += d
+			push(event{at: now + d, kind: evTransferDone, tr: tr})
+		}
+	}
+	// roundComplete reports whether component c has finished computing its
+	// current round and received this round's message on every channel.
+	roundComplete := func(c int) bool {
+		if !computed[c] {
+			return false
+		}
+		need := round[c] + 1
+		for _, ch := range recvChannels[c] {
+			if delivered[ch] < need {
+				return false
+			}
+		}
+		return true
+	}
+	advance := func(c int, now float64) {
+		if done[c] || !roundComplete(c) {
+			return
+		}
+		if round[c]+1 >= cfg.Rounds {
+			done[c] = true
+			if now > res.Makespan {
+				res.Makespan = now
+			}
+			return
+		}
+		round[c]++
+		computed[c] = false
+		d := loads[c] / speed
+		res.ComputeTime += d
+		push(event{at: now + d, kind: evComputeDone, comp: c})
+	}
+	for q.Len() > 0 {
+		ev := heap.Pop(&q).(event)
+		now := ev.at
+		switch ev.kind {
+		case evComputeDone:
+			c := ev.comp
+			if cfg.Trace != nil {
+				fmt.Fprintf(cfg.Trace, "%.6f\tcompute\tcomponent=%d\tround=%d\n", now, c, round[c])
+			}
+			computed[c] = true
+			for _, ch := range sendChannels[c] {
+				busQueue = append(busQueue, transfer{channel: ch, size: channels[ch].size, posted: now})
+			}
+			startLinks(now)
+			advance(c, now)
+		case evTransferDone:
+			linksBusy--
+			tr := ev.tr
+			if cfg.Trace != nil {
+				fmt.Fprintf(cfg.Trace, "%.6f\ttransfer\tto=%d\tsize=%g\n", now, channels[tr.channel].to, tr.size)
+			}
+			res.Messages++
+			latencySum += now - tr.posted
+			delivered[tr.channel]++
+			advance(channels[tr.channel].to, now)
+			startLinks(now)
+		}
+	}
+	if res.Messages > 0 {
+		res.MeanMessageLatency = latencySum / float64(res.Messages)
+	}
+	if res.Makespan > 0 {
+		res.BusUtilization = res.BusBusy / (res.Makespan * float64(links))
+	}
+	return res, nil
+}
+
+// SimulatePath runs the model on a linear task graph with the given cut.
+func SimulatePath(cfg Config, p *graph.Path, cut []int) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return SimulateTree(cfg, p.AsTree(), cut)
+}

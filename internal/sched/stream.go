@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/graph"
+)
+
+// This file simulates the pipelined execution pattern of §1/§3: a stream of
+// problem instances fed through a partitioned task chain ("a sequence of
+// such problems (possibly with different input parameters) can be 'fed' to
+// the pipeline and keep all stages busy"). Each component of the partition
+// is one pipeline stage on its own processor; an item visits the stages in
+// order, paying the component's full compute load at each stage and one
+// interconnect transfer per crossed cut edge. The steady-state rate this
+// simulator measures is what pipeline.Plan's Throughput field predicts
+// analytically; tests tie the two together.
+
+// StreamResult reports a pipelined-stream simulation.
+type StreamResult struct {
+	// Makespan is when the last item leaves the last stage.
+	Makespan float64
+	// FirstItemLatency is when item 0 leaves the last stage.
+	FirstItemLatency float64
+	// Throughput is the measured steady-state rate: (items−1) / (time
+	// between the first and last item completing), or items/Makespan for a
+	// single item.
+	Throughput float64
+	// BusBusy is the aggregate transfer time.
+	BusBusy float64
+	// Messages is the number of transfers performed.
+	Messages int
+}
+
+// SimulatePipelineStream pushes the given number of items through the
+// partitioned chain.
+func SimulatePipelineStream(cfg Config, p *graph.Path, cut []int, items int) (*StreamResult, error) {
+	if cfg.Machine == nil {
+		return nil, fmt.Errorf("nil machine: %w", ErrBadConfig)
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if items <= 0 {
+		return nil, fmt.Errorf("items = %d: %w", items, ErrBadConfig)
+	}
+	links := cfg.Links
+	if links == 0 {
+		links = 1
+	}
+	if links < 0 {
+		return nil, fmt.Errorf("links = %d: %w", cfg.Links, ErrBadConfig)
+	}
+	ws, err := p.ComponentWeights(cut)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := arch.MapComponents(cfg.Machine, len(ws)); err != nil {
+		return nil, err
+	}
+	nc := len(ws)
+	// Transfer size out of stage c = weight of cut edge c (stages are in
+	// chain order).
+	xferSize := make([]float64, nc-1)
+	for i, e := range cut {
+		xferSize[i] = p.EdgeW[e]
+	}
+	speed := cfg.Machine.Speed
+	bw := cfg.Machine.BusBandwidth
+
+	q := &seventQueue{}
+	seq := 0
+	push := func(ev sevent) {
+		ev.seq = seq
+		seq++
+		heap.Push(q, ev)
+	}
+	arrived := make([]int, nc) // items delivered to stage c (stage 0: all)
+	arrived[0] = items
+	nextItem := make([]int, nc)
+	idle := make([]bool, nc)
+	for c := range idle {
+		idle[c] = true
+	}
+	var busQueue []transfer
+	linksBusy := 0
+	res := &StreamResult{}
+	var firstDone, lastDone float64
+	tryStart := func(c int, now float64) {
+		if !idle[c] || nextItem[c] >= items || nextItem[c] >= arrived[c] {
+			return
+		}
+		idle[c] = false
+		d := ws[c] / speed
+		push(sevent{at: now + d, kind: evStage, stage: c, item: nextItem[c]})
+		nextItem[c]++
+	}
+	startLinks := func(now float64) {
+		for linksBusy < links && len(busQueue) > 0 {
+			tr := busQueue[0]
+			busQueue = busQueue[1:]
+			linksBusy++
+			d := tr.size / bw
+			res.BusBusy += d
+			// transfer.channel reused as destination stage here.
+			push(sevent{at: now + d, kind: evXfer, stage: tr.channel, size: tr.size})
+		}
+	}
+	tryStart(0, 0)
+	for q.Len() > 0 {
+		ev := heap.Pop(q).(sevent)
+		now := ev.at
+		switch ev.kind {
+		case evStage:
+			c := ev.stage
+			idle[c] = true
+			if c == nc-1 {
+				if ev.item == 0 {
+					firstDone = now
+					res.FirstItemLatency = now
+				}
+				if ev.item == items-1 {
+					lastDone = now
+					res.Makespan = now
+				}
+			} else {
+				busQueue = append(busQueue, transfer{channel: c + 1, size: xferSize[c], posted: now})
+				startLinks(now)
+			}
+			tryStart(c, now)
+		case evXfer:
+			linksBusy--
+			res.Messages++
+			arrived[ev.stage]++
+			tryStart(ev.stage, now)
+			startLinks(now)
+		}
+	}
+	if items > 1 && lastDone > firstDone {
+		res.Throughput = float64(items-1) / (lastDone - firstDone)
+	} else if res.Makespan > 0 {
+		res.Throughput = float64(items) / res.Makespan
+	}
+	return res, nil
+}
+
+// Stream-simulation event kinds.
+const (
+	evStage = iota
+	evXfer
+)
+
+// sevent is one stream-simulation event: a stage finishing an item or a
+// transfer landing at a stage.
+type sevent struct {
+	at    float64
+	kind  int
+	stage int
+	item  int
+	size  float64
+	seq   int
+}
+
+type seventQueue []sevent
+
+func (q seventQueue) Len() int { return len(q) }
+func (q seventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q seventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *seventQueue) Push(x any)   { *q = append(*q, x.(sevent)) }
+func (q *seventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	x := old[n-1]
+	*q = old[:n-1]
+	return x
+}

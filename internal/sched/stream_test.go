@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/graph"
+	"repro/internal/pipeline"
+	"repro/internal/workload"
+)
+
+func TestStreamErrors(t *testing.T) {
+	p, _ := graph.NewPath([]float64{1, 1}, []float64{1})
+	cfg := Config{Machine: machine(2), Rounds: 1}
+	if _, err := SimulatePipelineStream(cfg, p, []int{0}, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("items=0: %v", err)
+	}
+	if _, err := SimulatePipelineStream(Config{Machine: nil}, p, nil, 1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("nil machine: %v", err)
+	}
+	one := Config{Machine: machine(1), Rounds: 1}
+	if _, err := SimulatePipelineStream(one, p, []int{0}, 1); !errors.Is(err, arch.ErrTooFewProcessors) {
+		t.Errorf("too few processors: %v", err)
+	}
+}
+
+func TestStreamSingleStage(t *testing.T) {
+	// One stage of 12 work units at speed 2: each item takes 6; 5 items
+	// serialize to 30 with no messages.
+	p, _ := graph.NewPath([]float64{4, 8}, []float64{3})
+	m := &arch.Machine{Processors: 1, Speed: 2, BusBandwidth: 1}
+	res, err := SimulatePipelineStream(Config{Machine: m, Rounds: 1}, p, nil, 5)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if res.Makespan != 30 || res.Messages != 0 {
+		t.Errorf("makespan %v messages %d, want 30/0", res.Makespan, res.Messages)
+	}
+	if math.Abs(res.Throughput-1.0/6) > 1e-9 {
+		t.Errorf("throughput %v, want 1/6", res.Throughput)
+	}
+}
+
+func TestStreamTwoStagesHandComputed(t *testing.T) {
+	// Stages of 10 and 10 at speed 1, boundary message 4, bandwidth 1.
+	// Item i: stage0 done at 10(i+1); transfer 4; stage1 busy 10.
+	// Steady state interval = 10 (compute dominates): stage1 finishes item
+	// 0 at 24, item 1 at 34, item 2 at 44.
+	p, _ := graph.NewPath([]float64{10, 10}, []float64{4})
+	m := &arch.Machine{Processors: 2, Speed: 1, BusBandwidth: 1}
+	res, err := SimulatePipelineStream(Config{Machine: m, Rounds: 1}, p, []int{0}, 3)
+	if err != nil {
+		t.Fatalf("stream: %v", err)
+	}
+	if res.FirstItemLatency != 24 {
+		t.Errorf("first item latency = %v, want 24", res.FirstItemLatency)
+	}
+	if res.Makespan != 44 {
+		t.Errorf("makespan = %v, want 44", res.Makespan)
+	}
+	if res.Messages != 3 {
+		t.Errorf("messages = %d, want 3", res.Messages)
+	}
+	if math.Abs(res.Throughput-0.1) > 1e-9 {
+		t.Errorf("throughput = %v, want 0.1", res.Throughput)
+	}
+}
+
+func TestStreamThroughputMatchesPlanPrediction(t *testing.T) {
+	// The analytic Throughput of pipeline.Build must match the simulated
+	// steady-state rate for long streams.
+	r := workload.NewRNG(99)
+	for trial := 0; trial < 20; trial++ {
+		tasks := workload.Pipeline(r, 24,
+			workload.UniformWeights(20, 120),
+			workload.UniformWeights(2, 30), 0.2, 5)
+		m := &arch.Machine{Processors: 24, Speed: 100, BusBandwidth: 300}
+		spec := &pipeline.Spec{Tasks: tasks, Deadline: 2.5}
+		plan, err := pipeline.Build(spec, m)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		if plan.Partition.NumComponents() < 2 {
+			continue
+		}
+		res, err := SimulatePipelineStream(Config{Machine: m, Rounds: 1}, tasks, plan.Partition.Cut, 400)
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		rel := math.Abs(res.Throughput-plan.Throughput) / plan.Throughput
+		if rel > 0.05 {
+			t.Fatalf("simulated throughput %v vs predicted %v (%.1f%% off, %d stages)",
+				res.Throughput, plan.Throughput, 100*rel, plan.Partition.NumComponents())
+		}
+	}
+}
+
+func TestStreamMoreLinksNeverSlower(t *testing.T) {
+	r := workload.NewRNG(5)
+	p := workload.RandomPath(r, 30, workload.UniformWeights(5, 15), workload.UniformWeights(10, 50))
+	m := &arch.Machine{Processors: 30, Speed: 10, BusBandwidth: 3}
+	cut := []int{4, 9, 14, 19, 24}
+	var prev float64 = math.Inf(1)
+	for _, links := range []int{1, 2, 8} {
+		res, err := SimulatePipelineStream(Config{Machine: m, Rounds: 1, Links: links}, p, cut, 50)
+		if err != nil {
+			t.Fatalf("links=%d: %v", links, err)
+		}
+		if res.Makespan > prev+1e-9 {
+			t.Fatalf("links=%d makespan %v worse than fewer links %v", links, res.Makespan, prev)
+		}
+		prev = res.Makespan
+	}
+}

@@ -1,0 +1,60 @@
+package sched
+
+import (
+	"bufio"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTraceOutput(t *testing.T) {
+	p, _ := graph.NewPath([]float64{10, 10}, []float64{4})
+	var sb strings.Builder
+	res, err := SimulatePath(Config{Machine: machine(2), Rounds: 2, Trace: &sb}, p, []int{0})
+	if err != nil {
+		t.Fatalf("SimulatePath: %v", err)
+	}
+	var computes, transfers int
+	lastTime := -1.0
+	sc := bufio.NewScanner(strings.NewReader(sb.String()))
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), "\t")
+		if len(fields) != 4 {
+			t.Fatalf("malformed trace line %q", sc.Text())
+		}
+		at, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			t.Fatalf("bad time in %q: %v", sc.Text(), err)
+		}
+		if at < lastTime {
+			t.Fatalf("trace times not monotone: %v after %v", at, lastTime)
+		}
+		lastTime = at
+		switch fields[1] {
+		case "compute":
+			computes++
+		case "transfer":
+			transfers++
+		default:
+			t.Fatalf("unknown event kind %q", fields[1])
+		}
+	}
+	// 2 components × 2 rounds of compute; 2 channels × 2 rounds of
+	// transfers.
+	if computes != 4 {
+		t.Errorf("computes = %d, want 4", computes)
+	}
+	if transfers != res.Messages || transfers != 4 {
+		t.Errorf("transfers = %d, want %d", transfers, res.Messages)
+	}
+	// Trace must not perturb results.
+	plain, err := SimulatePath(Config{Machine: machine(2), Rounds: 2}, p, []int{0})
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	if *plain != *res {
+		t.Errorf("trace changed results: %+v vs %+v", res, plain)
+	}
+}

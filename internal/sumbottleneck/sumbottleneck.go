@@ -1,0 +1,295 @@
+// Package sumbottleneck implements Bokhari's sum-bottleneck chain
+// partitioning — the concrete prior-work problem behind the complexity
+// comparison in §1: partition a chain of modules over the processors of a
+// linear array so that the maximum per-processor cost is minimized, where a
+// processor's cost is the total weight of its modules PLUS the weight of
+// the chain edges it shares with its neighbours (the interprocessor
+// communication Bokhari charges to both ends, and that the paper points out
+// shared-memory machines pay on the common network instead).
+//
+// Formally: modules 0..n−1 with weights w, edges e_0..e_{n-2}; a partition
+// into at most m contiguous blocks; block [a, b] costs
+//
+//	Σ_{i=a..b} w_i + E(a) + E(b+1)
+//
+// with E(j) the weight of the boundary edge at position j (0 at the chain
+// ends). Minimize the maximum block cost.
+//
+// Two exact solvers over integer weights:
+//
+//   - SolveDP — the layered dynamic program over Bokhari's assignment graph
+//     (sum-bottleneck shortest path), O(n²·m). Bokhari's original ran in
+//     O(n³·m); the DP formulation here is the standard tightening credited
+//     to Nicol & O'Hallaron.
+//   - SolveProbe — binary search on the bottleneck value with an
+//     O(n log n) feasibility DP per probe: a block [k, i−1] fits under B iff
+//     E(k) − prefix(k) ≤ B − E(i) − prefix(i), so the minimum-blocks
+//     recurrence is a prefix-minimum query over a key order, served by a
+//     min-Fenwick tree. O(n log n · log Σw) total.
+//
+// With all edge weights zero the problem degenerates to chains-on-chains
+// (package ccp); tests exploit that equivalence as a cross-check.
+package sumbottleneck
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadInput is returned for empty chains, bad m, or negative weights.
+var ErrBadInput = errors.New("sumbottleneck: bad input")
+
+// Result is a partition of the chain.
+type Result struct {
+	// Breaks lists the boundary positions (a break at position p separates
+	// modules p−1 and p), increasing, excluding the chain ends.
+	Breaks []int
+	// Bottleneck is the maximum block cost.
+	Bottleneck int64
+	// Blocks is the number of blocks used (≤ m).
+	Blocks int
+}
+
+type instance struct {
+	w, e   []int64
+	prefix []int64 // prefix[i] = Σ w[0..i-1]
+	n      int
+}
+
+func newInstance(w, e []int64, m int) (*instance, error) {
+	if len(w) == 0 {
+		return nil, fmt.Errorf("empty chain: %w", ErrBadInput)
+	}
+	if len(e) != len(w)-1 {
+		return nil, fmt.Errorf("%d modules need %d edges, have %d: %w", len(w), len(w)-1, len(e), ErrBadInput)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("m = %d: %w", m, ErrBadInput)
+	}
+	for i, x := range w {
+		if x < 0 {
+			return nil, fmt.Errorf("w[%d] = %d: %w", i, x, ErrBadInput)
+		}
+	}
+	for i, x := range e {
+		if x < 0 {
+			return nil, fmt.Errorf("e[%d] = %d: %w", i, x, ErrBadInput)
+		}
+	}
+	in := &instance{w: w, e: e, n: len(w), prefix: make([]int64, len(w)+1)}
+	for i, x := range w {
+		in.prefix[i+1] = in.prefix[i] + x
+	}
+	return in, nil
+}
+
+// boundary returns E(j): the edge weight at boundary position j (between
+// modules j−1 and j), 0 at the chain ends.
+func (in *instance) boundary(j int) int64 {
+	if j <= 0 || j >= in.n {
+		return 0
+	}
+	return in.e[j-1]
+}
+
+// blockCost is the cost of the block covering modules a..b inclusive.
+func (in *instance) blockCost(a, b int) int64 {
+	return in.prefix[b+1] - in.prefix[a] + in.boundary(a) + in.boundary(b+1)
+}
+
+// finalize builds a Result from break positions.
+func (in *instance) finalize(breaks []int) *Result {
+	res := &Result{Breaks: breaks, Blocks: len(breaks) + 1}
+	a := 0
+	for _, p := range breaks {
+		if c := in.blockCost(a, p-1); c > res.Bottleneck {
+			res.Bottleneck = c
+		}
+		a = p
+	}
+	if c := in.blockCost(a, in.n-1); c > res.Bottleneck {
+		res.Bottleneck = c
+	}
+	return res
+}
+
+const inf = int64(1) << 62
+
+// SolveDP runs the layered dynamic program: O(n²·m) time, O(n·m) space for
+// reconstruction.
+func SolveDP(w, e []int64, m int) (*Result, error) {
+	in, err := newInstance(w, e, m)
+	if err != nil {
+		return nil, err
+	}
+	n := in.n
+	if m > n {
+		m = n
+	}
+	// cur[i] = optimal bottleneck covering modules 0..i-1 (boundary at i)
+	// with the current number of blocks.
+	prev := make([]int64, n+1)
+	cur := make([]int64, n+1)
+	split := make([][]int32, m+1)
+	for i := 0; i <= n; i++ {
+		prev[i] = inf
+		if i > 0 {
+			prev[i] = in.blockCost(0, i-1)
+		}
+	}
+	prev[0] = 0
+	for j := 2; j <= m; j++ {
+		split[j] = make([]int32, n+1)
+		for i := 0; i <= n; i++ {
+			cur[i] = prev[i] // using fewer blocks is always allowed
+			split[j][i] = -1
+			for k := 1; k < i; k++ {
+				if prev[k] == inf {
+					continue
+				}
+				v := prev[k]
+				if c := in.blockCost(k, i-1); c > v {
+					v = c
+				}
+				if v < cur[i] {
+					cur[i] = v
+					split[j][i] = int32(k)
+				}
+			}
+		}
+		prev, cur = cur, prev
+		// Keep the split rows aligned with the buffer that produced them:
+		// prev now holds level j.
+	}
+	// Reconstruct from level m downwards; split = −1 at a level means the
+	// optimum there already used fewer blocks, so only the level drops.
+	var breaks []int
+	i := n
+	for j := m; j >= 2 && i > 0; j-- {
+		k := split[j][i]
+		if k <= 0 {
+			continue
+		}
+		breaks = append(breaks, int(k))
+		i = int(k)
+	}
+	sort.Ints(breaks)
+	return in.finalize(breaks), nil
+}
+
+// fenwickMin is a Fenwick tree over prefix minima of (value, argmin) pairs.
+type fenwickMin struct {
+	val []int64
+	arg []int32
+}
+
+func newFenwickMin(n int) *fenwickMin {
+	f := &fenwickMin{val: make([]int64, n+1), arg: make([]int32, n+1)}
+	for i := range f.val {
+		f.val[i] = inf
+		f.arg[i] = -1
+	}
+	return f
+}
+
+// update lowers the value at 1-based position pos.
+func (f *fenwickMin) update(pos int, v int64, arg int32) {
+	for ; pos < len(f.val); pos += pos & -pos {
+		if v < f.val[pos] {
+			f.val[pos] = v
+			f.arg[pos] = arg
+		}
+	}
+}
+
+// query returns the minimum (and argmin) over positions 1..pos.
+func (f *fenwickMin) query(pos int) (int64, int32) {
+	best, arg := inf, int32(-1)
+	for ; pos > 0; pos -= pos & -pos {
+		if f.val[pos] < best {
+			best = f.val[pos]
+			arg = f.arg[pos]
+		}
+	}
+	return best, arg
+}
+
+// probe computes the minimum number of blocks with every block cost ≤ b,
+// returning n+1 when infeasible, plus the parent links for reconstruction.
+func (in *instance) probe(b int64, keys []int64, rank []int) (int, []int32) {
+	n := in.n
+	g := make([]int64, n+1)
+	parent := make([]int32, n+1)
+	fw := newFenwickMin(n + 1)
+	g[0] = 0
+	parent[0] = -1
+	fw.update(rank[0], 0, 0)
+	for i := 1; i <= n; i++ {
+		// Feasible predecessors k: key(k) = E(k) − prefix(k) ≤ c.
+		c := b - in.boundary(i) - in.prefix[i]
+		// Number of keys ≤ c.
+		cnt := sort.Search(len(keys), func(x int) bool { return keys[x] > c })
+		g[i] = inf
+		parent[i] = -1
+		if cnt > 0 {
+			if v, arg := fw.query(cnt); v < inf {
+				g[i] = v + 1
+				parent[i] = arg
+			}
+		}
+		if i < n && g[i] < inf {
+			fw.update(rank[i], g[i], int32(i))
+		}
+	}
+	if g[n] >= inf {
+		// Sentinel strictly above any possible block count (callers clamp
+		// m ≤ n).
+		return n + 2, parent
+	}
+	return int(g[n]), parent
+}
+
+// SolveProbe runs the binary search on the bottleneck with the Fenwick
+// feasibility DP: O(n log n · log Σw).
+func SolveProbe(w, e []int64, m int) (*Result, error) {
+	in, err := newInstance(w, e, m)
+	if err != nil {
+		return nil, err
+	}
+	n := in.n
+	if m > n {
+		m = n // more blocks than modules can never help
+	}
+	// key(k) for boundaries k = 0..n−1 (positions a block may start at).
+	key := make([]int64, n)
+	for k := 0; k < n; k++ {
+		key[k] = in.boundary(k) - in.prefix[k]
+	}
+	sorted := append([]int64(nil), key...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	rank := make([]int, n)
+	for k := 0; k < n; k++ {
+		rank[k] = sort.Search(len(sorted), func(x int) bool { return sorted[x] >= key[k] }) + 1
+	}
+	lo, hi := int64(0), in.prefix[n]
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if blocks, _ := in.probe(mid, sorted, rank); blocks <= m {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	blocks, parent := in.probe(lo, sorted, rank)
+	if blocks > m {
+		// Unreachable: a single block of cost prefix[n] is always feasible.
+		return nil, fmt.Errorf("no partition found: %w", ErrBadInput)
+	}
+	var breaks []int
+	for i := parent[n]; i > 0; i = parent[i] {
+		breaks = append(breaks, int(i))
+	}
+	sort.Ints(breaks)
+	return in.finalize(breaks), nil
+}

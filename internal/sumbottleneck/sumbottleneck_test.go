@@ -1,0 +1,230 @@
+package sumbottleneck
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ccp"
+	"repro/internal/workload"
+)
+
+// brute enumerates all break sets for small chains.
+func brute(t *testing.T, w, e []int64, m int) int64 {
+	t.Helper()
+	in, err := newInstance(w, e, m)
+	if err != nil {
+		t.Fatalf("newInstance: %v", err)
+	}
+	n := in.n
+	best := inf
+	// Breaks are subsets of positions 1..n-1 with ≤ m-1 elements.
+	for mask := 0; mask < 1<<(n-1); mask++ {
+		var breaks []int
+		for p := 1; p < n; p++ {
+			if mask&(1<<(p-1)) != 0 {
+				breaks = append(breaks, p)
+			}
+		}
+		if len(breaks) > m-1 {
+			continue
+		}
+		if r := in.finalize(breaks); r.Bottleneck < best {
+			best = r.Bottleneck
+		}
+	}
+	return best
+}
+
+func solvers() []struct {
+	name string
+	f    func([]int64, []int64, int) (*Result, error)
+} {
+	return []struct {
+		name string
+		f    func([]int64, []int64, int) (*Result, error)
+	}{
+		{"DP", SolveDP},
+		{"Probe", SolveProbe},
+	}
+}
+
+func TestHandCases(t *testing.T) {
+	tests := []struct {
+		name string
+		w    []int64
+		e    []int64
+		m    int
+		want int64
+	}{
+		{"single module", []int64{7}, nil, 3, 7},
+		{"one block", []int64{1, 2, 3}, []int64{10, 10}, 1, 6},
+		{
+			// Splitting costs boundary edges: {1,2}+{3} = max(1+2+5, 3+5)=8;
+			// one block = 6. One block wins despite imbalance.
+			"comm discourages splitting",
+			[]int64{1, 2, 3}, []int64{9, 5}, 2, 6,
+		},
+		{
+			// Cheap middle edge invites a split: {10}+{10} with edge 1 =
+			// max(11, 11) = 11 < 20.
+			"cheap edge invites split",
+			[]int64{10, 10}, []int64{1}, 2, 11,
+		},
+		{
+			"m larger than n",
+			[]int64{4, 4}, []int64{0}, 10, 4,
+		},
+	}
+	for _, tt := range tests {
+		for _, s := range solvers() {
+			t.Run(tt.name+"/"+s.name, func(t *testing.T) {
+				got, err := s.f(tt.w, tt.e, tt.m)
+				if err != nil {
+					t.Fatalf("%v", err)
+				}
+				if got.Bottleneck != tt.want {
+					t.Errorf("Bottleneck = %d (breaks %v), want %d", got.Bottleneck, got.Breaks, tt.want)
+				}
+				if got.Blocks > tt.m {
+					t.Errorf("blocks %d > m %d", got.Blocks, tt.m)
+				}
+			})
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, s := range solvers() {
+		if _, err := s.f(nil, nil, 1); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s empty: %v", s.name, err)
+		}
+		if _, err := s.f([]int64{1, 2}, []int64{1, 2}, 1); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s edge count: %v", s.name, err)
+		}
+		if _, err := s.f([]int64{1}, nil, 0); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s m=0: %v", s.name, err)
+		}
+		if _, err := s.f([]int64{-1}, nil, 1); !errors.Is(err, ErrBadInput) {
+			t.Errorf("%s negative: %v", s.name, err)
+		}
+	}
+}
+
+func TestSolversMatchBrute(t *testing.T) {
+	r := workload.NewRNG(1988)
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + r.Intn(11)
+		w := make([]int64, n)
+		e := make([]int64, n-1)
+		for i := range w {
+			w[i] = int64(r.Intn(30))
+		}
+		for i := range e {
+			e[i] = int64(r.Intn(30))
+		}
+		m := 1 + r.Intn(5)
+		want := brute(t, w, e, m)
+		for _, s := range solvers() {
+			got, err := s.f(w, e, m)
+			if err != nil {
+				t.Fatalf("%s: %v", s.name, err)
+			}
+			if got.Bottleneck != want {
+				t.Fatalf("%s = %d, brute = %d\nw=%v e=%v m=%d breaks=%v",
+					s.name, got.Bottleneck, want, w, e, m, got.Breaks)
+			}
+		}
+	}
+}
+
+func TestZeroEdgesReducesToCCP(t *testing.T) {
+	r := workload.NewRNG(55)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(60)
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = int64(r.Intn(50))
+		}
+		e := make([]int64, n-1)
+		m := 1 + r.Intn(8)
+		sb, err := SolveProbe(w, e, m)
+		if err != nil {
+			t.Fatalf("SolveProbe: %v", err)
+		}
+		cc, err := ccp.SolveProbe(w, m)
+		if err != nil {
+			t.Fatalf("ccp: %v", err)
+		}
+		if sb.Bottleneck != cc.Bottleneck {
+			t.Fatalf("zero-edge sum-bottleneck %d != ccp %d (w=%v m=%d)",
+				sb.Bottleneck, cc.Bottleneck, w, m)
+		}
+	}
+}
+
+func TestLargeAgreement(t *testing.T) {
+	r := workload.NewRNG(77)
+	for trial := 0; trial < 10; trial++ {
+		n := 300 + r.Intn(500)
+		w := make([]int64, n)
+		e := make([]int64, n-1)
+		for i := range w {
+			w[i] = int64(1 + r.Intn(100))
+		}
+		for i := range e {
+			e[i] = int64(r.Intn(80))
+		}
+		m := 2 + r.Intn(20)
+		dp, err := SolveDP(w, e, m)
+		if err != nil {
+			t.Fatalf("dp: %v", err)
+		}
+		probe, err := SolveProbe(w, e, m)
+		if err != nil {
+			t.Fatalf("probe: %v", err)
+		}
+		if dp.Bottleneck != probe.Bottleneck {
+			t.Fatalf("DP %d != probe %d (n=%d m=%d)", dp.Bottleneck, probe.Bottleneck, n, m)
+		}
+	}
+}
+
+// Property: the reported breaks reproduce the reported bottleneck, and more
+// processors never hurt.
+func TestResultConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := workload.NewRNG(seed)
+		n := 1 + r.Intn(80)
+		w := make([]int64, n)
+		e := make([]int64, n-1)
+		for i := range w {
+			w[i] = int64(r.Intn(40))
+		}
+		for i := range e {
+			e[i] = int64(r.Intn(40))
+		}
+		in, err := newInstance(w, e, 1)
+		if err != nil {
+			return false
+		}
+		prev := inf
+		for m := 1; m <= 6; m++ {
+			res, err := SolveProbe(w, e, m)
+			if err != nil {
+				return false
+			}
+			if in.finalize(res.Breaks).Bottleneck != res.Bottleneck {
+				return false
+			}
+			if res.Bottleneck > prev {
+				return false
+			}
+			prev = res.Bottleneck
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+package treecut
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// This file makes Theorem 1 executable. The theorem shows bandwidth
+// minimization is NP-complete already for star task graphs by reduction from
+// 0-1 knapsack: given items with weights w_i, profits p_i and capacity k₂,
+// build a star with centre weight 0, leaf weights ω(v_i) = w_i and edge
+// weights δ(e_i) = p_i. A cut S keeps the centre component within k₂ exactly
+// when the kept leaves I = {i : e_i ∉ S} fit the knapsack, and
+// δ(S) = Σp − profit(I); so minimum-weight cuts correspond to
+// maximum-profit packings.
+
+// KnapsackToStar builds the Theorem 1 star task graph from a knapsack
+// instance. Leaf i+1 corresponds to item i; edge i connects the centre
+// (vertex 0) to leaf i+1.
+func KnapsackToStar(items []KnapsackItem) (*graph.Tree, error) {
+	nodeW := make([]float64, len(items)+1)
+	edges := make([]graph.Edge, len(items))
+	for i, it := range items {
+		if it.Weight < 0 || it.Profit < 0 {
+			return nil, fmt.Errorf("item %d = %+v: %w", i, it, ErrBadInput)
+		}
+		nodeW[i+1] = float64(it.Weight)
+		edges[i] = graph.Edge{U: 0, V: i + 1, W: it.Profit}
+	}
+	return graph.NewTree(nodeW, edges)
+}
+
+// StarToKnapsack extracts the knapsack instance from a Theorem 1 star: item
+// i has weight ω(leaf i) and profit δ(edge to leaf i). The star must have
+// integral leaf weights; the centre must be vertex 0.
+func StarToKnapsack(star *graph.Tree) ([]KnapsackItem, error) {
+	if err := star.Validate(); err != nil {
+		return nil, err
+	}
+	if !star.IsStar() {
+		return nil, fmt.Errorf("graph is not a star: %w", ErrBadInput)
+	}
+	items := make([]KnapsackItem, 0, star.NumEdges())
+	for i, e := range star.Edges {
+		leaf := e.V
+		if leaf == 0 {
+			leaf = e.U
+		}
+		w := star.NodeW[leaf]
+		if w != math.Trunc(w) {
+			return nil, fmt.Errorf("leaf %d weight %v not integral: %w", leaf, w, ErrBadInput)
+		}
+		if e.U != 0 && e.V != 0 {
+			return nil, fmt.Errorf("edge %d does not touch centre 0: %w", i, ErrBadInput)
+		}
+		items = append(items, KnapsackItem{Weight: int(w), Profit: e.W})
+	}
+	return items, nil
+}
+
+// CutResult is a tree edge cut with its total weight.
+type CutResult struct {
+	// Cut lists cut edge indices in increasing order.
+	Cut []int
+	// Weight is the total weight of the cut edges.
+	Weight float64
+}
+
+// SolveStarExact solves bandwidth minimization on a Theorem 1 star exactly
+// by translating to knapsack, solving the knapsack with KnapsackDP, and
+// translating the packing back to a cut: the cut contains precisely the
+// edges of the items NOT packed. The bound k must satisfy every leaf weight
+// and the centre weight individually (otherwise the instance is infeasible).
+func SolveStarExact(star *graph.Tree, k float64) (*CutResult, error) {
+	if !(k > 0) || math.IsNaN(k) || math.IsInf(k, 0) {
+		return nil, fmt.Errorf("bound %v: %w", k, ErrBadInput)
+	}
+	if star.MaxNodeWeight() > k {
+		return nil, fmt.Errorf("max vertex weight %v > K=%v: %w", star.MaxNodeWeight(), k, ErrInfeasible)
+	}
+	items, err := StarToKnapsack(star)
+	if err != nil {
+		return nil, err
+	}
+	centre := star.NodeW[0]
+	if centre != math.Trunc(centre) {
+		return nil, fmt.Errorf("centre weight %v not integral: %w", centre, ErrBadInput)
+	}
+	// Kept-leaf weights are integers, so the centre component fits within k
+	// exactly when the packed weight is at most ⌊k⌋ − centre.
+	capacity := int(math.Floor(k)) - int(centre)
+	if capacity < 0 {
+		capacity = 0
+	}
+	pack, err := KnapsackDP(items, capacity)
+	if err != nil {
+		return nil, err
+	}
+	packed := make(map[int]bool, len(pack.Chosen))
+	for _, i := range pack.Chosen {
+		packed[i] = true
+	}
+	res := &CutResult{}
+	for i, it := range items {
+		if !packed[i] {
+			res.Cut = append(res.Cut, i)
+			res.Weight += it.Profit
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,310 @@
+package treecut
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// This file holds exact and heuristic solvers for the NP-complete general
+// problem: minimum-weight edge cut of a tree such that every component
+// weighs at most K.
+//
+//   - TreeBandwidthExact: pseudo-polynomial DP over integer vertex weights,
+//     O(n·K²) worst case — exact, the standard antidote to Theorem 1's
+//     knapsack hardness when weights are bounded integers.
+//   - TreeBandwidthBB: branch and bound over edge subsets for real weights,
+//     exact but exponential (n ≤ ~24).
+//   - TreeBandwidthGreedy: post-order accumulate-and-cut heuristic with a
+//     redundancy-elimination pass; no optimality guarantee (Theorem 1 says
+//     none is cheap), evaluated against the exact DP in tests and benches.
+
+// rootOrder returns a BFS order from vertex 0 plus parent and parent-edge
+// arrays; reversing the order gives a post-order.
+func rootOrder(t *graph.Tree) (order, parent, parentEdge []int) {
+	n := t.Len()
+	adj := t.Adjacency()
+	order = make([]int, 0, n)
+	parent = make([]int, n)
+	parentEdge = make([]int, n)
+	for v := range parent {
+		parent[v] = -1
+		parentEdge[v] = -1
+	}
+	order = append(order, 0)
+	for qi := 0; qi < len(order); qi++ {
+		v := order[qi]
+		for _, a := range adj[v] {
+			if a.To != parent[v] {
+				parent[a.To] = v
+				parentEdge[a.To] = a.Edge
+				order = append(order, a.To)
+			}
+		}
+	}
+	return order, parent, parentEdge
+}
+
+// TreeBandwidthExact computes a minimum-weight feasible cut for a tree with
+// integral vertex weights and integral bound k. It refuses instances whose
+// n·k product would be excessive.
+func TreeBandwidthExact(t *graph.Tree, k int) (*CutResult, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("bound %d: %w", k, ErrBadInput)
+	}
+	n := t.Len()
+	if n*k > 50_000_000 {
+		return nil, fmt.Errorf("n*K = %d: %w", n*k, ErrTooLarge)
+	}
+	wInt := make([]int, n)
+	for v, w := range t.NodeW {
+		if w != math.Trunc(w) || w < 0 {
+			return nil, fmt.Errorf("vertex %d weight %v not a non-negative integer: %w", v, w, ErrBadInput)
+		}
+		wInt[v] = int(w)
+		if wInt[v] > k {
+			return nil, fmt.Errorf("vertex %d weight %d > K=%d: %w", v, wInt[v], k, ErrInfeasible)
+		}
+	}
+	order, parent, parentEdge := rootOrder(t)
+	adj := t.Adjacency()
+	// dp[v][w] = min cut weight within v's subtree such that the component
+	// containing v weighs exactly w; math.Inf(1) if impossible.
+	// choice[v] records, per child, whether the child edge was cut and at
+	// which component weight, enough to reconstruct the cut.
+	dp := make([][]float64, n)
+	type childDecision struct {
+		child int
+		// cutAt[w] reports whether, on the optimal path to component weight
+		// w after merging this child, the child edge was cut; childW[w] is
+		// the component weight contributed by (or chosen inside) the child.
+		cutAt  []bool
+		childW []int
+	}
+	decisions := make([][]childDecision, n)
+	// bestW[v] is the component weight achieving min_w dp[v][w]; bestVal[v]
+	// the value.
+	bestW := make([]int, n)
+	bestVal := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		cur := make([]float64, k+1)
+		for w := range cur {
+			cur[w] = math.Inf(1)
+		}
+		cur[wInt[v]] = 0
+		for _, a := range adj[v] {
+			if a.To == parent[v] {
+				continue
+			}
+			c := a.To
+			cdp := dp[c]
+			next := make([]float64, k+1)
+			dec := childDecision{child: c, cutAt: make([]bool, k+1), childW: make([]int, k+1)}
+			for w := 0; w <= k; w++ {
+				next[w] = math.Inf(1)
+				if !math.IsInf(cur[w], 1) {
+					// Cut the child edge: pay edge weight plus the child's
+					// best standalone subtree cost.
+					if v2 := cur[w] + t.Edges[a.Edge].W + bestVal[c]; v2 < next[w] {
+						next[w] = v2
+						dec.cutAt[w] = true
+						dec.childW[w] = bestW[c]
+					}
+				}
+				// Keep the child edge: combine component weights (wc = 0 is
+				// possible when the child subtree has zero-weight vertices).
+				for wc := 0; wc <= w; wc++ {
+					if math.IsInf(cdp[wc], 1) || math.IsInf(cur[w-wc], 1) {
+						continue
+					}
+					if v2 := cur[w-wc] + cdp[wc]; v2 < next[w] {
+						next[w] = v2
+						dec.cutAt[w] = false
+						dec.childW[w] = wc
+					}
+				}
+			}
+			cur = next
+			decisions[v] = append(decisions[v], dec)
+		}
+		dp[v] = cur
+		bestVal[v] = math.Inf(1)
+		for w := 0; w <= k; w++ {
+			if cur[w] < bestVal[v] {
+				bestVal[v] = cur[w]
+				bestW[v] = w
+			}
+		}
+		if math.IsInf(bestVal[v], 1) {
+			return nil, ErrInfeasible
+		}
+	}
+	// Reconstruct: walk down from the root, tracking each vertex's chosen
+	// component weight and unwinding the per-child decisions in reverse.
+	res := &CutResult{}
+	type frame struct {
+		v, w int
+	}
+	stack := []frame{{v: 0, w: bestW[0]}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		w := fr.w
+		// Decisions were appended child by child; undo them last-to-first.
+		for di := len(decisions[fr.v]) - 1; di >= 0; di-- {
+			dec := decisions[fr.v][di]
+			if dec.cutAt[w] {
+				res.Cut = append(res.Cut, parentEdge[dec.child])
+				stack = append(stack, frame{v: dec.child, w: dec.childW[w]})
+				// component weight at v unchanged by a cut child
+			} else {
+				stack = append(stack, frame{v: dec.child, w: dec.childW[w]})
+				w -= dec.childW[w]
+			}
+		}
+	}
+	sort.Ints(res.Cut)
+	for _, e := range res.Cut {
+		res.Weight += t.Edges[e].W
+	}
+	return res, nil
+}
+
+// TreeBandwidthBB computes a minimum-weight feasible cut for real-weighted
+// trees by branch and bound over edges in decreasing weight order, pruning
+// with the running best. Exact; exponential; refuses more than 24 edges.
+func TreeBandwidthBB(t *graph.Tree, k float64) (*CutResult, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if !(k > 0) || math.IsNaN(k) || math.IsInf(k, 0) {
+		return nil, fmt.Errorf("bound %v: %w", k, ErrBadInput)
+	}
+	if t.MaxNodeWeight() > k {
+		return nil, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
+	}
+	m := t.NumEdges()
+	if m > 24 {
+		return nil, fmt.Errorf("%d edges: %w", m, ErrTooLarge)
+	}
+	best := math.Inf(1)
+	var bestCut []int
+	var cur []int
+	feasible := func(cut []int) bool {
+		maxW, err := t.MaxComponentWeight(cut)
+		return err == nil && maxW <= k
+	}
+	var rec func(pos int, weight float64)
+	rec = func(pos int, weight float64) {
+		if weight >= best {
+			return
+		}
+		if pos == m {
+			if feasible(append([]int(nil), cur...)) {
+				best = weight
+				bestCut = append(bestCut[:0], cur...)
+			}
+			return
+		}
+		// Branch: skip edge pos first (prefer cheaper cuts), then cut it.
+		rec(pos+1, weight)
+		cur = append(cur, pos)
+		rec(pos+1, weight+t.Edges[pos].W)
+		cur = cur[:len(cur)-1]
+	}
+	rec(0, 0)
+	if math.IsInf(best, 1) {
+		return nil, ErrInfeasible
+	}
+	sort.Ints(bestCut)
+	return &CutResult{Cut: bestCut, Weight: best}, nil
+}
+
+// TreeBandwidthGreedy computes a feasible cut heuristically: a post-order
+// sweep that, whenever the accumulated component around a vertex overflows
+// K, cuts absorbed child edges in decreasing weight-per-load order until it
+// fits; then a redundancy pass re-admits cut edges (heaviest first) whose
+// return keeps the partition feasible.
+func TreeBandwidthGreedy(t *graph.Tree, k float64) (*CutResult, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if !(k > 0) || math.IsNaN(k) || math.IsInf(k, 0) {
+		return nil, fmt.Errorf("bound %v: %w", k, ErrBadInput)
+	}
+	if t.MaxNodeWeight() > k {
+		return nil, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
+	}
+	n := t.Len()
+	order, parent, _ := rootOrder(t)
+	adj := t.Adjacency()
+	res := make([]float64, n)
+	copy(res, t.NodeW)
+	cutSet := make(map[int]bool)
+	type cand struct {
+		res  float64
+		edge int
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		var children []cand
+		total := t.NodeW[v]
+		for _, a := range adj[v] {
+			if a.To == parent[v] {
+				continue
+			}
+			children = append(children, cand{res: res[a.To], edge: a.Edge})
+			total += res[a.To]
+		}
+		if total <= k {
+			res[v] = total
+			continue
+		}
+		// Prefer cutting edges that shed the most load per unit of cut
+		// weight.
+		sort.Slice(children, func(a, b int) bool {
+			ra := children[a].res / math.Max(t.Edges[children[a].edge].W, 1e-12)
+			rb := children[b].res / math.Max(t.Edges[children[b].edge].W, 1e-12)
+			return ra > rb
+		})
+		for _, c := range children {
+			if total <= k {
+				break
+			}
+			total -= c.res
+			cutSet[c.edge] = true
+		}
+		res[v] = total
+	}
+	// Redundancy elimination: try to restore the heaviest cut edges first.
+	cut := make([]int, 0, len(cutSet))
+	for e := range cutSet {
+		cut = append(cut, e)
+	}
+	sort.Slice(cut, func(a, b int) bool { return t.Edges[cut[a]].W > t.Edges[cut[b]].W })
+	for _, e := range cut {
+		delete(cutSet, e)
+		trial := make([]int, 0, len(cutSet))
+		for x := range cutSet {
+			trial = append(trial, x)
+		}
+		sort.Ints(trial)
+		maxW, err := t.MaxComponentWeight(trial)
+		if err != nil || maxW > k {
+			cutSet[e] = true
+		}
+	}
+	out := &CutResult{}
+	for e := range cutSet {
+		out.Cut = append(out.Cut, e)
+		out.Weight += t.Edges[e].W
+	}
+	sort.Ints(out.Cut)
+	return out, nil
+}

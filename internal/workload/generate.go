@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Dist selects a weight distribution for generated task graphs.
+type Dist int
+
+// Supported weight distributions. Uniform on [Lo,Hi] is the distribution the
+// paper's Figure 2 study assumes ("vertex weights are distributed uniformly
+// over the range [w1, w2]", §2.3.2); the others stress the algorithms beyond
+// the paper's assumptions.
+const (
+	DistUniform Dist = iota + 1
+	DistExponential
+	DistPareto
+	DistBimodal
+	DistConstant
+)
+
+// String implements fmt.Stringer for experiment labels.
+func (d Dist) String() string {
+	switch d {
+	case DistUniform:
+		return "uniform"
+	case DistExponential:
+		return "exponential"
+	case DistPareto:
+		return "pareto"
+	case DistBimodal:
+		return "bimodal"
+	case DistConstant:
+		return "constant"
+	default:
+		return fmt.Sprintf("Dist(%d)", int(d))
+	}
+}
+
+// Weights describes a weight distribution: values fall in [Lo, Hi] (for
+// DistExponential the mean is (Lo+Hi)/2 and values are clamped to [Lo, Hi]).
+type Weights struct {
+	Dist   Dist
+	Lo, Hi float64
+}
+
+// Sample draws one weight.
+func (w Weights) Sample(r *RNG) float64 {
+	switch w.Dist {
+	case DistUniform:
+		return r.Uniform(w.Lo, w.Hi)
+	case DistExponential:
+		v := r.Exp((w.Lo + w.Hi) / 2)
+		if v < w.Lo {
+			return w.Lo
+		}
+		if v > w.Hi {
+			return w.Hi
+		}
+		return v
+	case DistPareto:
+		lo := w.Lo
+		if lo <= 0 {
+			lo = 1
+		}
+		return r.Pareto(lo, w.Hi, 1.5)
+	case DistBimodal:
+		// 90% light tasks near Lo, 10% heavy tasks near Hi.
+		if r.Float64() < 0.9 {
+			return r.Uniform(w.Lo, w.Lo+(w.Hi-w.Lo)/10)
+		}
+		return r.Uniform(w.Hi-(w.Hi-w.Lo)/10, w.Hi)
+	case DistConstant:
+		return w.Lo
+	default:
+		return r.Uniform(w.Lo, w.Hi)
+	}
+}
+
+// sampleN draws n weights.
+func (w Weights) sampleN(r *RNG, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = w.Sample(r)
+	}
+	return out
+}
+
+// UniformWeights is shorthand for the paper's U[lo,hi] distribution.
+func UniformWeights(lo, hi float64) Weights {
+	return Weights{Dist: DistUniform, Lo: lo, Hi: hi}
+}
+
+// RandomPath generates an n-task linear task graph with node weights from
+// nodeW and edge weights from edgeW.
+func RandomPath(r *RNG, n int, nodeW, edgeW Weights) *graph.Path {
+	if n < 1 {
+		n = 1
+	}
+	return &graph.Path{
+		NodeW: nodeW.sampleN(r, n),
+		EdgeW: edgeW.sampleN(r, n-1),
+	}
+}
+
+// RandomTree generates a random recursive tree on n vertices: vertex i
+// attaches to a uniformly random earlier vertex. This yields trees with
+// logarithmic expected depth and a mix of high- and low-degree nodes.
+func RandomTree(r *RNG, n int, nodeW, edgeW Weights) *graph.Tree {
+	if n < 1 {
+		n = 1
+	}
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		u := r.Intn(v)
+		edges = append(edges, graph.Edge{U: u, V: v, W: edgeW.Sample(r)})
+	}
+	return &graph.Tree{NodeW: nodeW.sampleN(r, n), Edges: edges}
+}
+
+// Star generates a star task graph with centre 0 and n−1 leaves. Stars are
+// the paper's NP-completeness gadget (Theorem 1).
+func Star(r *RNG, n int, nodeW, edgeW Weights) *graph.Tree {
+	if n < 1 {
+		n = 1
+	}
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: 0, V: v, W: edgeW.Sample(r)})
+	}
+	return &graph.Tree{NodeW: nodeW.sampleN(r, n), Edges: edges}
+}
+
+// Caterpillar generates a spine of length spine with leavesPer leaves on each
+// spine vertex. Caterpillars exercise Algorithm 2.2's leaf-pruning recursion
+// directly.
+func Caterpillar(r *RNG, spine, leavesPer int, nodeW, edgeW Weights) *graph.Tree {
+	if spine < 1 {
+		spine = 1
+	}
+	if leavesPer < 0 {
+		leavesPer = 0
+	}
+	n := spine + spine*leavesPer
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < spine; v++ {
+		edges = append(edges, graph.Edge{U: v - 1, V: v, W: edgeW.Sample(r)})
+	}
+	next := spine
+	for s := 0; s < spine; s++ {
+		for l := 0; l < leavesPer; l++ {
+			edges = append(edges, graph.Edge{U: s, V: next, W: edgeW.Sample(r)})
+			next++
+		}
+	}
+	return &graph.Tree{NodeW: nodeW.sampleN(r, n), Edges: edges}
+}
+
+// DaryTree generates a balanced d-ary tree with the given number of vertices,
+// modelling divide-and-conquer task graphs (§1). Vertex 0 is the root and
+// vertex v's parent is (v-1)/d.
+func DaryTree(r *RNG, n, d int, nodeW, edgeW Weights) *graph.Tree {
+	if n < 1 {
+		n = 1
+	}
+	if d < 2 {
+		d = 2
+	}
+	edges := make([]graph.Edge, 0, n-1)
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: (v - 1) / d, V: v, W: edgeW.Sample(r)})
+	}
+	return &graph.Tree{NodeW: nodeW.sampleN(r, n), Edges: edges}
+}
+
+// PDEStrips models the §1 numerical workload: a grid of rows×cols points cut
+// into rows strips of simple iterative calculation. Each strip is a task
+// whose weight is cols×flopsPerPoint (jittered ±10%), and adjacent strips
+// exchange a halo of cols×bytesPerPoint data per iteration.
+func PDEStrips(r *RNG, rows, cols int, flopsPerPoint, bytesPerPoint float64) *graph.Path {
+	if rows < 1 {
+		rows = 1
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	nodeW := make([]float64, rows)
+	for i := range nodeW {
+		jitter := 0.9 + 0.2*r.Float64()
+		nodeW[i] = float64(cols) * flopsPerPoint * jitter
+	}
+	edgeW := make([]float64, rows-1)
+	for i := range edgeW {
+		edgeW[i] = float64(cols) * bytesPerPoint
+	}
+	return &graph.Path{NodeW: nodeW, EdgeW: edgeW}
+}
+
+// Pipeline models the §3 real-time workload: stages tasks in a chain, stage
+// compute weights from nodeW, inter-stage message volumes from edgeW, with a
+// fraction of "sensitive" dependencies whose weight is boosted by the given
+// factor (the paper's reliability-weighted edges).
+func Pipeline(r *RNG, stages int, nodeW, edgeW Weights, sensitiveFrac, boost float64) *graph.Path {
+	p := RandomPath(r, stages, nodeW, edgeW)
+	for i := range p.EdgeW {
+		if r.Float64() < sensitiveFrac {
+			p.EdgeW[i] *= boost
+		}
+	}
+	return p
+}

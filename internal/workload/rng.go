@@ -1,0 +1,83 @@
+// Package workload generates the synthetic task graphs used by the paper's
+// simulation study (§2.3.2, Figure 2) and by the application examples (§3).
+//
+// All randomness flows through RNG, a small deterministic splitmix64
+// generator, so every experiment in this repository is reproducible
+// bit-for-bit from a seed.
+package workload
+
+import "math"
+
+// RNG is a deterministic pseudo-random generator (splitmix64). The zero value
+// is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, mirroring
+// math/rand semantics; callers control n, so this is a programmer error.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniform value in [lo, hi). If hi <= lo it returns lo.
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+func (r *RNG) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Pareto returns a bounded Pareto-distributed value on [lo, hi] with shape
+// alpha > 0. This models heavy-tailed task weights.
+func (r *RNG) Pareto(lo, hi, alpha float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	u := r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}

@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRNGUniformMoments(t *testing.T) {
+	r := NewRNG(7)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Uniform(10, 20)
+	}
+	mean := sum / n
+	if math.Abs(mean-15) > 0.1 {
+		t.Errorf("Uniform(10,20) mean = %v, want ≈15", mean)
+	}
+}
+
+func TestRNGIntn(t *testing.T) {
+	r := NewRNG(3)
+	counts := make([]int, 5)
+	for i := 0; i < 50000; i++ {
+		counts[r.Intn(5)]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(5) value %d count = %d, want ≈10000", v, c)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(4)
+	}
+	mean := sum / n
+	if math.Abs(mean-4) > 0.05 {
+		t.Errorf("Exp(4) mean = %v, want ≈4", mean)
+	}
+}
+
+func TestRNGParetoBounds(t *testing.T) {
+	r := NewRNG(13)
+	for i := 0; i < 10000; i++ {
+		v := r.Pareto(1, 100, 1.5)
+		if v < 1-1e-9 || v > 100+1e-9 {
+			t.Fatalf("Pareto out of bounds: %v", v)
+		}
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	r := NewRNG(17)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("Perm not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestWeightsSampleRanges(t *testing.T) {
+	r := NewRNG(19)
+	dists := []Weights{
+		UniformWeights(5, 50),
+		{Dist: DistExponential, Lo: 5, Hi: 50},
+		{Dist: DistPareto, Lo: 5, Hi: 50},
+		{Dist: DistBimodal, Lo: 5, Hi: 50},
+		{Dist: DistConstant, Lo: 5, Hi: 50},
+	}
+	for _, w := range dists {
+		t.Run(w.Dist.String(), func(t *testing.T) {
+			for i := 0; i < 5000; i++ {
+				v := w.Sample(r)
+				if v < 5-1e-9 || v > 50+1e-9 {
+					t.Fatalf("%s sample %v out of [5,50]", w.Dist, v)
+				}
+			}
+		})
+	}
+}
+
+func TestDistString(t *testing.T) {
+	if DistUniform.String() != "uniform" || Dist(99).String() != "Dist(99)" {
+		t.Error("Dist.String labels wrong")
+	}
+}
+
+func TestRandomPathValid(t *testing.T) {
+	r := NewRNG(23)
+	for _, n := range []int{1, 2, 5, 1000} {
+		p := RandomPath(r, n, UniformWeights(1, 100), UniformWeights(1, 10))
+		if err := p.Validate(); err != nil {
+			t.Errorf("RandomPath(n=%d): %v", n, err)
+		}
+		if p.Len() != n {
+			t.Errorf("RandomPath(n=%d) has %d nodes", n, p.Len())
+		}
+	}
+	if RandomPath(r, 0, UniformWeights(1, 2), UniformWeights(1, 2)).Len() != 1 {
+		t.Error("RandomPath(n=0) should clamp to 1 node")
+	}
+}
+
+func TestTreeGeneratorsValid(t *testing.T) {
+	r := NewRNG(29)
+	nodeW, edgeW := UniformWeights(1, 100), UniformWeights(1, 10)
+	gens := []struct {
+		name string
+		gen  func(n int) *graph.Tree
+	}{
+		{"RandomTree", func(n int) *graph.Tree { return RandomTree(r, n, nodeW, edgeW) }},
+		{"Star", func(n int) *graph.Tree { return Star(r, n, nodeW, edgeW) }},
+		{"DaryTree2", func(n int) *graph.Tree { return DaryTree(r, n, 2, nodeW, edgeW) }},
+		{"DaryTree5", func(n int) *graph.Tree { return DaryTree(r, n, 5, nodeW, edgeW) }},
+	}
+	for _, g := range gens {
+		t.Run(g.name, func(t *testing.T) {
+			for _, n := range []int{1, 2, 3, 17, 500} {
+				tr := g.gen(n)
+				if err := tr.Validate(); err != nil {
+					t.Errorf("n=%d: %v", n, err)
+				}
+				if tr.Len() != n {
+					t.Errorf("n=%d: got %d nodes", n, tr.Len())
+				}
+			}
+		})
+	}
+}
+
+func TestStarShape(t *testing.T) {
+	r := NewRNG(31)
+	s := Star(r, 10, UniformWeights(1, 2), UniformWeights(1, 2))
+	if !s.IsStar() {
+		t.Error("Star generator did not produce a star")
+	}
+}
+
+func TestCaterpillarShape(t *testing.T) {
+	r := NewRNG(37)
+	c := Caterpillar(r, 4, 3, UniformWeights(1, 2), UniformWeights(1, 2))
+	if err := c.Validate(); err != nil {
+		t.Fatalf("Caterpillar: %v", err)
+	}
+	if c.Len() != 16 {
+		t.Errorf("Caterpillar(4,3) has %d nodes, want 16", c.Len())
+	}
+	deg := c.Degrees()
+	leaves := 0
+	for _, d := range deg {
+		if d == 1 {
+			leaves++
+		}
+	}
+	// 12 attached leaves, plus the two spine end vertices have degree 1+3=4,
+	// so exactly the 12 leaves have degree 1.
+	if leaves != 12 {
+		t.Errorf("Caterpillar(4,3) has %d degree-1 vertices, want 12", leaves)
+	}
+}
+
+func TestPDEStripsShape(t *testing.T) {
+	r := NewRNG(41)
+	p := PDEStrips(r, 32, 1000, 5, 8)
+	if err := p.Validate(); err != nil {
+		t.Fatalf("PDEStrips: %v", err)
+	}
+	if p.Len() != 32 {
+		t.Errorf("PDEStrips rows = %d, want 32", p.Len())
+	}
+	for _, w := range p.EdgeW {
+		if w != 8000 {
+			t.Errorf("halo weight = %v, want 8000", w)
+		}
+	}
+	for _, w := range p.NodeW {
+		if w < 4500 || w > 5500 {
+			t.Errorf("strip weight %v outside ±10%% of 5000", w)
+		}
+	}
+}
+
+func TestPipelineBoost(t *testing.T) {
+	r := NewRNG(43)
+	base := Pipeline(r, 1000, UniformWeights(1, 10), Weights{Dist: DistConstant, Lo: 2, Hi: 2}, 0.5, 10)
+	boosted, plain := 0, 0
+	for _, w := range base.EdgeW {
+		switch w {
+		case 20:
+			boosted++
+		case 2:
+			plain++
+		default:
+			t.Fatalf("unexpected edge weight %v", w)
+		}
+	}
+	if boosted < 400 || boosted > 600 {
+		t.Errorf("boosted = %d of 999, want ≈500", boosted)
+	}
+}
+
+// Property: every generated tree is a valid spanning tree for arbitrary sizes.
+func TestRandomTreeProperty(t *testing.T) {
+	f := func(seed uint64, rawN uint16) bool {
+		n := int(rawN)%2000 + 1
+		tr := RandomTree(NewRNG(seed), n, UniformWeights(1, 100), UniformWeights(1, 10))
+		return tr.Validate() == nil && tr.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

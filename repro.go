@@ -1,0 +1,195 @@
+// Package repro is a reproduction of "Improved Algorithms for Partitioning
+// Tree and Linear Task Graphs on Shared Memory Architecture" (Sibabrata Ray
+// and Hong Jiang, ICDCS 1994).
+//
+// It provides the paper's three partitioning algorithms over weighted task
+// graphs, all subject to the execution-time bound K (no component may weigh
+// more than K):
+//
+//   - Bandwidth: minimum total cut weight on linear task graphs, via the
+//     paper's O(n + p log q) prime-subpath / TEMP_S algorithm (§2.3), with
+//     BandwidthHeap, BandwidthDeque and BandwidthNaive as the comparison
+//     baselines from the literature.
+//   - Bottleneck: minimum max cut-edge weight on tree task graphs
+//     (Algorithm 2.1).
+//   - MinProcessors: minimum component count on tree task graphs
+//     (Algorithm 2.2), plus the MinProcessorsPath special case.
+//   - PartitionTree: the §2.2 pipeline — bottleneck minimization, super-node
+//     contraction, then processor minimization.
+//
+// The shared-memory machine model, the component→processor mapping, and the
+// partition quality metrics of §1/§3 are exposed through Machine,
+// MapComponents, EvaluatePath and EvaluateTree.
+//
+// Subsystems with larger surfaces live in internal packages and are
+// exercised by the cmd/ tools and examples/: the bus-contention simulator
+// (internal/sched), the gate-level logic simulator for the §3 DDES
+// application (internal/logicsim), the real-time pipeline planner
+// (internal/pipeline), super-graph linearization (internal/linearize), the
+// NP-completeness reduction of Theorem 1 (internal/treecut), and the
+// chains-on-chains prior-work ladder (internal/ccp).
+package repro
+
+import (
+	"io"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/hitting"
+	"repro/internal/workload"
+)
+
+// Task graph types.
+type (
+	// Path is a linear task graph (§1): tasks in pipeline order with
+	// communication weights on consecutive pairs.
+	Path = graph.Path
+	// Tree is a tree task graph (§1): divide-and-conquer computations.
+	Tree = graph.Tree
+	// Graph is a general task graph, used as input to linearization.
+	Graph = graph.Graph
+	// Edge is an undirected weighted edge.
+	Edge = graph.Edge
+)
+
+// Partition results.
+type (
+	// PathPartition is the result of partitioning a linear task graph.
+	PathPartition = core.PathPartition
+	// TreePartition is the result of partitioning a tree task graph.
+	TreePartition = core.TreePartition
+)
+
+// Machine model.
+type (
+	// Machine is a homogeneous shared-memory multiprocessor.
+	Machine = arch.Machine
+	// Mapping assigns components to processors.
+	Mapping = arch.Mapping
+	// Metrics summarizes partition quality on a machine.
+	Metrics = arch.Metrics
+)
+
+// Trace is the TEMP_S queue instrumentation of Appendix B.
+type Trace = hitting.Trace
+
+// RNG is the deterministic generator used by all workload generation.
+type RNG = workload.RNG
+
+// Errors re-exported from the underlying packages.
+var (
+	// ErrInfeasible is returned when some single task exceeds the bound K.
+	ErrInfeasible = core.ErrInfeasible
+	// ErrBadBound is returned when K is not a positive finite number.
+	ErrBadBound = core.ErrBadBound
+	// ErrTooFewProcessors is returned by mapping and evaluation when the
+	// partition does not fit the machine.
+	ErrTooFewProcessors = arch.ErrTooFewProcessors
+)
+
+// NewPath constructs and validates a linear task graph; see graph.NewPath.
+func NewPath(nodeW, edgeW []float64) (*Path, error) { return graph.NewPath(nodeW, edgeW) }
+
+// NewTree constructs and validates a tree task graph; see graph.NewTree.
+func NewTree(nodeW []float64, edges []Edge) (*Tree, error) { return graph.NewTree(nodeW, edges) }
+
+// NewRNG returns a deterministic random generator for workload generation.
+func NewRNG(seed uint64) *RNG { return workload.NewRNG(seed) }
+
+// Bandwidth solves bandwidth minimization on a linear task graph with the
+// paper's O(n + p log q) algorithm (§2.3).
+func Bandwidth(p *Path, k float64) (*PathPartition, error) { return core.Bandwidth(p, k) }
+
+// BandwidthInstrumented is Bandwidth plus TEMP_S queue statistics.
+func BandwidthInstrumented(p *Path, k float64) (*PathPartition, *Trace, error) {
+	return core.BandwidthInstrumented(p, k)
+}
+
+// BandwidthHeap is the O(n log n) prior-art baseline (Nicol & O'Hallaron
+// 1991 complexity class).
+func BandwidthHeap(p *Path, k float64) (*PathPartition, error) { return core.BandwidthHeap(p, k) }
+
+// BandwidthDeque is the O(n) monotone-deque ablation.
+func BandwidthDeque(p *Path, k float64) (*PathPartition, error) { return core.BandwidthDeque(p, k) }
+
+// BandwidthNaive is the O(n·window) naive recurrence evaluation.
+func BandwidthNaive(p *Path, k float64) (*PathPartition, error) { return core.BandwidthNaive(p, k) }
+
+// BandwidthLimited solves bandwidth minimization with the extra constraint
+// of at most m components (processors): O(n·m) level-wise DP. The paper's
+// formulation is the m = ∞ case.
+func BandwidthLimited(p *Path, k float64, m int) (*PathPartition, error) {
+	return core.BandwidthLimited(p, k, m)
+}
+
+// TradeoffPoint is one row of the K ↔ bandwidth ↔ processors trade-off
+// curve.
+type TradeoffPoint = core.TradeoffPoint
+
+// TradeoffCurve evaluates Bandwidth across candidate bounds, skipping
+// infeasible ones — the tool for choosing K before committing a deployment.
+func TradeoffCurve(p *Path, ks []float64) ([]TradeoffPoint, error) {
+	return core.TradeoffCurve(p, ks)
+}
+
+// Bottleneck solves bottleneck minimization on a tree task graph
+// (Algorithm 2.1; binary-search implementation).
+func Bottleneck(t *Tree, k float64) (*TreePartition, error) { return core.Bottleneck(t, k) }
+
+// BottleneckGreedy is the paper-faithful O(n²) Algorithm 2.1.
+func BottleneckGreedy(t *Tree, k float64) (*TreePartition, error) {
+	return core.BottleneckGreedy(t, k)
+}
+
+// MinProcessors solves processor minimization on a tree task graph
+// (Algorithm 2.2).
+func MinProcessors(t *Tree, k float64) (*TreePartition, error) { return core.MinProcessors(t, k) }
+
+// MinProcessorsPath solves processor minimization on a linear task graph by
+// optimal first-fit.
+func MinProcessorsPath(p *Path, k float64) (*PathPartition, error) {
+	return core.MinProcessorsPath(p, k)
+}
+
+// PartitionTree runs the paper's full pipeline: bottleneck minimization,
+// contraction, processor minimization (§2.2).
+func PartitionTree(t *Tree, k float64) (*TreePartition, error) { return core.PartitionTree(t, k) }
+
+// CheckPathFeasible verifies the execution-time bound for a path cut.
+func CheckPathFeasible(p *Path, cut []int, k float64) error {
+	return core.CheckPathFeasible(p, cut, k)
+}
+
+// CheckTreeFeasible verifies the execution-time bound for a tree cut.
+func CheckTreeFeasible(t *Tree, cut []int, k float64) error {
+	return core.CheckTreeFeasible(t, cut, k)
+}
+
+// MapComponents maps partition components onto a shared-memory machine
+// (identity mapping, §3).
+func MapComponents(m *Machine, numComponents int) (*Mapping, error) {
+	return arch.MapComponents(m, numComponents)
+}
+
+// EvaluatePath computes partition quality metrics for a path cut.
+func EvaluatePath(m *Machine, p *Path, cut []int) (*Metrics, error) {
+	return arch.EvaluatePath(m, p, cut)
+}
+
+// EvaluateTree computes partition quality metrics for a tree cut.
+func EvaluateTree(m *Machine, t *Tree, cut []int) (*Metrics, error) {
+	return arch.EvaluateTree(m, t, cut)
+}
+
+// ReadPath parses a path in the line-oriented text format.
+func ReadPath(r io.Reader) (*Path, error) { return graph.ReadPath(r) }
+
+// ReadTree parses a tree in the line-oriented text format.
+func ReadTree(r io.Reader) (*Tree, error) { return graph.ReadTree(r) }
+
+// WritePath writes a path in the text format.
+func WritePath(w io.Writer, p *Path) error { return graph.WritePath(w, p) }
+
+// WriteTree writes a tree in the text format.
+func WriteTree(w io.Writer, t *Tree) error { return graph.WriteTree(w, t) }

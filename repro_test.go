@@ -1,0 +1,159 @@
+package repro_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro"
+)
+
+// TestQuickstartFlow exercises the full public API the way README's
+// quickstart does.
+func TestQuickstartFlow(t *testing.T) {
+	p, err := repro.NewPath(
+		[]float64{4, 4, 4, 4, 4, 4},
+		[]float64{10, 1, 10, 1, 10},
+	)
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	part, err := repro.Bandwidth(p, 12)
+	if err != nil {
+		t.Fatalf("Bandwidth: %v", err)
+	}
+	if part.CutWeight != 2 {
+		t.Errorf("CutWeight = %v, want 2", part.CutWeight)
+	}
+	if err := repro.CheckPathFeasible(p, part.Cut, 12); err != nil {
+		t.Errorf("CheckPathFeasible: %v", err)
+	}
+	m := &repro.Machine{Processors: 8, Speed: 2, BusBandwidth: 10}
+	mp, err := repro.MapComponents(m, part.NumComponents())
+	if err != nil {
+		t.Fatalf("MapComponents: %v", err)
+	}
+	if len(mp.Processor) != part.NumComponents() {
+		t.Errorf("mapping size %d != components %d", len(mp.Processor), part.NumComponents())
+	}
+	met, err := repro.EvaluatePath(m, p, part.Cut)
+	if err != nil {
+		t.Fatalf("EvaluatePath: %v", err)
+	}
+	if met.TotalTraffic != 2 {
+		t.Errorf("TotalTraffic = %v, want 2", met.TotalTraffic)
+	}
+}
+
+func TestTreeFlow(t *testing.T) {
+	tr, err := repro.NewTree(
+		[]float64{6, 6, 6, 6},
+		[]repro.Edge{{U: 0, V: 1, W: 3}, {U: 1, V: 2, W: 5}, {U: 1, V: 3, W: 7}},
+	)
+	if err != nil {
+		t.Fatalf("NewTree: %v", err)
+	}
+	bt, err := repro.Bottleneck(tr, 12)
+	if err != nil {
+		t.Fatalf("Bottleneck: %v", err)
+	}
+	if err := repro.CheckTreeFeasible(tr, bt.Cut, 12); err != nil {
+		t.Errorf("bottleneck cut infeasible: %v", err)
+	}
+	mp, err := repro.MinProcessors(tr, 12)
+	if err != nil {
+		t.Fatalf("MinProcessors: %v", err)
+	}
+	// Any single-edge removal leaves an 18-weight component, so the optimum
+	// is 3 components ({0,1}, {2}, {3}).
+	if mp.NumComponents() != 3 {
+		t.Errorf("MinProcessors components = %d, want 3", mp.NumComponents())
+	}
+	pt, err := repro.PartitionTree(tr, 12)
+	if err != nil {
+		t.Fatalf("PartitionTree: %v", err)
+	}
+	if pt.NumComponents() > bt.NumComponents() {
+		t.Errorf("pipeline fragmentation %d worse than raw bottleneck %d",
+			pt.NumComponents(), bt.NumComponents())
+	}
+}
+
+func TestBaselinesAgreeViaFacade(t *testing.T) {
+	r := repro.NewRNG(99)
+	nodeW := make([]float64, 200)
+	edgeW := make([]float64, 199)
+	for i := range nodeW {
+		nodeW[i] = r.Uniform(1, 20)
+	}
+	for i := range edgeW {
+		edgeW[i] = r.Uniform(1, 100)
+	}
+	p, err := repro.NewPath(nodeW, edgeW)
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	const k = 60
+	want, err := repro.Bandwidth(p, k)
+	if err != nil {
+		t.Fatalf("Bandwidth: %v", err)
+	}
+	for name, f := range map[string]func(*repro.Path, float64) (*repro.PathPartition, error){
+		"heap":  repro.BandwidthHeap,
+		"deque": repro.BandwidthDeque,
+		"naive": repro.BandwidthNaive,
+	} {
+		got, err := f(p, k)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.Abs(got.CutWeight-want.CutWeight) > 1e-9 {
+			t.Errorf("%s weight %v != TempS %v", name, got.CutWeight, want.CutWeight)
+		}
+	}
+	_, trace, err := repro.BandwidthInstrumented(p, k)
+	if err != nil {
+		t.Fatalf("BandwidthInstrumented: %v", err)
+	}
+	if trace.Steps == 0 {
+		t.Error("no instrumentation recorded")
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	p, _ := repro.NewPath([]float64{100, 1}, []float64{1})
+	if _, err := repro.Bandwidth(p, 50); !errors.Is(err, repro.ErrInfeasible) {
+		t.Errorf("error = %v, want ErrInfeasible", err)
+	}
+	if _, err := repro.Bandwidth(p, -1); !errors.Is(err, repro.ErrBadBound) {
+		t.Errorf("error = %v, want ErrBadBound", err)
+	}
+	m := &repro.Machine{Processors: 1, Speed: 1, BusBandwidth: 1}
+	if _, err := repro.MapComponents(m, 3); !errors.Is(err, repro.ErrTooFewProcessors) {
+		t.Errorf("error = %v, want ErrTooFewProcessors", err)
+	}
+}
+
+func TestFacadeIO(t *testing.T) {
+	p, _ := repro.NewPath([]float64{1, 2, 3}, []float64{4, 5})
+	var buf bytes.Buffer
+	if err := repro.WritePath(&buf, p); err != nil {
+		t.Fatalf("WritePath: %v", err)
+	}
+	back, err := repro.ReadPath(&buf)
+	if err != nil {
+		t.Fatalf("ReadPath: %v", err)
+	}
+	if back.Len() != 3 {
+		t.Errorf("round trip lost tasks: %d", back.Len())
+	}
+	tr, _ := repro.NewTree([]float64{1, 2}, []repro.Edge{{U: 0, V: 1, W: 9}})
+	buf.Reset()
+	if err := repro.WriteTree(&buf, tr); err != nil {
+		t.Fatalf("WriteTree: %v", err)
+	}
+	if _, err := repro.ReadTree(&buf); err != nil {
+		t.Fatalf("ReadTree: %v", err)
+	}
+}
