@@ -43,6 +43,29 @@ func run() error {
 	cols := flag.Int("cols", 1024, "grid columns for -kind pde")
 	flag.Parse()
 
+	switch *kind {
+	case "caterpillar":
+		if *spine <= 0 || *leaves < 0 {
+			return fmt.Errorf("-spine must be positive and -leaves non-negative (got %d, %d)", *spine, *leaves)
+		}
+	case "pde":
+		if *rows <= 0 || *cols <= 0 {
+			return fmt.Errorf("-rows and -cols must be positive (got %d, %d)", *rows, *cols)
+		}
+	case "dary":
+		if *d < 2 {
+			return fmt.Errorf("-d must be at least 2 (got %d)", *d)
+		}
+		fallthrough
+	default:
+		if *n <= 0 {
+			return fmt.Errorf("-n must be positive (got %d)", *n)
+		}
+	}
+	if *whi < *wlo || *ehi < *elo {
+		return fmt.Errorf("weight bounds must satisfy lo <= hi (node %g..%g, edge %g..%g)", *wlo, *whi, *elo, *ehi)
+	}
+
 	var dd workload.Dist
 	switch *dist {
 	case "uniform":

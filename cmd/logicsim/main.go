@@ -40,6 +40,15 @@ func run() error {
 	procs := flag.Int("procs", 8, "target processor count (sizes the load bound K)")
 	seed := flag.Uint64("seed", 1, "stimulus seed")
 	flag.Parse()
+	if *cycles <= 0 {
+		return fmt.Errorf("-cycles must be positive (got %d)", *cycles)
+	}
+	if *procs <= 0 {
+		return fmt.Errorf("-procs must be positive (got %d)", *procs)
+	}
+	if *bits <= 0 || *stages <= 1 {
+		return fmt.Errorf("-bits must be positive and -stages > 1 (got %d, %d)", *bits, *stages)
+	}
 
 	var circ *logicsim.Circuit
 	var stim logicsim.Stimulus

@@ -8,13 +8,17 @@
 //	partition -algo bottleneck -k 100 -in tree.txt
 //	partition -algo minproc    -k 100 -in tree.txt
 //	partition -algo pipeline   -k 100 -in tree.txt   # bottleneck→contract→minproc
+//	partition -list                                   # list registered solvers
 //
-// The input format is the line-oriented codec of internal/graph (see
-// README); it is read from stdin when -in is omitted. bandwidth expects a
-// "path" graph; the tree algorithms accept "path" or "tree".
+// -algo accepts any solver name from the engine registry (see -list);
+// "pipeline" is kept as an alias for "partition-tree". The input format is
+// the line-oriented codec of internal/graph (see README); it is read from
+// stdin when -in is omitted. Path solvers expect a "path" graph; the tree
+// solvers accept "path" or "tree".
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -34,16 +38,25 @@ func main() {
 }
 
 func run() error {
-	algo := flag.String("algo", "bandwidth", "algorithm: bandwidth | bottleneck | minproc | pipeline")
-	k := flag.Float64("k", 0, "execution-time bound K (required unless -sweep is given, > 0)")
+	algo := flag.String("algo", "bandwidth", "solver name from the engine registry (see -list); pipeline = partition-tree")
+	k := flag.Float64("k", 0, "execution-time bound K (required unless -sweep or -list is given, > 0)")
 	sweep := flag.String("sweep", "", "comma-separated K values: print the K ↔ bandwidth ↔ processors trade-off curve for a path and exit")
-	maxProcs := flag.Int("m", 0, "with -algo bandwidth: limit the number of components (0 = unlimited)")
+	maxProcs := flag.Int("m", 0, "limit the number of components (0 = unlimited)")
+	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
+	stats := flag.Bool("stats", false, "print per-solve statistics (duration, iterations)")
+	list := flag.Bool("list", false, "list registered solver names and exit")
 	in := flag.String("in", "", "input graph file (default stdin)")
 	dot := flag.String("dot", "", "write a Graphviz rendering of the partition to this file")
 	procs := flag.Int("procs", 0, "processors for the metrics report (default: number of components)")
 	speed := flag.Float64("speed", 1, "processor speed for the metrics report")
 	bus := flag.Float64("bus", 1, "bus bandwidth for the metrics report")
 	flag.Parse()
+	if *list {
+		for _, name := range repro.Solvers() {
+			fmt.Println(name)
+		}
+		return nil
+	}
 	if *k <= 0 && *sweep == "" {
 		return fmt.Errorf("-k must be positive (got %v)", *k)
 	}
@@ -67,43 +80,38 @@ func run() error {
 		}
 		return reportSweep(p, *sweep)
 	}
-	switch *algo {
-	case "bandwidth":
-		p, ok := any.(*graph.Path)
-		if !ok {
-			return fmt.Errorf("bandwidth needs a path graph, got %T", any)
-		}
-		var part *repro.PathPartition
-		if *maxProcs > 0 {
-			part, err = repro.BandwidthLimited(p, *k, *maxProcs)
-		} else {
-			part, err = repro.Bandwidth(p, *k)
-		}
-		if err != nil {
-			return err
-		}
-		return reportPath(p, part, *dot, *procs, *speed, *bus)
-	case "bottleneck", "minproc", "pipeline":
-		t, err := asTree(any)
-		if err != nil {
-			return err
-		}
-		var part *repro.TreePartition
-		switch *algo {
-		case "bottleneck":
-			part, err = repro.Bottleneck(t, *k)
-		case "minproc":
-			part, err = repro.MinProcessors(t, *k)
-		default:
-			part, err = repro.PartitionTree(t, *k)
-		}
-		if err != nil {
-			return err
-		}
-		return reportTree(t, part, *dot, *procs, *speed, *bus)
-	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+	name := *algo
+	if name == "pipeline" {
+		name = "partition-tree"
 	}
+	req := repro.SolveRequest{
+		Solver: name,
+		K:      *k,
+		Options: repro.SolveOptions{
+			MaxComponents: *maxProcs,
+			Timeout:       *timeout,
+		},
+	}
+	switch g := any.(type) {
+	case *graph.Path:
+		req.Path = g
+	case *graph.Tree:
+		req.Tree = g
+	default:
+		return fmt.Errorf("cannot partition a %T", any)
+	}
+	res, err := repro.Solve(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	if err := report(any, &res, *dot, *procs, *speed, *bus); err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Printf("solve time:       %v\n", res.Stats.Duration)
+		fmt.Printf("iterations:       %d\n", res.Stats.Iterations)
+	}
+	return nil
 }
 
 func reportSweep(p *graph.Path, spec string) error {
@@ -126,55 +134,52 @@ func reportSweep(p *graph.Path, spec string) error {
 	return nil
 }
 
-func asTree(any any) (*graph.Tree, error) {
-	switch g := any.(type) {
-	case *graph.Tree:
-		return g, nil
+func report(g any, res *repro.SolveResult, dot string, procs int, speed, bus float64) error {
+	fmt.Printf("solver:           %s\n", res.Solver)
+	fmt.Printf("cut edges:        %v\n", res.Cut)
+	fmt.Printf("cut weight:       %g\n", res.CutWeight)
+	fmt.Printf("bottleneck edge:  %g\n", res.Bottleneck)
+	fmt.Printf("components:       %d\n", res.NumComponents())
+	fmt.Printf("component loads:  %v\n", res.ComponentWeights)
+	if procs == 0 {
+		procs = res.NumComponents()
+	}
+	m := &repro.Machine{Processors: procs, Speed: speed, BusBandwidth: bus}
+	var met *repro.Metrics
+	var render func(io.Writer) error
+	switch g := g.(type) {
 	case *graph.Path:
-		return g.AsTree(), nil
+		// A path solved by a tree solver reports tree metrics over the
+		// path-as-tree view so the cut indices line up.
+		if res.TreePartition != nil {
+			t := g.AsTree()
+			var err error
+			met, err = repro.EvaluateTree(m, t, res.Cut)
+			if err != nil {
+				return err
+			}
+			render = func(w io.Writer) error { return graph.TreeDOT(w, t, res.Cut) }
+			break
+		}
+		var err error
+		met, err = repro.EvaluatePath(m, g, res.Cut)
+		if err != nil {
+			return err
+		}
+		render = func(w io.Writer) error { return graph.PathDOT(w, g, res.Cut) }
+	case *graph.Tree:
+		var err error
+		met, err = repro.EvaluateTree(m, g, res.Cut)
+		if err != nil {
+			return err
+		}
+		render = func(w io.Writer) error { return graph.TreeDOT(w, g, res.Cut) }
 	default:
-		return nil, fmt.Errorf("tree algorithms need a tree or path graph, got %T", any)
-	}
-}
-
-func reportPath(p *graph.Path, part *repro.PathPartition, dot string, procs int, speed, bus float64) error {
-	fmt.Printf("cut edges:        %v\n", part.Cut)
-	fmt.Printf("cut weight:       %g\n", part.CutWeight)
-	fmt.Printf("bottleneck edge:  %g\n", part.Bottleneck)
-	fmt.Printf("components:       %d\n", part.NumComponents())
-	fmt.Printf("component loads:  %v\n", part.ComponentWeights)
-	if procs == 0 {
-		procs = part.NumComponents()
-	}
-	m := &repro.Machine{Processors: procs, Speed: speed, BusBandwidth: bus}
-	met, err := repro.EvaluatePath(m, p, part.Cut)
-	if err != nil {
-		return err
+		return fmt.Errorf("cannot report on a %T", g)
 	}
 	printMetrics(met)
 	if dot != "" {
-		return writeDOT(dot, func(w io.Writer) error { return graph.PathDOT(w, p, part.Cut) })
-	}
-	return nil
-}
-
-func reportTree(t *graph.Tree, part *repro.TreePartition, dot string, procs int, speed, bus float64) error {
-	fmt.Printf("cut edges:        %v\n", part.Cut)
-	fmt.Printf("cut weight:       %g\n", part.CutWeight)
-	fmt.Printf("bottleneck edge:  %g\n", part.Bottleneck)
-	fmt.Printf("components:       %d\n", part.NumComponents())
-	fmt.Printf("component loads:  %v\n", part.ComponentWeights)
-	if procs == 0 {
-		procs = part.NumComponents()
-	}
-	m := &repro.Machine{Processors: procs, Speed: speed, BusBandwidth: bus}
-	met, err := repro.EvaluateTree(m, t, part.Cut)
-	if err != nil {
-		return err
-	}
-	printMetrics(met)
-	if dot != "" {
-		return writeDOT(dot, func(w io.Writer) error { return graph.TreeDOT(w, t, part.Cut) })
+		return writeDOT(dot, render)
 	}
 	return nil
 }

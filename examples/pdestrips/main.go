@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,19 +38,27 @@ func main() {
 	// Budget: roughly 12 processors' worth of work per processor.
 	k := strips.TotalNodeWeight()/12 + strips.MaxNodeWeight()
 
-	band, err := repro.Bandwidth(strips, k)
+	// Solve both criteria concurrently through the engine's batch executor;
+	// results stay index-aligned with the requests.
+	batch := &repro.Batch{Workers: 2}
+	out, err := batch.Run(context.Background(), []repro.SolveRequest{
+		{Solver: "bandwidth", Path: strips, K: k},
+		{Solver: "minproc-path", Path: strips, K: k},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	first, err := repro.MinProcessorsPath(strips, k)
-	if err != nil {
-		log.Fatal(err)
+	for _, item := range out.Items {
+		if item.Err != nil {
+			log.Fatal(item.Err)
+		}
 	}
+	band, first := out.Items[0].Result, out.Items[1].Result
 	fmt.Printf("\nK = %.0f work units per processor\n", k)
-	fmt.Printf("bandwidth-minimal: %d components, cut weight %.0f\n",
-		band.NumComponents(), band.CutWeight)
-	fmt.Printf("first-fit minimal-processors: %d components, cut weight %.0f\n",
-		first.NumComponents(), first.CutWeight)
+	fmt.Printf("bandwidth-minimal: %d components, cut weight %.0f (solved in %v)\n",
+		band.NumComponents(), band.CutWeight, band.Stats.Duration.Round(1000))
+	fmt.Printf("first-fit minimal-processors: %d components, cut weight %.0f (solved in %v)\n",
+		first.NumComponents(), first.CutWeight, first.Stats.Duration.Round(1000))
 
 	// With uniform halos every cut costs the same, so the interesting
 	// comparison is the simulated execution under bus contention.

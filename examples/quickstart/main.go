@@ -1,10 +1,12 @@
 // Quickstart: the three algorithms of the paper on small task graphs, via
-// the public API.
+// the public Solve API — every partitioner is a named solver in the engine
+// registry.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,19 +31,21 @@ func linearExample() {
 		log.Fatal(err)
 	}
 	const k = 12
-	part, err := repro.Bandwidth(p, k)
+	res, err := repro.Solve(context.Background(), repro.SolveRequest{
+		Solver: "bandwidth", Path: p, K: k,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("== linear task graph: bandwidth minimization ==")
 	fmt.Printf("K = %v\n", float64(k))
-	fmt.Printf("cut edges %v with total weight %g (the two cheap links)\n", part.Cut, part.CutWeight)
-	fmt.Printf("component loads: %v\n\n", part.ComponentWeights)
+	fmt.Printf("cut edges %v with total weight %g (the two cheap links)\n", res.Cut, res.CutWeight)
+	fmt.Printf("component loads: %v\n\n", res.ComponentWeights)
 
 	// Map the partition onto a shared-memory machine and look at the
 	// quality metrics of §1/§3.
 	m := &repro.Machine{Processors: 4, Speed: 4, BusBandwidth: 2}
-	met, err := repro.EvaluatePath(m, p, part.Cut)
+	met, err := repro.EvaluatePath(m, p, res.Cut)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -49,9 +53,10 @@ func linearExample() {
 		m.Processors, met.ComputeMakespan, met.BusTime, met.Utilization)
 }
 
-// treeExample runs the paper's full tree pipeline (§2.1 + §2.2): bottleneck
-// minimization, then contraction, then processor minimization — on a small
-// divide-and-conquer tree in the style of Figure 1.
+// treeExample runs the paper's tree algorithms (§2.1 + §2.2) by registry
+// name: bottleneck minimization, processor minimization, and the full
+// bottleneck → contraction → minproc pipeline — on a small divide-and-
+// conquer tree in the style of Figure 1.
 func treeExample() {
 	// A caterpillar: spine 0-1-2 with two leaves on each end vertex.
 	tr, err := repro.NewTree(
@@ -68,25 +73,20 @@ func treeExample() {
 	const k = 13
 	fmt.Println("== tree task graph: bottleneck → contraction → processor minimization ==")
 
-	bt, err := repro.Bottleneck(tr, k)
-	if err != nil {
-		log.Fatal(err)
+	solvers := []struct{ name, label string }{
+		{"bottleneck", "Algorithm 2.1 (bottleneck)"},
+		{"minproc", "Algorithm 2.2 (min processors)"},
+		{"partition-tree", "pipeline (§2.2)"},
 	}
-	fmt.Printf("Algorithm 2.1 (bottleneck): cut %v, bottleneck %g, %d components\n",
-		bt.Cut, bt.Bottleneck, bt.NumComponents())
-
-	mp, err := repro.MinProcessors(tr, k)
-	if err != nil {
-		log.Fatal(err)
+	for _, s := range solvers {
+		res, err := repro.Solve(context.Background(), repro.SolveRequest{
+			Solver: s.name, Tree: tr, K: k,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: cut %v, bottleneck %g, %d components, loads %v\n",
+			s.label, res.Cut, res.Bottleneck, res.NumComponents(), res.ComponentWeights)
 	}
-	fmt.Printf("Algorithm 2.2 (min processors): cut %v, %d components, loads %v\n",
-		mp.Cut, mp.NumComponents(), mp.ComponentWeights)
-
-	pt, err := repro.PartitionTree(tr, k)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("pipeline (§2.2): cut %v, bottleneck %g, %d components, loads %v\n",
-		pt.Cut, pt.Bottleneck, pt.NumComponents(), pt.ComponentWeights)
 	fmt.Println("the pipeline keeps the optimal bottleneck while undoing the greedy cut's fragmentation")
 }

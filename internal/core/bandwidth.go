@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -30,40 +31,52 @@ import (
 
 // Bandwidth solves bandwidth minimization with the paper's algorithm.
 func Bandwidth(p *graph.Path, k float64) (*PathPartition, error) {
-	pp, _, err := bandwidthTempS(p, k, false)
+	pp, _, _, err := bandwidthTempS(context.Background(), p, k, false)
 	return pp, err
+}
+
+// BandwidthCtx is Bandwidth with cancellation and iteration accounting.
+func BandwidthCtx(ctx context.Context, p *graph.Path, k float64) (*PathPartition, int64, error) {
+	pp, _, iters, err := bandwidthTempS(ctx, p, k, false)
+	return pp, iters, err
 }
 
 // BandwidthInstrumented is Bandwidth with the TEMP_S queue instrumentation
 // used by the Figure 2(d) / Appendix B study.
 func BandwidthInstrumented(p *graph.Path, k float64) (*PathPartition, *hitting.Trace, error) {
-	return bandwidthTempS(p, k, true)
+	pp, trace, _, err := bandwidthTempS(context.Background(), p, k, true)
+	return pp, trace, err
 }
 
-func bandwidthTempS(p *graph.Path, k float64, instrument bool) (*PathPartition, *hitting.Trace, error) {
+func bandwidthTempS(ctx context.Context, p *graph.Path, k float64, instrument bool) (*PathPartition, *hitting.Trace, int64, error) {
+	ctx, err := enter(ctx)
+	if err != nil {
+		return nil, nil, 0, err
+	}
 	if err := checkBound(k); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	if err := p.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	inst, _, err := prime.Analyze(p.NodeW, p.EdgeW, k)
 	if err != nil {
 		if errors.Is(err, prime.ErrVertexTooHeavy) {
-			return nil, nil, fmt.Errorf("%v: %w", err, ErrInfeasible)
+			return nil, nil, 0, fmt.Errorf("%v: %w", err, ErrInfeasible)
 		}
-		return nil, nil, err
+		return nil, nil, 0, err
 	}
 	hin := &hitting.Instance{Beta: inst.Beta, A: inst.A, B: inst.B}
 	var sol *hitting.Solution
 	var trace *hitting.Trace
+	var iters int64
 	if instrument {
-		sol, trace, err = hitting.SolveTempSInstrumented(hin)
+		sol, trace, iters, err = hitting.SolveTempSInstrumentedCtx(ctx, hin)
 	} else {
-		sol, err = hitting.SolveTempS(hin)
+		sol, iters, err = hitting.SolveTempSCtx(ctx, hin)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, iters, err
 	}
 	cut := make([]int, len(sol.Points))
 	for i, pt := range sol.Points {
@@ -71,9 +84,9 @@ func bandwidthTempS(p *graph.Path, k float64, instrument bool) (*PathPartition, 
 	}
 	pp, err := newPathPartition(p, cut, k)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, iters, err
 	}
-	return pp, trace, nil
+	return pp, trace, iters, nil
 }
 
 // dpState holds the shared pieces of the window-constrained prefix DP. For
@@ -149,9 +162,21 @@ func (s *dpState) finish(p *graph.Path, k float64) (*PathPartition, error) {
 // BandwidthDeque solves bandwidth minimization with the prefix DP and a
 // monotone deque for the sliding-window minimum: O(n) time.
 func BandwidthDeque(p *graph.Path, k float64) (*PathPartition, error) {
+	pp, _, err := BandwidthDequeCtx(context.Background(), p, k)
+	return pp, err
+}
+
+// BandwidthDequeCtx is BandwidthDeque with cancellation and iteration
+// accounting.
+func BandwidthDequeCtx(ctx context.Context, p *graph.Path, k float64) (*PathPartition, int64, error) {
+	ctx, err := enter(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	tk := newTicker(ctx)
 	done, s, err := prepDP(p, k)
 	if done != nil || err != nil {
-		return done, err
+		return done, 0, err
 	}
 	n := p.Len()
 	// Deque of candidate predecessor cut indices with increasing f; -1 is
@@ -167,6 +192,9 @@ func BandwidthDeque(p *graph.Path, k float64) (*PathPartition, error) {
 	deque := make([]int, 0, n)
 	deque = append(deque, -1)
 	for i := 0; i < n-1; i++ {
+		if err := tk.tick(); err != nil {
+			return nil, tk.n, err
+		}
 		// Evict candidates j whose segment v_{j+1}..v_i exceeds K.
 		for len(deque) > 0 && s.prefix[i+1]-s.prefix[deque[0]+1] > k {
 			deque = deque[1:]
@@ -186,7 +214,8 @@ func BandwidthDeque(p *graph.Path, k float64) (*PathPartition, error) {
 			deque = append(deque, i)
 		}
 	}
-	return s.finish(p, k)
+	pp, err := s.finish(p, k)
+	return pp, tk.n, err
 }
 
 // heapItem pairs a candidate predecessor with its f value.
@@ -211,9 +240,21 @@ func (h *minHeap) pushItem(x heapItem) { heap.Push(h, x) }
 // previously known algorithm (Nicol & O'Hallaron 1991) that the paper
 // compares against.
 func BandwidthHeap(p *graph.Path, k float64) (*PathPartition, error) {
+	pp, _, err := BandwidthHeapCtx(context.Background(), p, k)
+	return pp, err
+}
+
+// BandwidthHeapCtx is BandwidthHeap with cancellation and iteration
+// accounting.
+func BandwidthHeapCtx(ctx context.Context, p *graph.Path, k float64) (*PathPartition, int64, error) {
+	ctx, err := enter(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	tk := newTicker(ctx)
 	done, s, err := prepDP(p, k)
 	if done != nil || err != nil {
-		return done, err
+		return done, 0, err
 	}
 	n := p.Len()
 	h := &minHeap{{j: -1, f: 0}}
@@ -221,6 +262,9 @@ func BandwidthHeap(p *graph.Path, k float64) (*PathPartition, error) {
 	// heap entries below it are stale and lazily discarded.
 	winLo := -1
 	for i := 0; i < n-1; i++ {
+		if err := tk.tick(); err != nil {
+			return nil, tk.n, err
+		}
 		for winLo <= i && s.prefix[i+1]-s.prefix[winLo+1] > k {
 			winLo++
 		}
@@ -239,7 +283,8 @@ func BandwidthHeap(p *graph.Path, k float64) (*PathPartition, error) {
 			h.pushItem(heapItem{j: i, f: s.f[i]})
 		}
 	}
-	return s.finish(p, k)
+	pp, err := s.finish(p, k)
+	return pp, tk.n, err
 }
 
 // BandwidthNaive solves bandwidth minimization with the prefix DP, scanning
@@ -247,15 +292,31 @@ func BandwidthHeap(p *graph.Path, k float64) (*PathPartition, error) {
 // O(n²). This matches the cost profile the paper ascribes to the naive
 // recurrence evaluation.
 func BandwidthNaive(p *graph.Path, k float64) (*PathPartition, error) {
+	pp, _, err := BandwidthNaiveCtx(context.Background(), p, k)
+	return pp, err
+}
+
+// BandwidthNaiveCtx is BandwidthNaive with cancellation and iteration
+// accounting. The poll sits in the inner window scan, so even a single
+// quadratic-width window observes cancellation promptly.
+func BandwidthNaiveCtx(ctx context.Context, p *graph.Path, k float64) (*PathPartition, int64, error) {
+	ctx, err := enter(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	tk := newTicker(ctx)
 	done, s, err := prepDP(p, k)
 	if done != nil || err != nil {
-		return done, err
+		return done, 0, err
 	}
 	n := p.Len()
 	for i := 0; i < n-1; i++ {
 		best := math.Inf(1)
 		parent := -2
 		for j := i - 1; j >= -1; j-- {
+			if err := tk.tick(); err != nil {
+				return nil, tk.n, err
+			}
 			if s.prefix[i+1]-s.prefix[j+1] > k {
 				break
 			}
@@ -275,7 +336,8 @@ func BandwidthNaive(p *graph.Path, k float64) (*PathPartition, error) {
 		s.f[i] = p.EdgeW[i] + best
 		s.parent[i] = parent
 	}
-	return s.finish(p, k)
+	pp, err := s.finish(p, k)
+	return pp, tk.n, err
 }
 
 // BandwidthBrute enumerates all cuts; exponential, for tests only (n ≤ 21).

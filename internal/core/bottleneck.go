@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -32,8 +33,9 @@ func sortedEdgeOrder(t *graph.Tree) []int {
 }
 
 // prefixFeasible reports whether cutting the first cnt edges of order leaves
-// all components of t within the bound k. O(n α(n)) per call.
-func prefixFeasible(t *graph.Tree, order []int, cnt int, k float64) bool {
+// all components of t within the bound k. O(n α(n)) per call. The ticker
+// counts the union sweep and surfaces cancellation.
+func prefixFeasible(t *graph.Tree, order []int, cnt int, k float64, tk *ticker) (bool, error) {
 	inCut := make([]bool, len(t.Edges))
 	for _, e := range order[:cnt] {
 		inCut[e] = true
@@ -53,6 +55,9 @@ func prefixFeasible(t *graph.Tree, order []int, cnt int, k float64) bool {
 		return x
 	}
 	for i, e := range t.Edges {
+		if err := tk.tick(); err != nil {
+			return false, err
+		}
 		if inCut[i] {
 			continue
 		}
@@ -63,50 +68,85 @@ func prefixFeasible(t *graph.Tree, order []int, cnt int, k float64) bool {
 		parent[rv] = ru
 		weight[ru] += weight[rv]
 		if weight[ru] > k {
-			return false
+			return false, nil
 		}
 	}
 	for v := range parent {
 		if parent[v] == v && weight[v] > k {
-			return false
+			return false, nil
 		}
 	}
-	return true
+	return true, nil
 }
 
 // Bottleneck solves bottleneck minimization by binary search over the sorted
 // edge prefix: O(n log n). The returned cut is the paper's output — the
 // shortest feasible prefix of the weight-sorted edge list.
 func Bottleneck(t *graph.Tree, k float64) (*TreePartition, error) {
-	return bottleneck(t, k, true)
+	tp, _, err := bottleneck(context.Background(), t, k, true)
+	return tp, err
+}
+
+// BottleneckCtx is Bottleneck with cancellation and iteration accounting.
+func BottleneckCtx(ctx context.Context, t *graph.Tree, k float64) (*TreePartition, int64, error) {
+	return bottleneck(ctx, t, k, true)
 }
 
 // BottleneckGreedy is the paper-faithful Algorithm 2.1: grow the cut one
 // lightest edge at a time and re-check feasibility after each addition,
 // O(n²). It returns exactly the same cut as Bottleneck.
 func BottleneckGreedy(t *graph.Tree, k float64) (*TreePartition, error) {
-	return bottleneck(t, k, false)
+	tp, _, err := bottleneck(context.Background(), t, k, false)
+	return tp, err
 }
 
-func bottleneck(t *graph.Tree, k float64, binary bool) (*TreePartition, error) {
+// BottleneckGreedyCtx is BottleneckGreedy with cancellation and iteration
+// accounting.
+func BottleneckGreedyCtx(ctx context.Context, t *graph.Tree, k float64) (*TreePartition, int64, error) {
+	return bottleneck(ctx, t, k, false)
+}
+
+func bottleneck(ctx context.Context, t *graph.Tree, k float64, binary bool) (*TreePartition, int64, error) {
+	ctx, err := enter(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	tk := newTicker(ctx)
 	if err := checkBound(k); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := t.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if t.MaxNodeWeight() > k {
-		return nil, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
+		return nil, 0, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
 	}
 	order := sortedEdgeOrder(t)
 	var cnt int
 	if binary {
-		cnt = sort.Search(len(order)+1, func(c int) bool {
-			return prefixFeasible(t, order, c, k)
-		})
+		// sort.Search semantics over [0, len(order)], written out so the
+		// feasibility probe can surface a cancellation error.
+		lo, hi := 0, len(order)+1
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			ok, err := prefixFeasible(t, order, mid, k, tk)
+			if err != nil {
+				return nil, tk.n, err
+			}
+			if ok {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		cnt = lo
 	} else {
 		for cnt = 0; cnt <= len(order); cnt++ {
-			if prefixFeasible(t, order, cnt, k) {
+			ok, err := prefixFeasible(t, order, cnt, k, tk)
+			if err != nil {
+				return nil, tk.n, err
+			}
+			if ok {
 				break
 			}
 		}
@@ -114,10 +154,11 @@ func bottleneck(t *graph.Tree, k float64, binary bool) (*TreePartition, error) {
 	if cnt > len(order) {
 		// With every edge cut, components are single vertices, all ≤ K by
 		// the check above; unreachable, kept as a guard.
-		return nil, ErrInfeasible
+		return nil, tk.n, ErrInfeasible
 	}
 	cut := graph.NormalizeCut(order[:cnt])
-	return newTreePartition(t, cut, k)
+	tp, err := newTreePartition(t, cut, k)
+	return tp, tk.n, err
 }
 
 // BottleneckValue returns only the optimal bottleneck (the weight of the

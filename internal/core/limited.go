@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -19,25 +20,38 @@ import (
 // processors than the unconstrained optimum would use. Level-wise prefix DP
 // with a monotone deque per level: O(n·m) time.
 func BandwidthLimited(p *graph.Path, k float64, m int) (*PathPartition, error) {
+	pp, _, err := BandwidthLimitedCtx(context.Background(), p, k, m)
+	return pp, err
+}
+
+// BandwidthLimitedCtx is BandwidthLimited with cancellation and iteration
+// accounting.
+func BandwidthLimitedCtx(ctx context.Context, p *graph.Path, k float64, m int) (*PathPartition, int64, error) {
+	ctx, err := enter(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	tk := newTicker(ctx)
 	if err := checkBound(k); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if m <= 0 {
-		return nil, fmt.Errorf("m = %d: %w", m, ErrBadBound)
+		return nil, 0, fmt.Errorf("m = %d: %w", m, ErrBadBound)
 	}
 	if p.MaxNodeWeight() > k {
-		return nil, fmt.Errorf("max vertex weight %v > K=%v: %w", p.MaxNodeWeight(), k, ErrInfeasible)
+		return nil, 0, fmt.Errorf("max vertex weight %v > K=%v: %w", p.MaxNodeWeight(), k, ErrInfeasible)
 	}
 	if p.TotalNodeWeight() <= k {
-		return newPathPartition(p, nil, k)
+		pp, err := newPathPartition(p, nil, k)
+		return pp, 0, err
 	}
 	n := p.Len()
 	if m == 1 {
 		// One component must hold everything, but the total exceeds K.
-		return nil, fmt.Errorf("total weight %v > K=%v with m=1: %w", p.TotalNodeWeight(), k, ErrInfeasible)
+		return nil, 0, fmt.Errorf("total weight %v > K=%v with m=1: %w", p.TotalNodeWeight(), k, ErrInfeasible)
 	}
 	if m > n {
 		m = n
@@ -52,6 +66,9 @@ func BandwidthLimited(p *graph.Path, k float64, m int) (*PathPartition, error) {
 	parent := make([][]int32, m) // parent[j][i], j ≥ 2
 	// Level 1: single cut at edge i; first block v_0..v_i must fit.
 	for i := 0; i < n-1; i++ {
+		if err := tk.tick(); err != nil {
+			return nil, tk.n, err
+		}
 		if prefix[i+1] <= k {
 			fPrev[i] = p.EdgeW[i]
 		} else {
@@ -78,6 +95,9 @@ func BandwidthLimited(p *graph.Path, k float64, m int) (*PathPartition, error) {
 		deque := make([]int32, 0, n)
 		ptr := 0 // next predecessor index to admit
 		for i := 0; i < n-1; i++ {
+			if err := tk.tick(); err != nil {
+				return nil, tk.n, err
+			}
 			// Admit predecessors ending before i.
 			for ; ptr < i; ptr++ {
 				if fPrev[ptr] == inf {
@@ -104,7 +124,7 @@ func BandwidthLimited(p *graph.Path, k float64, m int) (*PathPartition, error) {
 		fPrev, fCur = fCur, fPrev
 	}
 	if bestI < 0 {
-		return nil, fmt.Errorf("no feasible cut with at most %d components: %w", m, ErrInfeasible)
+		return nil, tk.n, fmt.Errorf("no feasible cut with at most %d components: %w", m, ErrInfeasible)
 	}
 	// Reconstruct: bestLevel cuts ending at bestI. Levels above 1 recorded
 	// parents; level-1 entries are roots. Because fPrev/fCur swap, walk
@@ -120,7 +140,8 @@ func BandwidthLimited(p *graph.Path, k float64, m int) (*PathPartition, error) {
 	for l, r := 0, len(cut)-1; l < r; l, r = l+1, r-1 {
 		cut[l], cut[r] = cut[r], cut[l]
 	}
-	return newPathPartition(p, cut, k)
+	pp, err := newPathPartition(p, cut, k)
+	return pp, tk.n, err
 }
 
 // TradeoffPoint is one row of the K ↔ cost trade-off curve.

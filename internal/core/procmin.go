@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -23,14 +24,26 @@ import (
 
 // MinProcessors solves processor minimization with Algorithm 2.2.
 func MinProcessors(t *graph.Tree, k float64) (*TreePartition, error) {
+	tp, _, err := MinProcessorsCtx(context.Background(), t, k)
+	return tp, err
+}
+
+// MinProcessorsCtx is MinProcessors with cancellation and iteration
+// accounting.
+func MinProcessorsCtx(ctx context.Context, t *graph.Tree, k float64) (*TreePartition, int64, error) {
+	ctx, err := enter(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	tk := newTicker(ctx)
 	if err := checkBound(k); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := t.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if t.MaxNodeWeight() > k {
-		return nil, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
+		return nil, 0, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
 	}
 	n := t.Len()
 	adj := t.Adjacency()
@@ -64,6 +77,9 @@ func MinProcessors(t *graph.Tree, k float64) (*TreePartition, error) {
 		edge int
 	}
 	for i := n - 1; i >= 0; i-- {
+		if err := tk.tick(); err != nil {
+			return nil, tk.n, err
+		}
 		v := order[i]
 		var children []child
 		total := t.NodeW[v]
@@ -91,35 +107,52 @@ func MinProcessors(t *graph.Tree, k float64) (*TreePartition, error) {
 		}
 		if total > k {
 			// Cannot happen: total is now just t.NodeW[v] ≤ k. Guard anyway.
-			return nil, ErrInfeasible
+			return nil, tk.n, ErrInfeasible
 		}
 		res[v] = total
 	}
-	return newTreePartition(t, graph.NormalizeCut(cut), k)
+	tp, err := newTreePartition(t, graph.NormalizeCut(cut), k)
+	return tp, tk.n, err
 }
 
 // MinProcessorsPath solves processor minimization on a linear task graph by
 // first-fit accumulation, which is optimal for paths: O(n).
 func MinProcessorsPath(p *graph.Path, k float64) (*PathPartition, error) {
+	pp, _, err := MinProcessorsPathCtx(context.Background(), p, k)
+	return pp, err
+}
+
+// MinProcessorsPathCtx is MinProcessorsPath with cancellation and iteration
+// accounting.
+func MinProcessorsPathCtx(ctx context.Context, p *graph.Path, k float64) (*PathPartition, int64, error) {
+	ctx, err := enter(ctx)
+	if err != nil {
+		return nil, 0, err
+	}
+	tk := newTicker(ctx)
 	if err := checkBound(k); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := p.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if p.MaxNodeWeight() > k {
-		return nil, fmt.Errorf("max vertex weight %v > K=%v: %w", p.MaxNodeWeight(), k, ErrInfeasible)
+		return nil, 0, fmt.Errorf("max vertex weight %v > K=%v: %w", p.MaxNodeWeight(), k, ErrInfeasible)
 	}
 	var cut []int
 	var load float64
 	for i, w := range p.NodeW {
+		if err := tk.tick(); err != nil {
+			return nil, tk.n, err
+		}
 		if load+w > k {
 			cut = append(cut, i-1)
 			load = 0
 		}
 		load += w
 	}
-	return newPathPartition(p, cut, k)
+	pp, err := newPathPartition(p, cut, k)
+	return pp, tk.n, err
 }
 
 // PartitionTree runs the paper's full tree pipeline (§2.2): bottleneck
@@ -130,21 +163,29 @@ func MinProcessorsPath(p *graph.Path, k float64) (*PathPartition, error) {
 // bottleneck never exceeds the optimum, and among such cuts it uses the
 // minimum number of processors.
 func PartitionTree(t *graph.Tree, k float64) (*TreePartition, error) {
-	bt, err := Bottleneck(t, k)
+	tp, _, err := PartitionTreeCtx(context.Background(), t, k)
+	return tp, err
+}
+
+// PartitionTreeCtx is PartitionTree with cancellation and iteration
+// accounting (summed over the pipeline's stages).
+func PartitionTreeCtx(ctx context.Context, t *graph.Tree, k float64) (*TreePartition, int64, error) {
+	bt, it1, err := BottleneckCtx(ctx, t, k)
 	if err != nil {
-		return nil, err
+		return nil, it1, err
 	}
 	contraction, err := t.Contract(bt.Cut)
 	if err != nil {
-		return nil, err
+		return nil, it1, err
 	}
-	mp, err := MinProcessors(contraction.Tree, k)
+	mp, it2, err := MinProcessorsCtx(ctx, contraction.Tree, k)
 	if err != nil {
-		return nil, err
+		return nil, it1 + it2, err
 	}
 	cut := make([]int, len(mp.Cut))
 	for i, ce := range mp.Cut {
 		cut[i] = contraction.CutEdges[ce]
 	}
-	return newTreePartition(t, graph.NormalizeCut(cut), k)
+	tp, err := newTreePartition(t, graph.NormalizeCut(cut), k)
+	return tp, it1 + it2, err
 }

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// This file registers every partitioner of the repository. Registry names
+// are part of the public surface (the CLI accepts them, README documents
+// them); keep them stable.
+//
+//	bandwidth          — paper §2.3 O(n + p log q) TEMP_S algorithm
+//	bandwidth-heap     — O(n log n) lazy-deletion heap baseline
+//	bandwidth-deque    — O(n) monotone-deque ablation
+//	bandwidth-naive    — O(n·window) naive recurrence evaluation
+//	bandwidth-limited  — O(n·m) level-wise DP with a component cap
+//	bottleneck         — §2.1 Algorithm 2.1 via binary search
+//	bottleneck-greedy  — paper-faithful O(n²) Algorithm 2.1
+//	minproc            — §2.2 Algorithm 2.2 on trees
+//	minproc-path       — first-fit processor minimization on paths
+//	partition-tree     — §2.2 full pipeline (bottleneck→contract→minproc)
+
+// pathSolver adapts a context-aware core path algorithm to the Solver
+// interface.
+type pathSolver struct {
+	name  string
+	solve func(ctx context.Context, req Request) (*core.PathPartition, int64, error)
+}
+
+func (s *pathSolver) Name() string { return s.name }
+func (s *pathSolver) Kind() Kind   { return KindPath }
+
+func (s *pathSolver) Solve(ctx context.Context, req Request) (Result, error) {
+	if req.Path == nil {
+		return Result{Solver: s.name}, fmt.Errorf("solver %q needs a path graph: %w", s.name, ErrBadRequest)
+	}
+	return instrumented(ctx, s.name, req.Options, func(ctx context.Context) (Result, int64, error) {
+		pp, iters, err := s.solve(ctx, req)
+		if err != nil {
+			return Result{}, iters, err
+		}
+		return Result{
+			Cut:              pp.Cut,
+			CutWeight:        pp.CutWeight,
+			Bottleneck:       pp.Bottleneck,
+			ComponentWeights: pp.ComponentWeights,
+			K:                pp.K,
+			PathPartition:    pp,
+		}, iters, nil
+	})
+}
+
+// treeSolver adapts a context-aware core tree algorithm. It accepts a Tree
+// request, or a Path request by viewing the path as a tree.
+type treeSolver struct {
+	name  string
+	solve func(ctx context.Context, t *graph.Tree, k float64) (*core.TreePartition, int64, error)
+}
+
+func (s *treeSolver) Name() string { return s.name }
+func (s *treeSolver) Kind() Kind   { return KindTree }
+
+func (s *treeSolver) Solve(ctx context.Context, req Request) (Result, error) {
+	t := req.Tree
+	if t == nil && req.Path != nil {
+		t = req.Path.AsTree()
+	}
+	if t == nil {
+		return Result{Solver: s.name}, fmt.Errorf("solver %q needs a tree (or path) graph: %w", s.name, ErrBadRequest)
+	}
+	return instrumented(ctx, s.name, req.Options, func(ctx context.Context) (Result, int64, error) {
+		tp, iters, err := s.solve(ctx, t, req.K)
+		if err != nil {
+			return Result{}, iters, err
+		}
+		return Result{
+			Cut:              tp.Cut,
+			CutWeight:        tp.CutWeight,
+			Bottleneck:       tp.Bottleneck,
+			ComponentWeights: tp.ComponentWeights,
+			K:                tp.K,
+			TreePartition:    tp,
+		}, iters, nil
+	})
+}
+
+// plainPath lifts a (ctx, path, k) algorithm into a request solve function.
+func plainPath(f func(context.Context, *graph.Path, float64) (*core.PathPartition, int64, error)) func(context.Context, Request) (*core.PathPartition, int64, error) {
+	return func(ctx context.Context, req Request) (*core.PathPartition, int64, error) {
+		return f(ctx, req.Path, req.K)
+	}
+}
+
+func init() {
+	// "bandwidth" is the paper's algorithm, with the component cap honored
+	// when the request sets one — the common case for machine-sized solves.
+	Register(&pathSolver{name: "bandwidth", solve: func(ctx context.Context, req Request) (*core.PathPartition, int64, error) {
+		if m := req.Options.MaxComponents; m > 0 {
+			return core.BandwidthLimitedCtx(ctx, req.Path, req.K, m)
+		}
+		return core.BandwidthCtx(ctx, req.Path, req.K)
+	}})
+	Register(&pathSolver{name: "bandwidth-heap", solve: plainPath(core.BandwidthHeapCtx)})
+	Register(&pathSolver{name: "bandwidth-deque", solve: plainPath(core.BandwidthDequeCtx)})
+	Register(&pathSolver{name: "bandwidth-naive", solve: plainPath(core.BandwidthNaiveCtx)})
+	// "bandwidth-limited" passes MaxComponents through verbatim, so the
+	// core validation (m must be positive) applies.
+	Register(&pathSolver{name: "bandwidth-limited", solve: func(ctx context.Context, req Request) (*core.PathPartition, int64, error) {
+		return core.BandwidthLimitedCtx(ctx, req.Path, req.K, req.Options.MaxComponents)
+	}})
+	Register(&pathSolver{name: "minproc-path", solve: plainPath(core.MinProcessorsPathCtx)})
+
+	Register(&treeSolver{name: "bottleneck", solve: core.BottleneckCtx})
+	Register(&treeSolver{name: "bottleneck-greedy", solve: core.BottleneckGreedyCtx})
+	Register(&treeSolver{name: "minproc", solve: core.MinProcessorsCtx})
+	Register(&treeSolver{name: "partition-tree", solve: core.PartitionTreeCtx})
+}

@@ -1,13 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/ccp"
-	"repro/internal/core"
-	"repro/internal/graph"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -47,11 +47,13 @@ type ComplexityRow struct {
 }
 
 // RunComplexity times the four bandwidth implementations on identical
-// instances and asserts they agree.
+// instances through the solver engine and asserts they agree. The reported
+// times are the engine's per-solve Stats.Duration.
 func RunComplexity(cfg ComplexityConfig) ([]ComplexityRow, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 1
 	}
+	ctx := context.Background()
 	rng := workload.NewRNG(cfg.Seed)
 	var rows []ComplexityRow
 	for _, n := range cfg.N {
@@ -65,31 +67,29 @@ func RunComplexity(cfg ComplexityConfig) ([]ComplexityRow, error) {
 				workload.UniformWeights(1, 100), workload.UniformWeights(1, 100))
 			k := cfg.KRatio * p.MaxNodeWeight()
 			type run struct {
-				f  func(*graph.Path, float64) (*core.PathPartition, error)
-				ns *float64
+				solver string
+				ns     *float64
 			}
 			runs := []run{
-				{core.Bandwidth, &row.TempSNs},
-				{core.BandwidthDeque, &row.DequeNs},
-				{core.BandwidthHeap, &row.HeapNs},
+				{"bandwidth", &row.TempSNs},
+				{"bandwidth-deque", &row.DequeNs},
+				{"bandwidth-heap", &row.HeapNs},
 			}
 			if naive {
-				runs = append(runs, run{core.BandwidthNaive, &row.NaiveNs})
+				runs = append(runs, run{"bandwidth-naive", &row.NaiveNs})
 			}
 			var ref float64
 			for i, r := range runs {
-				start := time.Now()
-				pp, err := r.f(p, k)
-				elapsed := time.Since(start)
+				res, err := engine.Solve(ctx, engine.Request{Solver: r.solver, Path: p, K: k})
 				if err != nil {
-					return nil, fmt.Errorf("n=%d trial=%d solver=%d: %w", n, trial, i, err)
+					return nil, fmt.Errorf("n=%d trial=%d solver=%s: %w", n, trial, r.solver, err)
 				}
-				*r.ns += float64(elapsed.Nanoseconds())
+				*r.ns += float64(res.Stats.Duration.Nanoseconds())
 				if i == 0 {
-					ref = pp.CutWeight
-					row.CutWeight += pp.CutWeight
-				} else if diff := pp.CutWeight - ref; diff > 1e-6 || diff < -1e-6 {
-					return nil, fmt.Errorf("n=%d: solver %d weight %v != TempS %v", n, i, pp.CutWeight, ref)
+					ref = res.CutWeight
+					row.CutWeight += res.CutWeight
+				} else if diff := res.CutWeight - ref; diff > 1e-6 || diff < -1e-6 {
+					return nil, fmt.Errorf("n=%d: solver %s weight %v != TempS %v", n, r.solver, res.CutWeight, ref)
 				}
 			}
 		}

@@ -19,6 +19,7 @@
 package hitting
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -143,14 +144,29 @@ func (t *Trace) MeanQueueLen() float64 {
 // (Validate) and returns the minimum-weight hitting set. Empty instances
 // (no intervals) yield the empty solution.
 func SolveTempS(in *Instance) (*Solution, error) {
-	return solveTempS(in, nil)
+	sol, _, err := solveTempS(context.Background(), in, nil)
+	return sol, err
+}
+
+// SolveTempSCtx is SolveTempS with cancellation: the sweep polls ctx
+// periodically and aborts with its error once it is cancelled. The second
+// return value is the number of points the sweep processed.
+func SolveTempSCtx(ctx context.Context, in *Instance) (*Solution, int64, error) {
+	return solveTempS(ctx, in, nil)
 }
 
 // SolveTempSInstrumented is SolveTempS with queue-behaviour instrumentation.
 func SolveTempSInstrumented(in *Instance) (*Solution, *Trace, error) {
-	tr := &Trace{}
-	sol, err := solveTempS(in, tr)
+	sol, tr, _, err := SolveTempSInstrumentedCtx(context.Background(), in)
 	return sol, tr, err
+}
+
+// SolveTempSInstrumentedCtx is SolveTempSCtx with queue-behaviour
+// instrumentation.
+func SolveTempSInstrumentedCtx(ctx context.Context, in *Instance) (*Solution, *Trace, int64, error) {
+	tr := &Trace{}
+	sol, iters, err := solveTempS(ctx, in, tr)
+	return sol, tr, iters, err
 }
 
 // row is one entry of the TEMP_S queue: intervals lo..hi currently share the
@@ -161,13 +177,20 @@ type row struct {
 	cut    *cutNode
 }
 
-func solveTempS(in *Instance, tr *Trace) (*Solution, error) {
-	if err := in.Validate(); err != nil {
-		return nil, err
+func solveTempS(ctx context.Context, in *Instance, tr *Trace) (*Solution, int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	var iters int64
 	p := in.NumIntervals()
 	if p == 0 {
-		return &Solution{}, nil
+		return &Solution{}, 0, nil
 	}
 	r := in.NumPoints()
 	// Finalized per-interval optima: the paper's S_i (weight and cut).
@@ -184,6 +207,14 @@ func solveTempS(in *Instance, tr *Trace) (*Solution, error) {
 	head, tail := 0, -1
 	nextStart := 0
 	for e := 0; e < r; e++ {
+		// The sweep is the algorithm's main loop; poll for cancellation
+		// every 256 points so huge instances stay responsive.
+		iters++
+		if iters&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, iters, err
+			}
+		}
 		// Finalize intervals whose last point precedes e. Their minimum is
 		// settled; at most one per step for compressed instances, but the
 		// loop is safe for any valid instance.
@@ -257,7 +288,7 @@ func solveTempS(in *Instance, tr *Trace) (*Solution, error) {
 	if nextStart < p {
 		// Some interval's first point was never visited; impossible for a
 		// valid instance, but guard rather than return a wrong answer.
-		return nil, fmt.Errorf("interval %d starting at %d never admitted: %w",
+		return nil, iters, fmt.Errorf("interval %d starting at %d never admitted: %w",
 			nextStart, in.A[nextStart], ErrBadInstance)
 	}
 	// Finalize the intervals still in the queue (they end at the last points).
@@ -267,7 +298,7 @@ func solveTempS(in *Instance, tr *Trace) (*Solution, error) {
 		}
 		head++
 	}
-	return &Solution{Points: scut[p-1].materialize(), Weight: sw[p-1]}, nil
+	return &Solution{Points: scut[p-1].materialize(), Weight: sw[p-1]}, iters, nil
 }
 
 // SolveNaiveDP evaluates the paper's recurrence directly, scanning every

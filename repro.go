@@ -31,10 +31,12 @@
 package repro
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/arch"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/hitting"
 	"repro/internal/workload"
@@ -77,6 +79,56 @@ type Trace = hitting.Trace
 // RNG is the deterministic generator used by all workload generation.
 type RNG = workload.RNG
 
+// Solver engine. Every algorithm below is registered in the engine's solver
+// registry and reachable through the context-aware Solve API; the fixed-
+// signature functions further down are thin wrappers kept for convenience
+// and compatibility.
+type (
+	// SolveRequest names a registered solver and carries the task graph,
+	// the bound K, and per-solve options.
+	SolveRequest = engine.Request
+	// SolveResult is a completed solve: cut, metrics, and SolveStats.
+	SolveResult = engine.Result
+	// SolveOptions are the per-solve knobs (deadline, component cap,
+	// allocation tracking, observer).
+	SolveOptions = engine.Options
+	// SolveStats is per-solve work accounting (duration, iterations,
+	// allocations).
+	SolveStats = engine.Stats
+	// SolveEvent is the observer notification for one completed solve.
+	SolveEvent = engine.Event
+	// Observer receives a SolveEvent after every solve.
+	Observer = engine.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = engine.ObserverFunc
+	// Batch runs many solve requests concurrently on a bounded worker
+	// pool.
+	Batch = engine.Batch
+	// BatchResult holds index-aligned per-request outcomes and aggregate
+	// stats.
+	BatchResult = engine.BatchResult
+	// BatchStats aggregates a batch run.
+	BatchStats = engine.BatchStats
+	// StatsCollector is a thread-safe observer aggregating per-solver
+	// statistics.
+	StatsCollector = engine.Collector
+)
+
+// Solve runs the named solver of req with cancellation and per-solve stats;
+// see Solvers for the registry names.
+func Solve(ctx context.Context, req SolveRequest) (SolveResult, error) {
+	return engine.Solve(ctx, req)
+}
+
+// Solvers lists the registered solver names in sorted order.
+func Solvers() []string { return engine.Names() }
+
+// NewStatsCollector returns an empty per-solver stats collector.
+func NewStatsCollector() *StatsCollector { return engine.NewCollector() }
+
+// SetObserver installs a process-wide solve observer; see engine.SetObserver.
+func SetObserver(o Observer) Observer { return engine.SetObserver(o) }
+
 // Errors re-exported from the underlying packages.
 var (
 	// ErrInfeasible is returned when some single task exceeds the bound K.
@@ -86,7 +138,31 @@ var (
 	// ErrTooFewProcessors is returned by mapping and evaluation when the
 	// partition does not fit the machine.
 	ErrTooFewProcessors = arch.ErrTooFewProcessors
+	// ErrUnknownSolver is returned by Solve for unregistered solver names.
+	ErrUnknownSolver = engine.ErrUnknownSolver
+	// ErrBadRequest is returned by Solve for structurally invalid requests.
+	ErrBadRequest = engine.ErrBadRequest
 )
+
+// solvePath runs a path solver through the engine and unwraps the typed
+// partition.
+func solvePath(name string, p *Path, k float64, opt SolveOptions) (*PathPartition, error) {
+	res, err := engine.Solve(context.Background(), engine.Request{Solver: name, Path: p, K: k, Options: opt})
+	if err != nil {
+		return nil, err
+	}
+	return res.PathPartition, nil
+}
+
+// solveTree runs a tree solver through the engine and unwraps the typed
+// partition.
+func solveTree(name string, t *Tree, k float64) (*TreePartition, error) {
+	res, err := engine.Solve(context.Background(), engine.Request{Solver: name, Tree: t, K: k})
+	if err != nil {
+		return nil, err
+	}
+	return res.TreePartition, nil
+}
 
 // NewPath constructs and validates a linear task graph; see graph.NewPath.
 func NewPath(nodeW, edgeW []float64) (*Path, error) { return graph.NewPath(nodeW, edgeW) }
@@ -99,7 +175,9 @@ func NewRNG(seed uint64) *RNG { return workload.NewRNG(seed) }
 
 // Bandwidth solves bandwidth minimization on a linear task graph with the
 // paper's O(n + p log q) algorithm (§2.3).
-func Bandwidth(p *Path, k float64) (*PathPartition, error) { return core.Bandwidth(p, k) }
+func Bandwidth(p *Path, k float64) (*PathPartition, error) {
+	return solvePath("bandwidth", p, k, SolveOptions{})
+}
 
 // BandwidthInstrumented is Bandwidth plus TEMP_S queue statistics.
 func BandwidthInstrumented(p *Path, k float64) (*PathPartition, *Trace, error) {
@@ -108,19 +186,25 @@ func BandwidthInstrumented(p *Path, k float64) (*PathPartition, *Trace, error) {
 
 // BandwidthHeap is the O(n log n) prior-art baseline (Nicol & O'Hallaron
 // 1991 complexity class).
-func BandwidthHeap(p *Path, k float64) (*PathPartition, error) { return core.BandwidthHeap(p, k) }
+func BandwidthHeap(p *Path, k float64) (*PathPartition, error) {
+	return solvePath("bandwidth-heap", p, k, SolveOptions{})
+}
 
 // BandwidthDeque is the O(n) monotone-deque ablation.
-func BandwidthDeque(p *Path, k float64) (*PathPartition, error) { return core.BandwidthDeque(p, k) }
+func BandwidthDeque(p *Path, k float64) (*PathPartition, error) {
+	return solvePath("bandwidth-deque", p, k, SolveOptions{})
+}
 
 // BandwidthNaive is the O(n·window) naive recurrence evaluation.
-func BandwidthNaive(p *Path, k float64) (*PathPartition, error) { return core.BandwidthNaive(p, k) }
+func BandwidthNaive(p *Path, k float64) (*PathPartition, error) {
+	return solvePath("bandwidth-naive", p, k, SolveOptions{})
+}
 
 // BandwidthLimited solves bandwidth minimization with the extra constraint
 // of at most m components (processors): O(n·m) level-wise DP. The paper's
 // formulation is the m = ∞ case.
 func BandwidthLimited(p *Path, k float64, m int) (*PathPartition, error) {
-	return core.BandwidthLimited(p, k, m)
+	return solvePath("bandwidth-limited", p, k, SolveOptions{MaxComponents: m})
 }
 
 // TradeoffPoint is one row of the K ↔ bandwidth ↔ processors trade-off
@@ -135,26 +219,32 @@ func TradeoffCurve(p *Path, ks []float64) ([]TradeoffPoint, error) {
 
 // Bottleneck solves bottleneck minimization on a tree task graph
 // (Algorithm 2.1; binary-search implementation).
-func Bottleneck(t *Tree, k float64) (*TreePartition, error) { return core.Bottleneck(t, k) }
+func Bottleneck(t *Tree, k float64) (*TreePartition, error) {
+	return solveTree("bottleneck", t, k)
+}
 
 // BottleneckGreedy is the paper-faithful O(n²) Algorithm 2.1.
 func BottleneckGreedy(t *Tree, k float64) (*TreePartition, error) {
-	return core.BottleneckGreedy(t, k)
+	return solveTree("bottleneck-greedy", t, k)
 }
 
 // MinProcessors solves processor minimization on a tree task graph
 // (Algorithm 2.2).
-func MinProcessors(t *Tree, k float64) (*TreePartition, error) { return core.MinProcessors(t, k) }
+func MinProcessors(t *Tree, k float64) (*TreePartition, error) {
+	return solveTree("minproc", t, k)
+}
 
 // MinProcessorsPath solves processor minimization on a linear task graph by
 // optimal first-fit.
 func MinProcessorsPath(p *Path, k float64) (*PathPartition, error) {
-	return core.MinProcessorsPath(p, k)
+	return solvePath("minproc-path", p, k, SolveOptions{})
 }
 
 // PartitionTree runs the paper's full pipeline: bottleneck minimization,
 // contraction, processor minimization (§2.2).
-func PartitionTree(t *Tree, k float64) (*TreePartition, error) { return core.PartitionTree(t, k) }
+func PartitionTree(t *Tree, k float64) (*TreePartition, error) {
+	return solveTree("partition-tree", t, k)
+}
 
 // CheckPathFeasible verifies the execution-time bound for a path cut.
 func CheckPathFeasible(p *Path, cut []int, k float64) error {
