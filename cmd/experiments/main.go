@@ -36,6 +36,21 @@ func run() error {
 	quick := flag.Bool("quick", false, "use reduced sweep sizes")
 	flag.Parse()
 
+	// Fail fast on unknown selections instead of silently running nothing.
+	if *fig != "" && *fig != "2" {
+		return fmt.Errorf("-fig must be 2 (got %q)", *fig)
+	}
+	validTables := map[string]bool{
+		"complexity": true, "ccp": true, "des": true,
+		"rt": true, "priorwork": true, "treeheuristic": true,
+	}
+	if *table != "" && !validTables[*table] {
+		return fmt.Errorf("-table must be one of complexity | ccp | des | rt | priorwork | treeheuristic (got %q)", *table)
+	}
+	if *csv != "" && !*all && *fig != "2" {
+		return fmt.Errorf("-csv only applies to the Figure 2 sweep; add -fig 2 or -all")
+	}
+
 	ran := false
 	if *all || *fig == "2" {
 		ran = true

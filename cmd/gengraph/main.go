@@ -9,6 +9,9 @@
 //	gengraph -kind dary   -n 1000 -d 3
 //	gengraph -kind caterpillar -n 0 -spine 20 -leaves 4
 //	gengraph -kind pde    -rows 64 -cols 1024
+//
+// -json switches the output from the text codec to the JSON envelope that
+// partitiond's /v1/solve accepts.
 package main
 
 import (
@@ -41,6 +44,7 @@ func run() error {
 	leaves := flag.Int("leaves", 3, "leaves per spine vertex for -kind caterpillar")
 	rows := flag.Int("rows", 32, "grid rows for -kind pde")
 	cols := flag.Int("cols", 1024, "grid columns for -kind pde")
+	asJSON := flag.Bool("json", false, "emit the JSON envelope for partitiond instead of the text codec")
 	flag.Parse()
 
 	switch *kind {
@@ -85,20 +89,32 @@ func run() error {
 	edgeW := workload.UniformWeights(*elo, *ehi)
 	r := workload.NewRNG(*seed)
 
+	var g any
 	switch *kind {
 	case "path":
-		return graph.WritePath(os.Stdout, workload.RandomPath(r, *n, nodeW, edgeW))
+		g = workload.RandomPath(r, *n, nodeW, edgeW)
 	case "tree":
-		return graph.WriteTree(os.Stdout, workload.RandomTree(r, *n, nodeW, edgeW))
+		g = workload.RandomTree(r, *n, nodeW, edgeW)
 	case "star":
-		return graph.WriteTree(os.Stdout, workload.Star(r, *n, nodeW, edgeW))
+		g = workload.Star(r, *n, nodeW, edgeW)
 	case "dary":
-		return graph.WriteTree(os.Stdout, workload.DaryTree(r, *n, *d, nodeW, edgeW))
+		g = workload.DaryTree(r, *n, *d, nodeW, edgeW)
 	case "caterpillar":
-		return graph.WriteTree(os.Stdout, workload.Caterpillar(r, *spine, *leaves, nodeW, edgeW))
+		g = workload.Caterpillar(r, *spine, *leaves, nodeW, edgeW)
 	case "pde":
-		return graph.WritePath(os.Stdout, workload.PDEStrips(r, *rows, *cols, 5, 8))
+		g = workload.PDEStrips(r, *rows, *cols, 5, 8)
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	if *asJSON {
+		return graph.WriteJSON(os.Stdout, g)
+	}
+	switch g := g.(type) {
+	case *graph.Path:
+		return graph.WritePath(os.Stdout, g)
+	case *graph.Tree:
+		return graph.WriteTree(os.Stdout, g)
+	default:
+		return fmt.Errorf("cannot encode a %T", g)
 	}
 }

@@ -57,8 +57,23 @@ func run() error {
 		}
 		return nil
 	}
-	if *k <= 0 && *sweep == "" {
+	if *sweep == "" && !(*k > 0) {
 		return fmt.Errorf("-k must be positive (got %v)", *k)
+	}
+	if *maxProcs < 0 {
+		return fmt.Errorf("-m must be non-negative (got %d)", *maxProcs)
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout must be non-negative (got %v)", *timeout)
+	}
+	if *procs < 0 {
+		return fmt.Errorf("-procs must be non-negative (got %d)", *procs)
+	}
+	if !(*speed > 0) {
+		return fmt.Errorf("-speed must be positive (got %v)", *speed)
+	}
+	if !(*bus > 0) {
+		return fmt.Errorf("-bus must be positive (got %v)", *bus)
 	}
 	var r io.Reader = os.Stdin
 	if *in != "" {
@@ -110,6 +125,11 @@ func run() error {
 	if *stats {
 		fmt.Printf("solve time:       %v\n", res.Stats.Duration)
 		fmt.Printf("iterations:       %d\n", res.Stats.Iterations)
+		// The partitiond cache key is fingerprint + solver + K (+ -m);
+		// printing it here lets operators cross-check cache behavior.
+		if fp, err := graph.Fingerprint(any); err == nil {
+			fmt.Printf("fingerprint:      %016x\n", fp)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,144 @@
+// Command partitiond serves the solver registry over HTTP/JSON with a
+// fingerprint-keyed result cache, admission control, and Prometheus-style
+// metrics. See the README "Serving" section for the API and an example
+// session.
+//
+// Usage:
+//
+//	partitiond -addr :8080
+//	partitiond -addr :8080 -max-concurrent 8 -queue 32 -cache-size 4096
+//	partitiond -cache-size -1                 # disable the result cache
+//	partitiond -log json                      # structured JSON logs
+//
+// Endpoints:
+//
+//	POST /v1/solve    one solve: {"solver","k","graph",...}
+//	POST /v1/batch    many solves on a bounded worker pool
+//	GET  /v1/solvers  registry names and graph kinds
+//	GET  /healthz     liveness (503 while draining)
+//	GET  /metrics     Prometheus text format
+//
+// On SIGINT/SIGTERM the server drains: new requests get 503, in-flight
+// solves run to completion (bounded by -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "partitiond:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	cacheSize := flag.Int("cache-size", 4096, "result cache capacity in entries (negative disables caching)")
+	cacheShards := flag.Int("cache-shards", 16, "result cache shard count")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max simultaneous solves (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max requests waiting for a solve slot (0 = 4x max-concurrent); beyond it requests are shed with 429")
+	queueTimeout := flag.Duration("queue-timeout", 2*time.Second, "max time a request may wait for a solve slot before a 503")
+	timeout := flag.Duration("timeout", 10*time.Second, "default per-solve deadline")
+	maxTimeout := flag.Duration("max-timeout", time.Minute, "cap on client-requested solve deadlines")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
+	batchWorkers := flag.Int("batch-workers", 0, "worker pool size per /v1/batch call (0 = max-concurrent)")
+	drain := flag.Duration("drain", 15*time.Second, "how long to wait for in-flight solves on shutdown")
+	logFormat := flag.String("log", "text", "log format: text | json")
+	flag.Parse()
+
+	// Fail fast on nonsense before binding the port.
+	if *cacheShards <= 0 {
+		return fmt.Errorf("-cache-shards must be positive (got %d)", *cacheShards)
+	}
+	if *maxConcurrent < 0 {
+		return fmt.Errorf("-max-concurrent must be non-negative (got %d)", *maxConcurrent)
+	}
+	if *queue < 0 {
+		return fmt.Errorf("-queue must be non-negative (got %d)", *queue)
+	}
+	for _, d := range []struct {
+		name string
+		val  time.Duration
+	}{
+		{"-queue-timeout", *queueTimeout},
+		{"-timeout", *timeout},
+		{"-max-timeout", *maxTimeout},
+		{"-retry-after", *retryAfter},
+		{"-drain", *drain},
+	} {
+		if d.val <= 0 {
+			return fmt.Errorf("%s must be positive (got %v)", d.name, d.val)
+		}
+	}
+	if *maxTimeout < *timeout {
+		return fmt.Errorf("-max-timeout (%v) must be at least -timeout (%v)", *maxTimeout, *timeout)
+	}
+	if *batchWorkers < 0 {
+		return fmt.Errorf("-batch-workers must be non-negative (got %d)", *batchWorkers)
+	}
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		return fmt.Errorf("-log must be text or json (got %q)", *logFormat)
+	}
+	logger := slog.New(handler)
+
+	cfg := server.Config{
+		Addr:           *addr,
+		CacheSize:      *cacheSize,
+		CacheShards:    *cacheShards,
+		MaxConcurrent:  *maxConcurrent,
+		MaxQueue:       *queue,
+		QueueTimeout:   *queueTimeout,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		RetryAfter:     *retryAfter,
+		BatchWorkers:   *batchWorkers,
+		Logger:         logger,
+	}
+	if *cacheSize == 0 {
+		cfg.CacheSize = -1 // flag semantics: 0 entries means no cache
+	}
+	srv := server.New(cfg)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any signal
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+	logger.Info("signal received, draining", "timeout", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

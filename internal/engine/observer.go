@@ -29,6 +29,39 @@ type ObserverFunc func(Event)
 // Observe calls f.
 func (f ObserverFunc) Observe(e Event) { f(e) }
 
+// multiObserver fans one event out to several observers in order.
+type multiObserver []Observer
+
+// Observe delivers e to every member.
+func (m multiObserver) Observe(e Event) {
+	for _, o := range m {
+		o.Observe(e)
+	}
+}
+
+// Observers combines observers into one that fans events out in argument
+// order, skipping nil entries. It returns nil when nothing remains and the
+// sole observer unwrapped when only one does, so the result can be assigned
+// to Options.Observer (or Batch.Observer) without adding dispatch layers.
+// This is how a serving layer chains its metrics collector with a
+// per-request observer supplied by the caller.
+func Observers(obs ...Observer) Observer {
+	var flat multiObserver
+	for _, o := range obs {
+		if o != nil {
+			flat = append(flat, o)
+		}
+	}
+	switch len(flat) {
+	case 0:
+		return nil
+	case 1:
+		return flat[0]
+	default:
+		return flat
+	}
+}
+
 var (
 	obsMu          sync.RWMutex
 	globalObserver Observer

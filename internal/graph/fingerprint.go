@@ -1,0 +1,114 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stable 64-bit fingerprints over task graphs, used as cache keys by the
+// serving layer (internal/server) and printed by cmd/partition -stats for
+// debugging. The fingerprint is FNV-1a over a canonical byte encoding:
+//
+//	kind tag | vertex count | vertex weights | edge count | edges
+//
+// with float64 weights hashed by their IEEE-754 bit patterns (negative zero
+// normalized to zero) and edge endpoints in declaration order. Edge order is
+// significant — cuts index into the edge slice, so two trees with the same
+// shape but re-ordered edge lists are different inputs and hash differently.
+// The encoding is independent of platform word size and map iteration order,
+// so fingerprints are stable across processes and releases.
+
+// FNV-1a 64-bit parameters (FNV is in the stdlib only over bytes via
+// hash/fnv; hashing uint64 words directly avoids per-solve buffer churn).
+const (
+	fnvOffset64 uint64 = 14695981039346656037
+	fnvPrime64  uint64 = 1099511628211
+)
+
+// Kind tags keep a path from colliding with its single-chain tree rendering.
+const (
+	fpTagPath  uint64 = 0x70617468 // "path"
+	fpTagTree  uint64 = 0x74726565 // "tree"
+	fpTagGraph uint64 = 0x67726170 // "grap"
+)
+
+// fnvMix folds one 64-bit word into the hash, byte by byte (little-endian),
+// matching the canonical FNV-1a byte stream.
+func fnvMix(h, word uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= word & 0xff
+		h *= fnvPrime64
+		word >>= 8
+	}
+	return h
+}
+
+// fnvMixWeight canonicalizes w before mixing: -0.0 hashes as +0.0 so the two
+// representations of zero weight (both valid) are one cache key.
+func fnvMixWeight(h uint64, w float64) uint64 {
+	if w == 0 {
+		w = 0
+	}
+	return fnvMix(h, math.Float64bits(w))
+}
+
+// FingerprintPath returns the stable fingerprint of a linear task graph.
+func FingerprintPath(p *Path) uint64 {
+	h := fnvMix(fnvOffset64, fpTagPath)
+	h = fnvMix(h, uint64(len(p.NodeW)))
+	for _, w := range p.NodeW {
+		h = fnvMixWeight(h, w)
+	}
+	h = fnvMix(h, uint64(len(p.EdgeW)))
+	for _, w := range p.EdgeW {
+		h = fnvMixWeight(h, w)
+	}
+	return h
+}
+
+// fingerprintEdges hashes an edge list: count, then (u, v, w) per edge in
+// declaration order.
+func fingerprintEdges(h uint64, edges []Edge) uint64 {
+	h = fnvMix(h, uint64(len(edges)))
+	for _, e := range edges {
+		h = fnvMix(h, uint64(e.U))
+		h = fnvMix(h, uint64(e.V))
+		h = fnvMixWeight(h, e.W)
+	}
+	return h
+}
+
+// FingerprintTree returns the stable fingerprint of a tree task graph.
+func FingerprintTree(t *Tree) uint64 {
+	h := fnvMix(fnvOffset64, fpTagTree)
+	h = fnvMix(h, uint64(len(t.NodeW)))
+	for _, w := range t.NodeW {
+		h = fnvMixWeight(h, w)
+	}
+	return fingerprintEdges(h, t.Edges)
+}
+
+// FingerprintGraph returns the stable fingerprint of a general task graph.
+func FingerprintGraph(g *Graph) uint64 {
+	h := fnvMix(fnvOffset64, fpTagGraph)
+	h = fnvMix(h, uint64(len(g.NodeW)))
+	for _, w := range g.NodeW {
+		h = fnvMixWeight(h, w)
+	}
+	return fingerprintEdges(h, g.Edges)
+}
+
+// Fingerprint dispatches over the graph types accepted by the codecs:
+// *Path, *Tree, or *Graph.
+func Fingerprint(g any) (uint64, error) {
+	switch v := g.(type) {
+	case *Path:
+		return FingerprintPath(v), nil
+	case *Tree:
+		return FingerprintTree(v), nil
+	case *Graph:
+		return FingerprintGraph(v), nil
+	default:
+		return 0, fmt.Errorf("cannot fingerprint %T: %w", g, ErrBadShape)
+	}
+}

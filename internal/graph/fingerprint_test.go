@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func fpPath(t *testing.T, nodeW, edgeW []float64) uint64 {
+	t.Helper()
+	p, err := NewPath(nodeW, edgeW)
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	return FingerprintPath(p)
+}
+
+// TestFingerprintDeterministic: the same graph always hashes to the same
+// value, including through Clone (which must be byte-for-byte equivalent).
+func TestFingerprintDeterministic(t *testing.T) {
+	p, err := NewPath([]float64{1, 2, 3, 4}, []float64{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintPath(p) != FingerprintPath(p) {
+		t.Error("fingerprint not deterministic across calls")
+	}
+	if FingerprintPath(p) != FingerprintPath(p.Clone()) {
+		t.Error("fingerprint differs between a path and its clone")
+	}
+	tr, err := NewTree([]float64{1, 2, 3}, []Edge{{U: 0, V: 1, W: 5}, {U: 0, V: 2, W: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintTree(tr) != FingerprintTree(tr.Clone()) {
+		t.Error("fingerprint differs between a tree and its clone")
+	}
+}
+
+// TestFingerprintSensitivity: every component of the canonical encoding must
+// influence the hash — weights, topology, lengths, and the kind tag.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := fpPath(t, []float64{1, 2, 3, 4}, []float64{10, 20, 30})
+	variants := map[string]uint64{
+		"node weight changed":  fpPath(t, []float64{1, 2, 3, 5}, []float64{10, 20, 30}),
+		"edge weight changed":  fpPath(t, []float64{1, 2, 3, 4}, []float64{10, 20, 31}),
+		"node order swapped":   fpPath(t, []float64{2, 1, 3, 4}, []float64{10, 20, 30}),
+		"edge order swapped":   fpPath(t, []float64{1, 2, 3, 4}, []float64{20, 10, 30}),
+		"shorter path":         fpPath(t, []float64{1, 2, 3}, []float64{10, 20}),
+		"weight moved to edge": fpPath(t, []float64{1, 2, 3, 10}, []float64{4, 20, 30}),
+	}
+	for name, fp := range variants {
+		if fp == base {
+			t.Errorf("%s: fingerprint collided with base %016x", name, base)
+		}
+	}
+}
+
+// TestFingerprintKindSeparation: a path and its single-chain tree rendering
+// are distinct inputs (different solvers accept them) and must not collide.
+func TestFingerprintKindSeparation(t *testing.T) {
+	p, err := NewPath([]float64{1, 2, 3}, []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintPath(p) == FingerprintTree(p.AsTree()) {
+		t.Error("path fingerprint collides with its tree view")
+	}
+	g, err := NewGraph(p.AsTree().NodeW, p.AsTree().Edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintTree(p.AsTree()) == FingerprintGraph(g) {
+		t.Error("tree fingerprint collides with the identical general graph")
+	}
+}
+
+// TestFingerprintTreeTopology: same multiset of weights, different shape.
+func TestFingerprintTreeTopology(t *testing.T) {
+	nodeW := []float64{1, 1, 1, 1}
+	chain, err := NewTree(nodeW, []Edge{{0, 1, 5}, {1, 2, 5}, {2, 3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	star, err := NewTree(nodeW, []Edge{{0, 1, 5}, {0, 2, 5}, {0, 3, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if FingerprintTree(chain) == FingerprintTree(star) {
+		t.Error("chain and star with identical weights collide")
+	}
+}
+
+// TestFingerprintNegativeZero: -0.0 and +0.0 are the same weight and must be
+// the same cache key.
+func TestFingerprintNegativeZero(t *testing.T) {
+	a := fpPath(t, []float64{1, 0, 3}, []float64{10, 20})
+	b := fpPath(t, []float64{1, math.Copysign(0, -1), 3}, []float64{10, 20})
+	if a != b {
+		t.Errorf("+0.0 (%016x) and -0.0 (%016x) fingerprints differ", a, b)
+	}
+}
+
+// TestFingerprintDispatch covers the any-typed entry point.
+func TestFingerprintDispatch(t *testing.T) {
+	p, err := NewPath([]float64{1, 2}, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Fingerprint(p)
+	if err != nil {
+		t.Fatalf("Fingerprint(*Path): %v", err)
+	}
+	if got != FingerprintPath(p) {
+		t.Error("dispatch disagrees with FingerprintPath")
+	}
+	if _, err := Fingerprint(42); err == nil {
+		t.Error("Fingerprint(42) should fail")
+	}
+}
+
+// TestFingerprintCollisionSanity: pairwise-distinct fingerprints across a
+// family of near-identical random-ish graphs — a weak but useful guard
+// against encoding bugs (e.g. dropped length prefixes).
+func TestFingerprintCollisionSanity(t *testing.T) {
+	seen := make(map[uint64]string)
+	record := func(name string, fp uint64) {
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision: %s vs %s (%016x)", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+	// Paths of every length 1..64 with position-dependent weights, plus a
+	// one-weight perturbation of each.
+	for n := 1; n <= 64; n++ {
+		nodeW := make([]float64, n)
+		edgeW := make([]float64, n-1)
+		for i := range nodeW {
+			nodeW[i] = float64(i%7) + 0.5
+		}
+		for i := range edgeW {
+			edgeW[i] = float64(i%5) + 1.25
+		}
+		p, err := NewPath(nodeW, edgeW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		record("path", FingerprintPath(p))
+		nodeW[n/2] += 0.001
+		q, err := NewPath(nodeW, edgeW)
+		if err != nil {
+			t.Fatal(err)
+		}
+		record("perturbed path", FingerprintPath(q))
+	}
+	if len(seen) != 2*64 {
+		t.Fatalf("recorded %d fingerprints, want %d", len(seen), 2*64)
+	}
+}

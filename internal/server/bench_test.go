@@ -1,0 +1,173 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// benchBody marshals one solve request over a random n-node path.
+func benchBody(b *testing.B, n int, k float64Factor, solver string, noCache bool) []byte {
+	b.Helper()
+	r := workload.NewRNG(11)
+	p := workload.RandomPath(r, n, workload.UniformWeights(1, 100), workload.UniformWeights(1, 100))
+	var buf bytes.Buffer
+	if err := graph.WriteJSON(&buf, p); err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(solveRequest{
+		Solver:  solver,
+		K:       k(p),
+		Graph:   buf.Bytes(),
+		NoCache: noCache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+type float64Factor func(p *graph.Path) float64
+
+func benchServer(b *testing.B, cfg Config) *Server {
+	b.Helper()
+	cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	return New(cfg)
+}
+
+func post(h http.Handler, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("POST", "/v1/solve", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// BenchmarkSolveUncached measures the full request path with the cache
+// bypassed: decode, fingerprint, admission, engine solve, marshal.
+func BenchmarkSolveUncached(b *testing.B) {
+	s := benchServer(b, Config{MaxConcurrent: 1, MaxQueue: 4})
+	body := benchBody(b, 5000, func(p *graph.Path) float64 { return 4 * p.MaxNodeWeight() }, "bandwidth", true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := post(s.Handler(), body); rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkSolveCached measures the same request answered from the result
+// cache — the O(1)-lookup fast path the serving layer exists for.
+func BenchmarkSolveCached(b *testing.B) {
+	s := benchServer(b, Config{MaxConcurrent: 1, MaxQueue: 4})
+	body := benchBody(b, 5000, func(p *graph.Path) float64 { return 4 * p.MaxNodeWeight() }, "bandwidth", false)
+	if rec := post(s.Handler(), body); rec.Code != http.StatusOK { // warm
+		b.Fatalf("warm status %d", rec.Code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := post(s.Handler(), body)
+		if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "HIT" {
+			b.Fatalf("status %d, X-Cache %q", rec.Code, rec.Header().Get("X-Cache"))
+		}
+	}
+}
+
+// BenchmarkSolveUncachedHeavy uses the quadratic bandwidth-naive solver on
+// a wide window, where the solve dwarfs request decoding — the workload the
+// cache is for.
+func BenchmarkSolveUncachedHeavy(b *testing.B) {
+	s := benchServer(b, Config{MaxConcurrent: 1, MaxQueue: 4})
+	body := benchBody(b, 10000, func(p *graph.Path) float64 { return p.TotalNodeWeight() / 2 }, "bandwidth-naive", true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := post(s.Handler(), body); rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkSolveCachedHeavy is the same heavy request answered from cache.
+func BenchmarkSolveCachedHeavy(b *testing.B) {
+	s := benchServer(b, Config{MaxConcurrent: 1, MaxQueue: 4})
+	body := benchBody(b, 10000, func(p *graph.Path) float64 { return p.TotalNodeWeight() / 2 }, "bandwidth-naive", false)
+	if rec := post(s.Handler(), body); rec.Code != http.StatusOK { // warm
+		b.Fatalf("warm status %d", rec.Code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := post(s.Handler(), body)
+		if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "HIT" {
+			b.Fatalf("status %d, X-Cache %q", rec.Code, rec.Header().Get("X-Cache"))
+		}
+	}
+}
+
+// BenchmarkServerAtConcurrencyLimit drives parallel clients against a
+// limiter sized to the host, mixing K values so only some requests hit the
+// cache — the requests/sec figure for the baseline record. Shed responses
+// (429/503) count as completed requests, as they do for a real client.
+func BenchmarkServerAtConcurrencyLimit(b *testing.B) {
+	s := benchServer(b, Config{
+		MaxConcurrent: runtime.GOMAXPROCS(0),
+		MaxQueue:      4 * runtime.GOMAXPROCS(0),
+	})
+	r := workload.NewRNG(12)
+	p := workload.RandomPath(r, 2000, workload.UniformWeights(1, 100), workload.UniformWeights(1, 100))
+	var buf bytes.Buffer
+	if err := graph.WriteJSON(&buf, p); err != nil {
+		b.Fatal(err)
+	}
+	const distinctKs = 16
+	bodies := make([][]byte, distinctKs)
+	for i := range bodies {
+		body, err := json.Marshal(solveRequest{
+			Solver: "bandwidth",
+			K:      4*p.MaxNodeWeight() + float64(i),
+			Graph:  buf.Bytes(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bodies[i] = body
+	}
+	var served, shed atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			rec := post(s.Handler(), bodies[i%distinctKs])
+			i++
+			switch rec.Code {
+			case http.StatusOK:
+				served.Add(1)
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				shed.Add(1)
+			default:
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+	b.StopTimer()
+	total := served.Load() + shed.Load()
+	if total > 0 {
+		b.ReportMetric(float64(served.Load())/float64(total)*100, "served_%")
+	}
+	st := s.CacheStats()
+	if st.Hits+st.Misses > 0 {
+		b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses)*100, "cache_hit_%")
+	}
+}

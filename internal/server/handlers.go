@@ -1,0 +1,427 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// The wire format. Graphs travel in the graph package's JSON envelope
+// ({"kind":"path","nodeWeights":...,"edgeWeights":...}); everything else is
+// flat JSON. Durations cross the wire in milliseconds.
+
+// solveRequest is the body of POST /v1/solve and one element of a batch.
+type solveRequest struct {
+	// Solver is the registry name (see GET /v1/solvers).
+	Solver string `json:"solver"`
+	// K is the execution-time bound; must be positive and finite.
+	K float64 `json:"k"`
+	// Graph is the task graph in the graph-JSON envelope.
+	Graph json.RawMessage `json:"graph"`
+	// MaxComponents caps the component count for solvers that support it.
+	MaxComponents int `json:"maxComponents,omitempty"`
+	// TimeoutMs overrides the server's default solve deadline, capped at
+	// the server's maximum.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+	// NoCache bypasses the result cache for this request (both lookup and
+	// fill) — the load-testing and debugging escape hatch.
+	NoCache bool `json:"noCache,omitempty"`
+}
+
+// solveResponse is the body of a successful solve. Cached hits replay these
+// exact bytes, so Stats describe the solve that originally produced the
+// result; the X-Cache header says which case the caller got.
+type solveResponse struct {
+	Solver           string    `json:"solver"`
+	K                float64   `json:"k"`
+	Cut              []int     `json:"cut"`
+	CutWeight        float64   `json:"cutWeight"`
+	Bottleneck       float64   `json:"bottleneck"`
+	ComponentWeights []float64 `json:"componentWeights"`
+	NumComponents    int       `json:"numComponents"`
+	Fingerprint      string    `json:"fingerprint"`
+	Stats            struct {
+		DurationMs float64 `json:"durationMs"`
+		Iterations int64   `json:"iterations"`
+	} `json:"stats"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// batchRequest is the body of POST /v1/batch.
+type batchRequest struct {
+	Requests []solveRequest `json:"requests"`
+	// TimeoutMs is the default per-item deadline for items without one.
+	TimeoutMs int64 `json:"timeoutMs,omitempty"`
+}
+
+// batchItem mirrors engine.BatchItem: exactly one of Result or Error is set.
+// Result carries the same bytes a /v1/solve for that item would return.
+type batchItem struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Error  string          `json:"error,omitempty"`
+	Cached bool            `json:"cached,omitempty"`
+}
+
+type batchResponse struct {
+	Items []batchItem `json:"items"`
+	Stats struct {
+		Requests  int     `json:"requests"`
+		Solved    int     `json:"solved"`
+		Failed    int     `json:"failed"`
+		CacheHits int     `json:"cacheHits"`
+		WallMs    float64 `json:"wallMs"`
+	} `json:"stats"`
+}
+
+// parsedSolve is a decoded, validated solve item ready for the engine.
+type parsedSolve struct {
+	req solveRequest
+	g   any    // *graph.Path or *graph.Tree
+	fp  uint64 // graph fingerprint
+	key cacheKey
+}
+
+// parseSolve validates one solve item. Errors are client errors (400).
+func (s *Server) parseSolve(req solveRequest) (parsedSolve, error) {
+	if req.Solver == "" {
+		return parsedSolve{}, errors.New(`"solver" is required`)
+	}
+	if !(req.K > 0) || math.IsInf(req.K, 0) {
+		return parsedSolve{}, fmt.Errorf(`"k" must be positive and finite (got %v)`, req.K)
+	}
+	if req.MaxComponents < 0 {
+		return parsedSolve{}, fmt.Errorf(`"maxComponents" must be non-negative (got %d)`, req.MaxComponents)
+	}
+	if req.TimeoutMs < 0 {
+		return parsedSolve{}, fmt.Errorf(`"timeoutMs" must be non-negative (got %d)`, req.TimeoutMs)
+	}
+	if len(req.Graph) == 0 {
+		return parsedSolve{}, errors.New(`"graph" is required`)
+	}
+	g, err := graph.ReadJSON(bytes.NewReader(req.Graph))
+	if err != nil {
+		return parsedSolve{}, fmt.Errorf("bad graph: %v", err)
+	}
+	switch g.(type) {
+	case *graph.Path, *graph.Tree:
+	default:
+		return parsedSolve{}, fmt.Errorf(`graph kind %T is not solvable; send "path" or "tree"`, g)
+	}
+	fp, err := graph.Fingerprint(g)
+	if err != nil {
+		return parsedSolve{}, err
+	}
+	return parsedSolve{
+		req: req,
+		g:   g,
+		fp:  fp,
+		key: newCacheKey(fp, req.Solver, req.K, req.MaxComponents),
+	}, nil
+}
+
+// engineRequest builds the engine.Request for a parsed item. The solve
+// deadline comes from the item, clamped to the server maximum, falling back
+// to the server default.
+func (s *Server) engineRequest(p parsedSolve, defaultTimeoutMs int64) engine.Request {
+	timeout := s.cfg.DefaultTimeout
+	if ms := p.req.TimeoutMs; ms == 0 {
+		ms = defaultTimeoutMs
+		if ms > 0 {
+			timeout = time.Duration(ms) * time.Millisecond
+		}
+	} else {
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	req := engine.Request{
+		Solver: p.req.Solver,
+		K:      p.req.K,
+		Options: engine.Options{
+			MaxComponents: p.req.MaxComponents,
+			Timeout:       timeout,
+			Observer:      s.observer,
+		},
+	}
+	switch g := p.g.(type) {
+	case *graph.Path:
+		req.Path = g
+	case *graph.Tree:
+		req.Tree = g
+	}
+	return req
+}
+
+// marshalResult renders the canonical response bytes for one solve result —
+// the bytes that get cached and replayed byte-identically on hits.
+func marshalResult(fp uint64, res engine.Result) ([]byte, error) {
+	var body solveResponse
+	body.Solver = res.Solver
+	body.K = res.K
+	body.Cut = res.Cut
+	if body.Cut == nil {
+		body.Cut = []int{}
+	}
+	body.CutWeight = res.CutWeight
+	body.Bottleneck = res.Bottleneck
+	body.ComponentWeights = res.ComponentWeights
+	body.NumComponents = res.NumComponents()
+	body.Fingerprint = fmt.Sprintf("%016x", fp)
+	body.Stats.DurationMs = float64(res.Stats.Duration) / float64(time.Millisecond)
+	body.Stats.Iterations = res.Stats.Iterations
+	return json.Marshal(&body)
+}
+
+// writeJSON writes a JSON body with the given status.
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+	}
+	body, _ := json.Marshal(errorResponse{Error: msg})
+	writeJSON(w, status, body)
+}
+
+// solveStatus maps an engine/solve error to an HTTP status.
+func solveStatus(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrUnknownSolver),
+		errors.Is(err, engine.ErrBadRequest),
+		errors.Is(err, core.ErrBadBound):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the log line.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// handleSolve is POST /v1/solve: decode → cache lookup → admission →
+// engine.Solve → cache fill.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req solveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	p, err := s.parseSolve(req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	if !p.req.NoCache {
+		if body, ok := s.cache.Get(p.key); ok {
+			w.Header().Set("X-Cache", "HIT")
+			writeJSON(w, http.StatusOK, body)
+			return
+		}
+	}
+
+	// Admission: wait for a solve slot within QueueTimeout, bounded also by
+	// the client connection (r.Context() ends on disconnect).
+	qctx, qcancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
+	release, err := s.limiter.Acquire(qctx)
+	qcancel()
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.writeError(w, http.StatusTooManyRequests, "admission queue full")
+		default:
+			s.writeError(w, http.StatusServiceUnavailable, "timed out waiting for a solve slot")
+		}
+		return
+	}
+	defer release()
+
+	res, err := engine.Solve(r.Context(), s.engineRequest(p, 0))
+	if err != nil {
+		s.writeError(w, solveStatus(err), err.Error())
+		return
+	}
+	body, err := marshalResult(p.fp, res)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if !p.req.NoCache {
+		s.cache.Put(p.key, body)
+	}
+	w.Header().Set("X-Cache", "MISS")
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleBatch is POST /v1/batch: per-item cache lookups, then one
+// engine.Batch over the misses. The whole batch holds a single admission
+// slot — its internal parallelism is cfg.BatchWorkers — so a batch counts as
+// one unit of heavy work against the limiter.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var breq batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
+		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(breq.Requests) == 0 {
+		s.writeError(w, http.StatusBadRequest, `"requests" must be non-empty`)
+		return
+	}
+	if len(breq.Requests) > s.cfg.MaxBatchRequests {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds the %d-request limit", len(breq.Requests), s.cfg.MaxBatchRequests))
+		return
+	}
+	if breq.TimeoutMs < 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Sprintf(`"timeoutMs" must be non-negative (got %d)`, breq.TimeoutMs))
+		return
+	}
+	start := time.Now()
+	var resp batchResponse
+	resp.Items = make([]batchItem, len(breq.Requests))
+	resp.Stats.Requests = len(breq.Requests)
+
+	// Decode and cache-check every item first; only misses go to the pool.
+	parsed := make([]parsedSolve, len(breq.Requests))
+	var missIdx []int
+	for i, item := range breq.Requests {
+		p, err := s.parseSolve(item)
+		if err != nil {
+			resp.Items[i] = batchItem{Error: err.Error()}
+			resp.Stats.Failed++
+			continue
+		}
+		parsed[i] = p
+		if !p.req.NoCache {
+			if body, ok := s.cache.Get(p.key); ok {
+				resp.Items[i] = batchItem{Result: body, Cached: true}
+				resp.Stats.Solved++
+				resp.Stats.CacheHits++
+				continue
+			}
+		}
+		missIdx = append(missIdx, i)
+	}
+
+	if len(missIdx) > 0 {
+		qctx, qcancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
+		release, err := s.limiter.Acquire(qctx)
+		qcancel()
+		if err != nil {
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				s.writeError(w, http.StatusTooManyRequests, "admission queue full")
+			default:
+				s.writeError(w, http.StatusServiceUnavailable, "timed out waiting for a solve slot")
+			}
+			return
+		}
+		reqs := make([]engine.Request, len(missIdx))
+		for j, i := range missIdx {
+			reqs[j] = s.engineRequest(parsed[i], breq.TimeoutMs)
+		}
+		b := &engine.Batch{Workers: s.cfg.BatchWorkers}
+		out, _ := b.Run(r.Context(), reqs) // per-item errors land in Items
+		release()
+		for j, i := range missIdx {
+			item := out.Items[j]
+			if item.Err != nil {
+				resp.Items[i] = batchItem{Error: item.Err.Error()}
+				resp.Stats.Failed++
+				continue
+			}
+			body, err := marshalResult(parsed[i].fp, item.Result)
+			if err != nil {
+				resp.Items[i] = batchItem{Error: err.Error()}
+				resp.Stats.Failed++
+				continue
+			}
+			if !parsed[i].req.NoCache {
+				s.cache.Put(parsed[i].key, body)
+			}
+			resp.Items[i] = batchItem{Result: body}
+			resp.Stats.Solved++
+		}
+	}
+	resp.Stats.WallMs = float64(time.Since(start)) / float64(time.Millisecond)
+	body, err := json.Marshal(&resp)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// solverInfo is one row of GET /v1/solvers.
+type solverInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
+	names := engine.Names()
+	out := make([]solverInfo, 0, len(names))
+	for _, name := range names {
+		sol, err := engine.Get(name)
+		if err != nil {
+			continue // unregistered between Names and Get; skip
+		}
+		out = append(out, solverInfo{Name: name, Kind: sol.Kind().String()})
+	}
+	body, _ := json.Marshal(out)
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptimeSeconds"`
+		Solvers       int     `json:"solvers"`
+	}
+	h := health{Status: "ok", UptimeSeconds: time.Since(s.started).Seconds(), Solvers: len(engine.Names())}
+	status := http.StatusOK
+	if s.draining.Load() {
+		h.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	body, _ := json.Marshal(h)
+	writeJSON(w, status, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	httpSnap, inFlight := s.httpm.snapshot()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeMetrics(w, s.collector.Snapshot(), s.cache.Stats(), s.limiter.Stats(),
+		httpSnap, inFlight, time.Since(s.started))
+}

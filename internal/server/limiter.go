@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Limiter.Acquire when both the concurrency
+// slots and the wait queue are saturated; the HTTP layer maps it to
+// 429 Too Many Requests with a Retry-After hint.
+var ErrQueueFull = errors.New("server: admission queue full")
+
+// Limiter is the admission controller: at most MaxConcurrent solves run at
+// once, at most MaxQueue more wait for a slot, and anything beyond that is
+// shed immediately. Waiters honor their context, so a queued request whose
+// deadline expires (or whose client disconnects) leaves the queue without
+// ever starting to solve.
+type Limiter struct {
+	slots    chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+
+	admitted      atomic.Uint64
+	shedQueueFull atomic.Uint64
+	shedDeadline  atomic.Uint64
+}
+
+// NewLimiter builds a limiter admitting maxConcurrent concurrent holders
+// with a wait queue of maxQueue. maxConcurrent < 1 is clamped to 1;
+// maxQueue < 0 is clamped to 0 (shed immediately when slots are taken).
+func NewLimiter(maxConcurrent, maxQueue int) *Limiter {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &Limiter{
+		slots:    make(chan struct{}, maxConcurrent),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// Acquire obtains a slot, waiting in the bounded queue if necessary. It
+// returns a release function that must be called exactly once, or
+// ErrQueueFull when the queue is saturated, or ctx.Err() when the context
+// ends while waiting.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot, no queueing.
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted.Add(1)
+		return l.release, nil
+	default:
+	}
+	if l.queued.Add(1) > l.maxQueue {
+		l.queued.Add(-1)
+		l.shedQueueFull.Add(1)
+		return nil, ErrQueueFull
+	}
+	defer l.queued.Add(-1)
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted.Add(1)
+		return l.release, nil
+	case <-ctx.Done():
+		l.shedDeadline.Add(1)
+		return nil, ctx.Err()
+	}
+}
+
+func (l *Limiter) release() { <-l.slots }
+
+// LimiterStats snapshots the admission counters and gauges.
+type LimiterStats struct {
+	InFlight      int
+	Queued        int
+	MaxConcurrent int
+	MaxQueue      int
+	Admitted      uint64
+	ShedQueueFull uint64
+	ShedDeadline  uint64
+}
+
+// Stats snapshots the limiter. Gauges are instantaneous and may be stale by
+// the time the caller reads them.
+func (l *Limiter) Stats() LimiterStats {
+	return LimiterStats{
+		InFlight:      len(l.slots),
+		Queued:        int(l.queued.Load()),
+		MaxConcurrent: cap(l.slots),
+		MaxQueue:      int(l.maxQueue),
+		Admitted:      l.admitted.Load(),
+		ShedQueueFull: l.shedQueueFull.Load(),
+		ShedDeadline:  l.shedDeadline.Load(),
+	}
+}

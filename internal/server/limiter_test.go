@@ -1,0 +1,119 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestLimiterBasicAcquireRelease(t *testing.T) {
+	l := NewLimiter(2, 0)
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("first Acquire: %v", err)
+	}
+	r2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("second Acquire: %v", err)
+	}
+	if st := l.Stats(); st.InFlight != 2 || st.Admitted != 2 {
+		t.Errorf("stats = %+v, want 2 in flight / 2 admitted", st)
+	}
+	// Both slots taken, zero queue: immediate shed.
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third Acquire err = %v, want ErrQueueFull", err)
+	}
+	r1()
+	r3, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("Acquire after release: %v", err)
+	}
+	r2()
+	r3()
+	st := l.Stats()
+	if st.InFlight != 0 || st.ShedQueueFull != 1 || st.Admitted != 3 {
+		t.Errorf("final stats = %+v, want 0 in flight / 1 shed / 3 admitted", st)
+	}
+}
+
+func TestLimiterQueueAdmitsWhenSlotFrees(t *testing.T) {
+	l := NewLimiter(1, 1)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan error, 1)
+	go func() {
+		r, err := l.Acquire(context.Background()) // queues
+		if err == nil {
+			r()
+		}
+		got <- err
+	}()
+	// Wait until the waiter is provably queued, then free the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	release()
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("queued Acquire err = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued waiter never admitted")
+	}
+}
+
+func TestLimiterQueueFullSheds(t *testing.T) {
+	l := NewLimiter(1, 1)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	waiting := make(chan struct{})
+	go func() {
+		close(waiting)
+		l.Acquire(ctx) // occupies the single queue slot until cancel
+	}()
+	<-waiting
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().Queued == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow Acquire err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestLimiterContextCancelWhileQueued(t *testing.T) {
+	l := NewLimiter(1, 4)
+	release, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := l.Acquire(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued Acquire err = %v, want DeadlineExceeded", err)
+	}
+	st := l.Stats()
+	if st.ShedDeadline != 1 {
+		t.Errorf("shedDeadline = %d, want 1", st.ShedDeadline)
+	}
+	if st.Queued != 0 {
+		t.Errorf("queued = %d after deadline, want 0", st.Queued)
+	}
+}

@@ -1,0 +1,162 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Hand-rolled Prometheus text exposition (format version 0.0.4) — the repo
+// is stdlib-only, and the counter surface is small enough that a client
+// library buys nothing. Three sources feed /metrics:
+//
+//   - the engine Observer (per-solver solve/error/latency/iteration counters,
+//     via engine.Collector),
+//   - the cache and limiter snapshots,
+//   - the HTTP layer's own per-route request counters.
+
+// httpMetrics counts requests by (route, status code) plus an in-flight
+// gauge. Routes are the registered patterns, not raw URLs, so cardinality is
+// bounded.
+type httpMetrics struct {
+	mu       sync.Mutex
+	requests map[string]map[int]uint64 // route → code → count
+	inFlight int64
+}
+
+func newHTTPMetrics() *httpMetrics {
+	return &httpMetrics{requests: make(map[string]map[int]uint64)}
+}
+
+func (m *httpMetrics) observe(route string, code int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	byCode := m.requests[route]
+	if byCode == nil {
+		byCode = make(map[int]uint64)
+		m.requests[route] = byCode
+	}
+	byCode[code]++
+}
+
+func (m *httpMetrics) addInFlight(d int64) {
+	m.mu.Lock()
+	m.inFlight += d
+	m.mu.Unlock()
+}
+
+// snapshot returns a deep copy plus the in-flight gauge.
+func (m *httpMetrics) snapshot() (map[string]map[int]uint64, int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]map[int]uint64, len(m.requests))
+	for route, byCode := range m.requests {
+		cp := make(map[int]uint64, len(byCode))
+		for code, n := range byCode {
+			cp[code] = n
+		}
+		out[route] = cp
+	}
+	return out, m.inFlight
+}
+
+// writeMetrics renders every gauge and counter in Prometheus text format,
+// with series sorted for deterministic output (stable diffs, testable).
+func writeMetrics(w io.Writer, solvers map[string]engine.Aggregate, cs CacheStats, ls LimiterStats, http map[string]map[int]uint64, httpInFlight int64, uptime time.Duration) {
+	names := make([]string, 0, len(solvers))
+	for name := range solvers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	series := func(metric, typ, help string, emit func()) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ)
+		emit()
+	}
+
+	series("partitiond_solver_solves_total", "counter", "Completed solves by solver, including failed ones.", func() {
+		for _, n := range names {
+			fmt.Fprintf(w, "partitiond_solver_solves_total{solver=%q} %d\n", n, solvers[n].Solves)
+		}
+	})
+	series("partitiond_solver_errors_total", "counter", "Solves that returned an error, by solver.", func() {
+		for _, n := range names {
+			fmt.Fprintf(w, "partitiond_solver_errors_total{solver=%q} %d\n", n, solvers[n].Errors)
+		}
+	})
+	series("partitiond_solver_latency_seconds_total", "counter", "Total solve wall time by solver.", func() {
+		for _, n := range names {
+			fmt.Fprintf(w, "partitiond_solver_latency_seconds_total{solver=%q} %g\n", n, solvers[n].TotalDuration.Seconds())
+		}
+	})
+	series("partitiond_solver_latency_seconds_max", "gauge", "Slowest single solve by solver.", func() {
+		for _, n := range names {
+			fmt.Fprintf(w, "partitiond_solver_latency_seconds_max{solver=%q} %g\n", n, solvers[n].MaxDuration.Seconds())
+		}
+	})
+	series("partitiond_solver_iterations_total", "counter", "Solver main-loop iterations by solver.", func() {
+		for _, n := range names {
+			fmt.Fprintf(w, "partitiond_solver_iterations_total{solver=%q} %d\n", n, solvers[n].TotalIterations)
+		}
+	})
+
+	series("partitiond_cache_hits_total", "counter", "Result cache hits.", func() {
+		fmt.Fprintf(w, "partitiond_cache_hits_total %d\n", cs.Hits)
+	})
+	series("partitiond_cache_misses_total", "counter", "Result cache misses.", func() {
+		fmt.Fprintf(w, "partitiond_cache_misses_total %d\n", cs.Misses)
+	})
+	series("partitiond_cache_evictions_total", "counter", "Result cache LRU evictions.", func() {
+		fmt.Fprintf(w, "partitiond_cache_evictions_total %d\n", cs.Evictions)
+	})
+	series("partitiond_cache_entries", "gauge", "Result cache resident entries.", func() {
+		fmt.Fprintf(w, "partitiond_cache_entries %d\n", cs.Entries)
+	})
+	series("partitiond_cache_capacity", "gauge", "Result cache capacity in entries.", func() {
+		fmt.Fprintf(w, "partitiond_cache_capacity %d\n", cs.Capacity)
+	})
+
+	series("partitiond_admission_in_flight", "gauge", "Solves currently holding an admission slot.", func() {
+		fmt.Fprintf(w, "partitiond_admission_in_flight %d\n", ls.InFlight)
+	})
+	series("partitiond_admission_queued", "gauge", "Requests currently waiting for an admission slot.", func() {
+		fmt.Fprintf(w, "partitiond_admission_queued %d\n", ls.Queued)
+	})
+	series("partitiond_admission_admitted_total", "counter", "Requests granted an admission slot.", func() {
+		fmt.Fprintf(w, "partitiond_admission_admitted_total %d\n", ls.Admitted)
+	})
+	series("partitiond_admission_shed_queue_full_total", "counter", "Requests shed because the admission queue was full (HTTP 429).", func() {
+		fmt.Fprintf(w, "partitiond_admission_shed_queue_full_total %d\n", ls.ShedQueueFull)
+	})
+	series("partitiond_admission_shed_deadline_total", "counter", "Requests that left the admission queue on deadline or disconnect.", func() {
+		fmt.Fprintf(w, "partitiond_admission_shed_deadline_total %d\n", ls.ShedDeadline)
+	})
+
+	series("partitiond_http_requests_total", "counter", "HTTP requests by route and status code.", func() {
+		routes := make([]string, 0, len(http))
+		for r := range http {
+			routes = append(routes, r)
+		}
+		sort.Strings(routes)
+		for _, r := range routes {
+			codes := make([]int, 0, len(http[r]))
+			for c := range http[r] {
+				codes = append(codes, c)
+			}
+			sort.Ints(codes)
+			for _, c := range codes {
+				fmt.Fprintf(w, "partitiond_http_requests_total{route=%q,code=\"%d\"} %d\n", r, c, http[r][c])
+			}
+		}
+	})
+	series("partitiond_http_in_flight", "gauge", "HTTP requests currently being served.", func() {
+		fmt.Fprintf(w, "partitiond_http_in_flight %d\n", httpInFlight)
+	})
+	series("partitiond_uptime_seconds", "gauge", "Seconds since the server started.", func() {
+		fmt.Fprintf(w, "partitiond_uptime_seconds %g\n", uptime.Seconds())
+	})
+}

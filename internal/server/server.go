@@ -1,0 +1,251 @@
+package server
+
+import (
+	"context"
+	"log/slog"
+	"net"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Config sizes the serving layer. The zero value is usable: every field has
+// a production-lean default applied by New.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+	// CacheSize is the result cache capacity in entries; 0 picks the
+	// default (4096) and a negative value disables caching entirely.
+	CacheSize int
+	// CacheShards spreads the cache over independently locked shards
+	// (default 16).
+	CacheShards int
+	// MaxConcurrent bounds simultaneously running solves (default
+	// GOMAXPROCS).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for a solve slot; beyond it
+	// requests are shed with 429 (default 4 × MaxConcurrent).
+	MaxQueue int
+	// QueueTimeout bounds how long an admitted request may wait in the
+	// queue before it is shed with 503 (default 2s).
+	QueueTimeout time.Duration
+	// DefaultTimeout is the per-solve deadline applied when a request
+	// does not carry its own (default 10s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any client-requested deadline (default 60s).
+	MaxTimeout time.Duration
+	// RetryAfter is the hint attached to 429/503 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxBodyBytes bounds request bodies (default 32 MiB).
+	MaxBodyBytes int64
+	// BatchWorkers bounds each /v1/batch run's worker pool (default
+	// MaxConcurrent). Batch admission takes one limiter slot per batch;
+	// the pool parallelism inside that slot is this knob.
+	BatchWorkers int
+	// MaxBatchRequests bounds the request count of one batch call
+	// (default 1024).
+	MaxBatchRequests int
+	// Logger receives structured request and lifecycle logs; nil means
+	// slog.Default().
+	Logger *slog.Logger
+	// Observer, when non-nil, is chained after the server's own metrics
+	// collector on every solve — the test and embedding hook.
+	Observer engine.Observer
+}
+
+// withDefaults returns cfg with unset fields filled in.
+func (cfg Config) withDefaults() Config {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8080"
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 4096
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = 16
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 4 * cfg.MaxConcurrent
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.QueueTimeout <= 0 {
+		cfg.QueueTimeout = 2 * time.Second
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 10 * time.Second
+	}
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 60 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 32 << 20
+	}
+	if cfg.BatchWorkers <= 0 {
+		cfg.BatchWorkers = cfg.MaxConcurrent
+	}
+	if cfg.MaxBatchRequests <= 0 {
+		cfg.MaxBatchRequests = 1024
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	return cfg
+}
+
+// Server is the partitiond serving layer: HTTP handlers over the engine
+// registry with caching, admission control, and metrics. Construct with New;
+// drive with ListenAndServe/Serve; stop with Shutdown, which drains
+// in-flight solves.
+type Server struct {
+	cfg       Config
+	cache     *Cache
+	limiter   *Limiter
+	collector *engine.Collector
+	observer  engine.Observer // collector (+ cfg.Observer), attached to every solve
+	httpm     *httpMetrics
+	handler   http.Handler
+	hs        *http.Server
+	draining  atomic.Bool
+	started   time.Time
+}
+
+// New builds a Server from cfg (zero-value fields take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		limiter:   NewLimiter(cfg.MaxConcurrent, cfg.MaxQueue),
+		collector: engine.NewCollector(),
+		httpm:     newHTTPMetrics(),
+		started:   time.Now(),
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = NewCache(cfg.CacheSize, cfg.CacheShards)
+	}
+	s.observer = engine.Observers(s.collector, cfg.Observer)
+	s.handler = s.routes()
+	s.hs = &http.Server{
+		Addr:              cfg.Addr,
+		Handler:           s.handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the fully middleware-wrapped HTTP handler, for embedding
+// the API under another mux or driving it in tests without a listener.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// routes builds the mux. Method-qualified patterns give 405s for free.
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/solve", s.instrument("/v1/solve", s.handleSolve))
+	mux.Handle("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
+	mux.Handle("GET /v1/solvers", s.instrument("/v1/solvers", s.handleSolvers))
+	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
+	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
+	return mux
+}
+
+// statusWriter captures the response code and size for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += n
+	return n, err
+}
+
+// instrument wraps a handler with request logging, the per-route counters,
+// and the body-size cap.
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+		s.httpm.addInFlight(1)
+		h(sw, r)
+		s.httpm.addInFlight(-1)
+		if sw.code == 0 {
+			sw.code = http.StatusOK
+		}
+		s.httpm.observe(route, sw.code)
+		s.cfg.Logger.Info("request",
+			"method", r.Method,
+			"route", route,
+			"status", sw.code,
+			"bytes", sw.bytes,
+			"duration", time.Since(start),
+			"remote", r.RemoteAddr,
+			"cache", sw.Header().Get("X-Cache"),
+		)
+	})
+}
+
+// ListenAndServe serves on cfg.Addr until Shutdown or a listener error.
+func (s *Server) ListenAndServe() error {
+	l, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(l)
+}
+
+// Serve serves on l until Shutdown or a listener error. Like
+// http.Server.Serve it returns http.ErrServerClosed after a clean Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.cfg.Logger.Info("serving", "addr", l.Addr().String(),
+		"solvers", len(engine.Names()),
+		"maxConcurrent", s.cfg.MaxConcurrent, "maxQueue", s.cfg.MaxQueue,
+		"cacheSize", s.cfg.CacheSize)
+	return s.hs.Serve(l)
+}
+
+// Shutdown drains the server: new work is refused with 503 while requests
+// already admitted — including solves mid-flight — run to completion, then
+// the listener closes. The context bounds the drain; when it expires,
+// remaining connections are abandoned and its error returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.cfg.Logger.Info("draining", "inFlight", s.limiter.Stats().InFlight)
+	err := s.hs.Shutdown(ctx)
+	s.cfg.Logger.Info("drained", "err", err)
+	return err
+}
+
+// MetricsSnapshot returns the per-solver aggregates the server's engine
+// observer has collected — the programmatic twin of /metrics.
+func (s *Server) MetricsSnapshot() map[string]engine.Aggregate {
+	return s.collector.Snapshot()
+}
+
+// CacheStats snapshots the result cache counters.
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// LimiterStats snapshots the admission counters.
+func (s *Server) LimiterStats() LimiterStats { return s.limiter.Stats() }
