@@ -19,6 +19,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -44,6 +45,7 @@ func run() error {
 	maxProcs := flag.Int("m", 0, "limit the number of components (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 	stats := flag.Bool("stats", false, "print per-solve statistics (duration, iterations)")
+	verifyFlag := flag.Bool("verify", false, "re-check the result against the solver-independent optimality certificate")
 	list := flag.Bool("list", false, "list registered solver names and exit")
 	in := flag.String("in", "", "input graph file (default stdin)")
 	dot := flag.String("dot", "", "write a Graphviz rendering of the partition to this file")
@@ -122,6 +124,11 @@ func run() error {
 	if err := report(any, &res, *dot, *procs, *speed, *bus); err != nil {
 		return err
 	}
+	if *verifyFlag {
+		if err := reportCertificate(req, &res); err != nil {
+			return err
+		}
+	}
 	if *stats {
 		fmt.Printf("solve time:       %v\n", res.Stats.Duration)
 		fmt.Printf("iterations:       %d\n", res.Stats.Iterations)
@@ -130,6 +137,34 @@ func run() error {
 		if fp, err := graph.Fingerprint(any); err == nil {
 			fmt.Printf("fingerprint:      %016x\n", fp)
 		}
+	}
+	return nil
+}
+
+// reportCertificate runs the optimality certificate and prints its verdict.
+// An uncertified result exits non-zero so scripts can gate on it; a solver
+// without a certificate (ErrNotCertifiable) is reported but not fatal.
+func reportCertificate(req repro.SolveRequest, res *repro.SolveResult) error {
+	cert, err := repro.Certify(req, res)
+	if err != nil {
+		if errors.Is(err, repro.ErrNotCertifiable) {
+			fmt.Printf("certificate:      unavailable (%v)\n", err)
+			return nil
+		}
+		return fmt.Errorf("verify: %w", err)
+	}
+	status := "NOT CERTIFIED"
+	if cert.Certified {
+		status = "certified"
+	}
+	fmt.Printf("certificate:      %s (%s)\n", status, cert.Criterion)
+	fmt.Printf("  objective:      %g\n", cert.Objective)
+	fmt.Printf("  bound:          %g\n", cert.Bound)
+	if cert.Detail != "" {
+		fmt.Printf("  detail:         %s\n", cert.Detail)
+	}
+	if !cert.Certified {
+		return fmt.Errorf("result failed the %s certificate", cert.Criterion)
 	}
 	return nil
 }

@@ -27,7 +27,9 @@ import (
 //     anything in the paper; included as an ablation.
 //   - BandwidthNaive: the same DP scanning the whole window per edge,
 //     O(n · window) — the paper's "naive way" cost profile.
-//   - BandwidthBrute: exponential enumeration for tests (n ≤ 21).
+//
+// Exhaustive reference solvers live in internal/verify/oracle; tests compare
+// against those rather than a package-local brute force.
 
 // Bandwidth solves bandwidth minimization with the paper's algorithm.
 func Bandwidth(p *graph.Path, k float64) (*PathPartition, error) {
@@ -338,57 +340,4 @@ func BandwidthNaiveCtx(ctx context.Context, p *graph.Path, k float64) (*PathPart
 	}
 	pp, err := s.finish(p, k)
 	return pp, tk.n, err
-}
-
-// BandwidthBrute enumerates all cuts; exponential, for tests only (n ≤ 21).
-func BandwidthBrute(p *graph.Path, k float64) (*PathPartition, error) {
-	if err := checkBound(k); err != nil {
-		return nil, err
-	}
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	m := p.NumEdges()
-	if m > 20 {
-		return nil, fmt.Errorf("path with %d edges too large for brute force: %w", m, hitting.ErrTooLarge)
-	}
-	prefix := p.PrefixNodeWeights()
-	best := math.Inf(1)
-	bestMask := uint32(0)
-	found := false
-	for mask := uint32(0); mask < 1<<m; mask++ {
-		var w float64
-		for i := 0; i < m; i++ {
-			if mask&(1<<i) != 0 {
-				w += p.EdgeW[i]
-			}
-		}
-		if found && w >= best {
-			continue
-		}
-		feasible := true
-		start := 0
-		for i := 0; i <= m; i++ {
-			if i == m || mask&(1<<i) != 0 {
-				if prefix[i+1]-prefix[start] > k {
-					feasible = false
-					break
-				}
-				start = i + 1
-			}
-		}
-		if feasible {
-			best, bestMask, found = w, mask, true
-		}
-	}
-	if !found {
-		return nil, ErrInfeasible
-	}
-	var cut []int
-	for i := 0; i < m; i++ {
-		if bestMask&(1<<i) != 0 {
-			cut = append(cut, i)
-		}
-	}
-	return newPathPartition(p, cut, k)
 }

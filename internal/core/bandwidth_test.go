@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/graph"
+	"repro/internal/verify/oracle"
 	"repro/internal/workload"
 )
 
@@ -117,8 +118,9 @@ func TestBandwidthInfeasible(t *testing.T) {
 			t.Errorf("%s: error = %v, want ErrInfeasible", s.name, err)
 		}
 	}
-	if _, err := BandwidthBrute(p, 10); !errors.Is(err, ErrInfeasible) {
-		t.Errorf("Brute: error = %v, want ErrInfeasible", err)
+	// The shared oracle must agree that no feasible cut exists.
+	if res, err := oracle.PathDP(p, 10); err != nil || res.Feasible {
+		t.Errorf("oracle.PathDP = %+v, err %v, want infeasible", res, err)
 	}
 }
 
@@ -146,24 +148,24 @@ func TestBandwidthAllSolversMatchBrute(t *testing.T) {
 	r := workload.NewRNG(7777)
 	for trial := 0; trial < 400; trial++ {
 		p, k := randomPathForTest(r, 18)
-		want, err := BandwidthBrute(p, k)
-		if errors.Is(err, ErrInfeasible) {
-			continue
-		}
+		want, err := oracle.PathDP(p, k)
 		if err != nil {
-			t.Fatalf("brute: %v", err)
+			t.Fatalf("seed %d trial %d: oracle.PathDP: %v", r.Seed(), trial, err)
+		}
+		if !want.Feasible {
+			continue
 		}
 		for _, s := range bandwidthSolvers() {
 			got, err := s.f(p, k)
 			if err != nil {
-				t.Fatalf("%s: %v (path %+v k=%v)", s.name, err, p, k)
+				t.Fatalf("seed %d trial %d: %s: %v (path %+v k=%v)", r.Seed(), trial, s.name, err, p, k)
 			}
-			if math.Abs(got.CutWeight-want.CutWeight) > 1e-9 {
-				t.Fatalf("%s CutWeight = %v, brute = %v\nnodeW=%v\nedgeW=%v\nk=%v\ncut=%v bruteCut=%v",
-					s.name, got.CutWeight, want.CutWeight, p.NodeW, p.EdgeW, k, got.Cut, want.Cut)
+			if math.Abs(got.CutWeight-want.MinCutWeight) > 1e-9 {
+				t.Fatalf("seed %d trial %d: %s CutWeight = %v, oracle = %v\nnodeW=%v\nedgeW=%v\nk=%v\ncut=%v",
+					r.Seed(), trial, s.name, got.CutWeight, want.MinCutWeight, p.NodeW, p.EdgeW, k, got.Cut)
 			}
 			if err := CheckPathFeasible(p, got.Cut, k); err != nil {
-				t.Fatalf("%s returned infeasible cut: %v", s.name, err)
+				t.Fatalf("seed %d trial %d: %s returned infeasible cut: %v", r.Seed(), trial, s.name, err)
 			}
 		}
 	}

@@ -105,18 +105,18 @@ func TestBottleneckOptimalVsBrute(t *testing.T) {
 		tr, k := randomTreeForTest(r, 11)
 		want := treeBrute(t, tr, k)
 		got, err := Bottleneck(tr, k)
-		if want.components == -1 {
+		if !want.Feasible {
 			if !errors.Is(err, ErrInfeasible) {
-				t.Fatalf("want infeasible, got %v / err %v", got, err)
+				t.Fatalf("seed %d trial %d: want infeasible, got %v / err %v", r.Seed(), trial, got, err)
 			}
 			continue
 		}
 		if err != nil {
-			t.Fatalf("Bottleneck: %v (tree %+v k=%v)", err, tr, k)
+			t.Fatalf("seed %d trial %d: Bottleneck: %v (tree %+v k=%v)", r.Seed(), trial, err, tr, k)
 		}
-		if math.Abs(got.Bottleneck-want.bottleneck) > 1e-9 {
-			t.Fatalf("Bottleneck = %v, brute = %v\ntree=%+v k=%v cut=%v",
-				got.Bottleneck, want.bottleneck, tr, k, got.Cut)
+		if math.Abs(got.Bottleneck-want.Bottleneck) > 1e-9 {
+			t.Fatalf("seed %d trial %d: Bottleneck = %v, brute = %v\ntree=%+v k=%v cut=%v",
+				r.Seed(), trial, got.Bottleneck, want.Bottleneck, tr, k, got.Cut)
 		}
 	}
 }

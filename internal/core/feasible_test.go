@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Table-driven edge cases for the feasibility checkers. These are the
+// foundation of every certificate in internal/verify, so their behavior on
+// degenerate inputs is pinned down explicitly.
+func TestCheckPathFeasibleEdgeCases(t *testing.T) {
+	four := &graph.Path{NodeW: []float64{2, 2, 2, 2}, EdgeW: []float64{1, 1, 1}}
+	single := &graph.Path{NodeW: []float64{3}, EdgeW: nil}
+	tests := []struct {
+		name    string
+		p       *graph.Path
+		cut     []int
+		k       float64
+		wantErr error // nil means feasible
+	}{
+		{"empty cut feasible", four, nil, 8, nil},
+		{"empty cut infeasible", four, nil, 7, ErrInfeasible},
+		{"full cut", four, []int{0, 1, 2}, 2, nil},
+		{"duplicate cut indices", four, []int{1, 1}, 8, graph.ErrBadCut},
+		{"unsorted cut", four, []int{2, 0}, 8, graph.ErrBadCut},
+		{"out-of-range edge index", four, []int{3}, 8, graph.ErrBadCut},
+		{"negative edge index", four, []int{-1}, 8, graph.ErrBadCut},
+		{"single vertex at bound", single, nil, 3, nil},
+		{"single vertex above bound", single, nil, 2.5, ErrInfeasible},
+		{"single vertex any cut invalid", single, []int{0}, 3, graph.ErrBadCut},
+		{"K below heaviest vertex", four, []int{0, 1, 2}, 1.5, ErrInfeasible},
+		{"K zero", four, nil, 0, ErrBadBound},
+		{"K negative", four, nil, -1, ErrBadBound},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := CheckPathFeasible(tt.p, tt.cut, tt.k)
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Errorf("CheckPathFeasible = %v, want nil", err)
+				}
+			} else if !errors.Is(err, tt.wantErr) {
+				t.Errorf("CheckPathFeasible = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCheckTreeFeasibleEdgeCases(t *testing.T) {
+	star := &graph.Tree{
+		NodeW: []float64{2, 2, 2, 2},
+		Edges: []graph.Edge{{U: 0, V: 1, W: 1}, {U: 0, V: 2, W: 1}, {U: 0, V: 3, W: 1}},
+	}
+	single := &graph.Tree{NodeW: []float64{3}, Edges: nil}
+	tests := []struct {
+		name    string
+		tr      *graph.Tree
+		cut     []int
+		k       float64
+		wantErr error
+	}{
+		{"empty cut feasible", star, nil, 8, nil},
+		{"empty cut infeasible", star, nil, 7, ErrInfeasible},
+		{"full cut", star, []int{0, 1, 2}, 2, nil},
+		{"duplicate cut indices", star, []int{0, 0}, 8, graph.ErrBadCut},
+		{"unsorted cut", star, []int{2, 1}, 8, graph.ErrBadCut},
+		{"out-of-range edge index", star, []int{3}, 8, graph.ErrBadCut},
+		{"negative edge index", star, []int{-2}, 8, graph.ErrBadCut},
+		{"single vertex at bound", single, nil, 3, nil},
+		{"single vertex above bound", single, nil, 2.9, ErrInfeasible},
+		{"single vertex any cut invalid", single, []int{0}, 3, graph.ErrBadCut},
+		{"K below heaviest vertex", star, []int{0, 1, 2}, 1, ErrInfeasible},
+		{"K zero", star, nil, 0, ErrBadBound},
+		{"K NaN", star, nil, math.NaN(), ErrBadBound},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := CheckTreeFeasible(tt.tr, tt.cut, tt.k)
+			if tt.wantErr == nil {
+				if err != nil {
+					t.Errorf("CheckTreeFeasible = %v, want nil", err)
+				}
+			} else if !errors.Is(err, tt.wantErr) {
+				t.Errorf("CheckTreeFeasible = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/verify/oracle"
 )
 
 // FuzzBandwidthAgreement drives the paper's algorithm and the two DP
@@ -55,6 +56,21 @@ func FuzzBandwidthAgreement(f *testing.F) {
 		}
 		if err := CheckPathFeasible(p, a.Cut, k); err != nil {
 			t.Fatalf("TempS cut infeasible: %v", err)
+		}
+		// Small instances are additionally checked against the shared
+		// ground-truth oracle, not just for mutual agreement.
+		if p.NumEdges() <= oracle.MaxBruteEdges {
+			want, err := oracle.PathDP(p, k)
+			if err != nil {
+				t.Fatalf("oracle.PathDP: %v", err)
+			}
+			if !want.Feasible {
+				t.Fatalf("solvers found a cut but the oracle says infeasible\nnodeW=%v\nedgeW=%v\nk=%v", nodeW, edgeW, k)
+			}
+			if math.Abs(a.CutWeight-want.MinCutWeight) > 1e-9 {
+				t.Fatalf("CutWeight = %v, oracle = %v\nnodeW=%v\nedgeW=%v\nk=%v",
+					a.CutWeight, want.MinCutWeight, nodeW, edgeW, k)
+			}
 		}
 	})
 }
@@ -108,6 +124,25 @@ func FuzzTreeAlgorithms(f *testing.F) {
 		if pt.NumComponents() < mp.NumComponents() {
 			t.Fatalf("pipeline components %d below the unconstrained minimum %d",
 				pt.NumComponents(), mp.NumComponents())
+		}
+		// Small instances are additionally checked against the shared
+		// exhaustive oracle.
+		if tr.NumEdges() <= oracle.MaxBruteEdges {
+			want, err := oracle.TreeBrute(tr, k)
+			if err != nil {
+				t.Fatalf("oracle.TreeBrute: %v", err)
+			}
+			if !want.Feasible {
+				t.Fatalf("solvers found cuts but the oracle says infeasible\nnodeW=%v edges=%v k=%v", nodeW, edges, k)
+			}
+			if math.Abs(bt.Bottleneck-want.Bottleneck) > 1e-9 {
+				t.Fatalf("Bottleneck = %v, oracle = %v\nnodeW=%v edges=%v k=%v",
+					bt.Bottleneck, want.Bottleneck, nodeW, edges, k)
+			}
+			if mp.NumComponents() != want.Components {
+				t.Fatalf("minproc components = %d, oracle = %d\nnodeW=%v edges=%v k=%v",
+					mp.NumComponents(), want.Components, nodeW, edges, k)
+			}
 		}
 	})
 }

@@ -1,55 +1,21 @@
 package core
 
 import (
-	"math"
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/verify/oracle"
 	"repro/internal/workload"
 )
 
-// treeBrute computes, by exhaustive enumeration over all 2^(n-1) cuts of a
-// small tree, the optimal bottleneck, the optimal bandwidth, and the minimum
-// number of components, each subject to the execution-time bound k. A result
-// of math.Inf(1) (or -1 components) means infeasible.
-type treeBruteResult struct {
-	bottleneck float64
-	bandwidth  float64
-	components int
-}
-
-func treeBrute(t *testing.T, tr *graph.Tree, k float64) treeBruteResult {
+// treeBrute is a thin shim over the shared exhaustive oracle
+// (internal/verify/oracle.TreeBrute), kept so in-package tests fail fast on
+// oracle errors instead of threading them through every call site.
+func treeBrute(t *testing.T, tr *graph.Tree, k float64) *oracle.TreeResult {
 	t.Helper()
-	m := tr.NumEdges()
-	if m > 18 {
-		t.Fatalf("treeBrute: %d edges too many", m)
-	}
-	res := treeBruteResult{bottleneck: math.Inf(1), bandwidth: math.Inf(1), components: -1}
-	for mask := 0; mask < 1<<m; mask++ {
-		var cut []int
-		for i := 0; i < m; i++ {
-			if mask&(1<<i) != 0 {
-				cut = append(cut, i)
-			}
-		}
-		maxW, err := tr.MaxComponentWeight(cut)
-		if err != nil {
-			t.Fatalf("MaxComponentWeight: %v", err)
-		}
-		if maxW > k {
-			continue
-		}
-		bw, _ := tr.CutWeight(cut)
-		bn, _ := tr.MaxCutEdgeWeight(cut)
-		if bn < res.bottleneck {
-			res.bottleneck = bn
-		}
-		if bw < res.bandwidth {
-			res.bandwidth = bw
-		}
-		if res.components == -1 || len(cut)+1 < res.components {
-			res.components = len(cut) + 1
-		}
+	res, err := oracle.TreeBrute(tr, k)
+	if err != nil {
+		t.Fatalf("oracle.TreeBrute: %v", err)
 	}
 	return res
 }

@@ -80,10 +80,10 @@ func TestMinProcessorsHandCases(t *testing.T) {
 			if err := CheckTreeFeasible(tr, got.Cut, tt.k); err != nil {
 				t.Errorf("infeasible: %v", err)
 			}
-			// Cross-check against brute force.
+			// Cross-check against the shared exhaustive oracle.
 			want := treeBrute(t, tr, tt.k)
-			if got.NumComponents() != want.components {
-				t.Errorf("NumComponents = %d, brute = %d", got.NumComponents(), want.components)
+			if got.NumComponents() != want.Components {
+				t.Errorf("NumComponents = %d, brute = %d", got.NumComponents(), want.Components)
 			}
 		})
 	}
@@ -95,18 +95,18 @@ func TestMinProcessorsOptimalVsBrute(t *testing.T) {
 		tr, k := randomTreeForTest(r, 12)
 		want := treeBrute(t, tr, k)
 		got, err := MinProcessors(tr, k)
-		if want.components == -1 {
+		if !want.Feasible {
 			if !errors.Is(err, ErrInfeasible) {
-				t.Fatalf("want infeasible, got err=%v", err)
+				t.Fatalf("seed %d trial %d: want infeasible, got err=%v", r.Seed(), trial, err)
 			}
 			continue
 		}
 		if err != nil {
-			t.Fatalf("MinProcessors: %v", err)
+			t.Fatalf("seed %d trial %d: MinProcessors: %v", r.Seed(), trial, err)
 		}
-		if got.NumComponents() != want.components {
-			t.Fatalf("NumComponents = %d, brute = %d\nnodeW=%v edges=%v k=%v cut=%v",
-				got.NumComponents(), want.components, tr.NodeW, tr.Edges, k, got.Cut)
+		if got.NumComponents() != want.Components {
+			t.Fatalf("seed %d trial %d: NumComponents = %d, brute = %d\nnodeW=%v edges=%v k=%v cut=%v",
+				r.Seed(), trial, got.NumComponents(), want.Components, tr.NodeW, tr.Edges, k, got.Cut)
 		}
 	}
 }
@@ -165,18 +165,18 @@ func TestMinProcessorsPathOptimal(t *testing.T) {
 		tr := p.AsTree()
 		want := treeBrute(t, tr, k)
 		got, err := MinProcessorsPath(p, k)
-		if want.components == -1 {
+		if !want.Feasible {
 			if !errors.Is(err, ErrInfeasible) {
-				t.Fatalf("want infeasible, got err=%v", err)
+				t.Fatalf("seed %d trial %d: want infeasible, got err=%v", r.Seed(), trial, err)
 			}
 			continue
 		}
 		if err != nil {
-			t.Fatalf("MinProcessorsPath: %v", err)
+			t.Fatalf("seed %d trial %d: MinProcessorsPath: %v", r.Seed(), trial, err)
 		}
-		if got.NumComponents() != want.components {
-			t.Fatalf("path first-fit = %d, brute = %d (nodeW=%v k=%v)",
-				got.NumComponents(), want.components, p.NodeW, k)
+		if got.NumComponents() != want.Components {
+			t.Fatalf("seed %d trial %d: path first-fit = %d, brute = %d (nodeW=%v k=%v)",
+				r.Seed(), trial, got.NumComponents(), want.Components, p.NodeW, k)
 		}
 		// The tree algorithm must agree with the specialized path one.
 		treeGot, err := MinProcessors(tr, k)
@@ -222,14 +222,15 @@ func TestPartitionTreePipeline(t *testing.T) {
 		// subset of the bottleneck stage's cut, and it must still need the
 		// heaviest edge class only if the optimum does.
 		want := treeBrute(t, tr, k)
-		if pt.Bottleneck > want.bottleneck+1e-9 {
-			t.Fatalf("pipeline bottleneck %v exceeds optimal %v", pt.Bottleneck, want.bottleneck)
+		if pt.Bottleneck > want.Bottleneck+1e-9 {
+			t.Fatalf("seed %d trial %d: pipeline bottleneck %v exceeds optimal %v",
+				r.Seed(), trial, pt.Bottleneck, want.Bottleneck)
 		}
 		// The pipeline can never use fewer processors than the unconstrained
 		// minimum.
-		if pt.NumComponents() < want.components {
-			t.Fatalf("pipeline components %d below optimal %d (impossible)",
-				pt.NumComponents(), want.components)
+		if pt.NumComponents() < want.Components {
+			t.Fatalf("seed %d trial %d: pipeline components %d below optimal %d (impossible)",
+				r.Seed(), trial, pt.NumComponents(), want.Components)
 		}
 		// And it must beat or match the raw bottleneck cut's fragmentation.
 		bt, err := Bottleneck(tr, k)

@@ -1,0 +1,51 @@
+package engine
+
+// Objective classifies what a solver's result minimizes, subject to the
+// execution-time bound K. It is the hook the verification subsystem
+// (internal/verify) keys its certificate checkers and differential oracles
+// on: two solvers sharing an objective must agree on the objective value for
+// the same input, and each objective has an independent optimality
+// certificate.
+type Objective int
+
+const (
+	// ObjectiveUnknown is reported for solvers that do not declare an
+	// objective; such solvers cannot be certified or cross-checked.
+	ObjectiveUnknown Objective = iota
+	// ObjectiveBandwidth minimizes the total cut weight (§2.3).
+	ObjectiveBandwidth
+	// ObjectiveBottleneck minimizes the heaviest cut-edge weight (§2.1).
+	ObjectiveBottleneck
+	// ObjectiveMinProcs minimizes the number of components (§2.2).
+	ObjectiveMinProcs
+)
+
+// String returns the stable objective label used in listings and logs.
+func (o Objective) String() string {
+	switch o {
+	case ObjectiveBandwidth:
+		return "bandwidth"
+	case ObjectiveBottleneck:
+		return "bottleneck"
+	case ObjectiveMinProcs:
+		return "minprocs"
+	default:
+		return "unknown"
+	}
+}
+
+// Objectiver is the optional interface a Solver implements to declare its
+// objective. It is optional so third-party Solver implementations predating
+// it keep compiling; they report ObjectiveUnknown.
+type Objectiver interface {
+	Objective() Objective
+}
+
+// ObjectiveOf returns the solver's declared objective, or ObjectiveUnknown
+// when the solver does not implement Objectiver.
+func ObjectiveOf(s Solver) Objective {
+	if o, ok := s.(Objectiver); ok {
+		return o.Objective()
+	}
+	return ObjectiveUnknown
+}

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"context"
+	"testing"
+)
+
+func TestObjectiveString(t *testing.T) {
+	tests := []struct {
+		o    Objective
+		want string
+	}{
+		{ObjectiveUnknown, "unknown"},
+		{ObjectiveBandwidth, "bandwidth"},
+		{ObjectiveBottleneck, "bottleneck"},
+		{ObjectiveMinProcs, "minprocs"},
+		{Objective(99), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.o.String(); got != tt.want {
+			t.Errorf("Objective(%d).String() = %q, want %q", int(tt.o), got, tt.want)
+		}
+	}
+}
+
+// Every registered production solver must declare its objective; the
+// verification subsystem keys its certificate choice on it.
+func TestObjectiveOfRegistry(t *testing.T) {
+	want := map[string]Objective{
+		"bandwidth":         ObjectiveBandwidth,
+		"bandwidth-heap":    ObjectiveBandwidth,
+		"bandwidth-deque":   ObjectiveBandwidth,
+		"bandwidth-naive":   ObjectiveBandwidth,
+		"bandwidth-limited": ObjectiveBandwidth,
+		"minproc-path":      ObjectiveMinProcs,
+		"bottleneck":        ObjectiveBottleneck,
+		"bottleneck-greedy": ObjectiveBottleneck,
+		"minproc":           ObjectiveMinProcs,
+		// partition-tree minimizes processors subject to the optimal
+		// bottleneck; the bottleneck value is what is certified.
+		"partition-tree": ObjectiveBottleneck,
+	}
+	for name, obj := range want {
+		s, err := Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if got := ObjectiveOf(s); got != obj {
+			t.Errorf("ObjectiveOf(%q) = %v, want %v", name, got, obj)
+		}
+	}
+}
+
+// noObjectiveSolver predates the Objectiver interface.
+type noObjectiveSolver struct{}
+
+func (noObjectiveSolver) Name() string { return "engine-test-no-objective" }
+func (noObjectiveSolver) Kind() Kind   { return KindPath }
+func (noObjectiveSolver) Solve(ctx context.Context, req Request) (Result, error) {
+	return Result{}, nil
+}
+
+func TestObjectiveOfDefaultsToUnknown(t *testing.T) {
+	if got := ObjectiveOf(noObjectiveSolver{}); got != ObjectiveUnknown {
+		t.Errorf("ObjectiveOf(plain solver) = %v, want ObjectiveUnknown", got)
+	}
+}

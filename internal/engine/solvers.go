@@ -26,12 +26,14 @@ import (
 // pathSolver adapts a context-aware core path algorithm to the Solver
 // interface.
 type pathSolver struct {
-	name  string
-	solve func(ctx context.Context, req Request) (*core.PathPartition, int64, error)
+	name      string
+	objective Objective
+	solve     func(ctx context.Context, req Request) (*core.PathPartition, int64, error)
 }
 
-func (s *pathSolver) Name() string { return s.name }
-func (s *pathSolver) Kind() Kind   { return KindPath }
+func (s *pathSolver) Name() string         { return s.name }
+func (s *pathSolver) Kind() Kind           { return KindPath }
+func (s *pathSolver) Objective() Objective { return s.objective }
 
 func (s *pathSolver) Solve(ctx context.Context, req Request) (Result, error) {
 	if req.Path == nil {
@@ -56,12 +58,14 @@ func (s *pathSolver) Solve(ctx context.Context, req Request) (Result, error) {
 // treeSolver adapts a context-aware core tree algorithm. It accepts a Tree
 // request, or a Path request by viewing the path as a tree.
 type treeSolver struct {
-	name  string
-	solve func(ctx context.Context, t *graph.Tree, k float64) (*core.TreePartition, int64, error)
+	name      string
+	objective Objective
+	solve     func(ctx context.Context, t *graph.Tree, k float64) (*core.TreePartition, int64, error)
 }
 
-func (s *treeSolver) Name() string { return s.name }
-func (s *treeSolver) Kind() Kind   { return KindTree }
+func (s *treeSolver) Name() string         { return s.name }
+func (s *treeSolver) Kind() Kind           { return KindTree }
+func (s *treeSolver) Objective() Objective { return s.objective }
 
 func (s *treeSolver) Solve(ctx context.Context, req Request) (Result, error) {
 	t := req.Tree
@@ -97,24 +101,26 @@ func plainPath(f func(context.Context, *graph.Path, float64) (*core.PathPartitio
 func init() {
 	// "bandwidth" is the paper's algorithm, with the component cap honored
 	// when the request sets one — the common case for machine-sized solves.
-	Register(&pathSolver{name: "bandwidth", solve: func(ctx context.Context, req Request) (*core.PathPartition, int64, error) {
+	Register(&pathSolver{name: "bandwidth", objective: ObjectiveBandwidth, solve: func(ctx context.Context, req Request) (*core.PathPartition, int64, error) {
 		if m := req.Options.MaxComponents; m > 0 {
 			return core.BandwidthLimitedCtx(ctx, req.Path, req.K, m)
 		}
 		return core.BandwidthCtx(ctx, req.Path, req.K)
 	}})
-	Register(&pathSolver{name: "bandwidth-heap", solve: plainPath(core.BandwidthHeapCtx)})
-	Register(&pathSolver{name: "bandwidth-deque", solve: plainPath(core.BandwidthDequeCtx)})
-	Register(&pathSolver{name: "bandwidth-naive", solve: plainPath(core.BandwidthNaiveCtx)})
+	Register(&pathSolver{name: "bandwidth-heap", objective: ObjectiveBandwidth, solve: plainPath(core.BandwidthHeapCtx)})
+	Register(&pathSolver{name: "bandwidth-deque", objective: ObjectiveBandwidth, solve: plainPath(core.BandwidthDequeCtx)})
+	Register(&pathSolver{name: "bandwidth-naive", objective: ObjectiveBandwidth, solve: plainPath(core.BandwidthNaiveCtx)})
 	// "bandwidth-limited" passes MaxComponents through verbatim, so the
 	// core validation (m must be positive) applies.
-	Register(&pathSolver{name: "bandwidth-limited", solve: func(ctx context.Context, req Request) (*core.PathPartition, int64, error) {
+	Register(&pathSolver{name: "bandwidth-limited", objective: ObjectiveBandwidth, solve: func(ctx context.Context, req Request) (*core.PathPartition, int64, error) {
 		return core.BandwidthLimitedCtx(ctx, req.Path, req.K, req.Options.MaxComponents)
 	}})
-	Register(&pathSolver{name: "minproc-path", solve: plainPath(core.MinProcessorsPathCtx)})
+	Register(&pathSolver{name: "minproc-path", objective: ObjectiveMinProcs, solve: plainPath(core.MinProcessorsPathCtx)})
 
-	Register(&treeSolver{name: "bottleneck", solve: core.BottleneckCtx})
-	Register(&treeSolver{name: "bottleneck-greedy", solve: core.BottleneckGreedyCtx})
-	Register(&treeSolver{name: "minproc", solve: core.MinProcessorsCtx})
-	Register(&treeSolver{name: "partition-tree", solve: core.PartitionTreeCtx})
+	Register(&treeSolver{name: "bottleneck", objective: ObjectiveBottleneck, solve: core.BottleneckCtx})
+	Register(&treeSolver{name: "bottleneck-greedy", objective: ObjectiveBottleneck, solve: core.BottleneckGreedyCtx})
+	Register(&treeSolver{name: "minproc", objective: ObjectiveMinProcs, solve: core.MinProcessorsCtx})
+	// partition-tree minimizes processors *subject to* the optimal
+	// bottleneck; its certified objective is the bottleneck value.
+	Register(&treeSolver{name: "partition-tree", objective: ObjectiveBottleneck, solve: core.PartitionTreeCtx})
 }

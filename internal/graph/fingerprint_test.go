@@ -156,3 +156,78 @@ func TestFingerprintCollisionSanity(t *testing.T) {
 		t.Fatalf("recorded %d fingerprints, want %d", len(seen), 2*64)
 	}
 }
+
+// Fingerprints are representation-sensitive by design: they hash the
+// declaration order of weights and edges, not the isomorphism class. A
+// reversed path or a relabeled tree is the *same* abstract graph but a
+// *different* input (cuts index into the declared edge order), so it must
+// hash differently — a cached result for one representation would return
+// cut indices that are wrong for the other. These tests pin that behavior
+// down so a future "canonicalizing" change has to confront it explicitly.
+func TestFingerprintRepresentationSensitivity(t *testing.T) {
+	// A permuted-but-isomorphic path: reversing vertex order preserves the
+	// graph up to isomorphism but changes the weight sequences.
+	p, err := NewPath([]float64{1, 2, 3}, []float64{10, 20})
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	rev, err := NewPath([]float64{3, 2, 1}, []float64{20, 10})
+	if err != nil {
+		t.Fatalf("NewPath(rev): %v", err)
+	}
+	if FingerprintPath(p) == FingerprintPath(rev) {
+		t.Error("reversed path hashes equal; fingerprints must be representation-sensitive")
+	}
+	// A palindromic path is bit-identical under reversal and must collide
+	// with itself (the sensitivity is to representation, not orientation).
+	pal, err := NewPath([]float64{1, 2, 1}, []float64{5, 5})
+	if err != nil {
+		t.Fatalf("NewPath(pal): %v", err)
+	}
+	palRev, err := NewPath([]float64{1, 2, 1}, []float64{5, 5})
+	if err != nil {
+		t.Fatalf("NewPath(palRev): %v", err)
+	}
+	if FingerprintPath(pal) != FingerprintPath(palRev) {
+		t.Error("identical representations must hash equal")
+	}
+
+	// The same tree with edges declared in a different order: isomorphic —
+	// identical, even — as a graph, but cut index i now names a different
+	// edge, so the fingerprint must differ.
+	tr, err := NewTree([]float64{1, 2, 3}, []Edge{{U: 0, V: 1, W: 10}, {U: 1, V: 2, W: 20}})
+	if err != nil {
+		t.Fatalf("NewTree: %v", err)
+	}
+	reordered, err := NewTree([]float64{1, 2, 3}, []Edge{{U: 1, V: 2, W: 20}, {U: 0, V: 1, W: 10}})
+	if err != nil {
+		t.Fatalf("NewTree(reordered): %v", err)
+	}
+	if FingerprintTree(tr) == FingerprintTree(reordered) {
+		t.Error("edge-reordered tree hashes equal; cut indices would alias across cache entries")
+	}
+
+	// A vertex-relabeled tree (star centered at 0 vs. centered at 2):
+	// isomorphic, different labels, different fingerprint.
+	star0, err := NewTree([]float64{5, 1, 1}, []Edge{{U: 0, V: 1, W: 2}, {U: 0, V: 2, W: 3}})
+	if err != nil {
+		t.Fatalf("NewTree(star0): %v", err)
+	}
+	star2, err := NewTree([]float64{1, 1, 5}, []Edge{{U: 2, V: 1, W: 2}, {U: 2, V: 0, W: 3}})
+	if err != nil {
+		t.Fatalf("NewTree(star2): %v", err)
+	}
+	if FingerprintTree(star0) == FingerprintTree(star2) {
+		t.Error("relabeled star hashes equal; fingerprints must see vertex identities")
+	}
+
+	// Endpoint order within one edge is also representation: (U,V) vs (V,U)
+	// is the same undirected edge but a different declaration.
+	swapped, err := NewTree([]float64{1, 2, 3}, []Edge{{U: 1, V: 0, W: 10}, {U: 1, V: 2, W: 20}})
+	if err != nil {
+		t.Fatalf("NewTree(swapped): %v", err)
+	}
+	if FingerprintTree(tr) == FingerprintTree(swapped) {
+		t.Error("endpoint-swapped edge hashes equal; declaration order is part of the key")
+	}
+}

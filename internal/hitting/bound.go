@@ -1,0 +1,41 @@
+package hitting
+
+// PackingBound computes a lower bound on the weight of every hitting set of
+// the instance by greedily packing the LP dual: intervals are processed in
+// left-end order and each receives δ_j = min residual weight over its points,
+// which is then subtracted from every point it covers. Any hitting set must
+// pay at least Σ δ_j, because each chosen point can absorb at most its own
+// weight across the intervals it hits.
+//
+// For valid ordered-interval instances (the constraint matrix is an interval
+// matrix, hence totally unimodular) the greedy packing is exactly optimal, so
+// the bound equals the optimal hitting weight — which makes it an independent
+// optimality certificate for SolveTempS/SolveNaiveDP: a claimed solution is
+// optimal iff its weight equals PackingBound (up to float tolerance).
+func PackingBound(in *Instance) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	residual := make([]float64, len(in.Beta))
+	copy(residual, in.Beta)
+	var total float64
+	for j := range in.A {
+		delta := residual[in.A[j]]
+		for e := in.A[j] + 1; e <= in.B[j]; e++ {
+			if residual[e] < delta {
+				delta = residual[e]
+			}
+		}
+		if delta <= 0 {
+			continue
+		}
+		total += delta
+		for e := in.A[j]; e <= in.B[j]; e++ {
+			residual[e] -= delta
+			if residual[e] < 0 {
+				residual[e] = 0
+			}
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,88 @@
+package hitting
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPackingBoundHandCases(t *testing.T) {
+	tests := []struct {
+		name string
+		in   Instance
+		want float64
+	}{
+		{"no intervals", Instance{Beta: []float64{5, 5}}, 0},
+		{
+			name: "single interval",
+			in:   Instance{Beta: []float64{5, 2, 9}, A: []int{0}, B: []int{2}},
+			want: 2,
+		},
+		{
+			name: "shared cheap point",
+			in: Instance{
+				Beta: []float64{4, 1, 4},
+				A:    []int{0, 1},
+				B:    []int{1, 2},
+			},
+			want: 1,
+		},
+		{
+			name: "disjoint intervals add",
+			in: Instance{
+				Beta: []float64{3, 7, 2, 9},
+				A:    []int{0, 2},
+				B:    []int{1, 3},
+			},
+			want: 5,
+		},
+		{
+			name: "zero-weight point",
+			in:   Instance{Beta: []float64{0, 8}, A: []int{0}, B: []int{1}},
+			want: 0,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := PackingBound(&tt.in)
+			if err != nil {
+				t.Fatalf("PackingBound: %v", err)
+			}
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("PackingBound = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPackingBoundRejectsBadInstance(t *testing.T) {
+	in := &Instance{Beta: []float64{1}, A: []int{0}, B: []int{1}}
+	if _, err := PackingBound(in); !errors.Is(err, ErrBadInstance) {
+		t.Fatalf("PackingBound(bad) = %v, want ErrBadInstance", err)
+	}
+}
+
+// The ordered-interval constraint matrix is an interval matrix, so the LP
+// relaxation is integral and the greedy dual packing is tight: the bound must
+// equal the optimal hitting weight exactly, not merely bound it from below.
+func TestPackingBoundMatchesOptimum(t *testing.T) {
+	r := workload.NewRNG(90210)
+	for trial := 0; trial < 400; trial++ {
+		in := randomInstance(r, 18)
+		sol, err := SolveTempS(in)
+		if err != nil {
+			t.Fatalf("seed %d trial %d: SolveTempS: %v", r.Seed(), trial, err)
+		}
+		lb, err := PackingBound(in)
+		if err != nil {
+			t.Fatalf("seed %d trial %d: PackingBound: %v", r.Seed(), trial, err)
+		}
+		eps := 1e-9 * math.Max(1, math.Abs(sol.Weight))
+		if math.Abs(lb-sol.Weight) > eps {
+			t.Fatalf("seed %d trial %d: PackingBound = %v, optimum = %v (instance %+v)",
+				r.Seed(), trial, lb, sol.Weight, in)
+		}
+	}
+}

@@ -24,13 +24,14 @@ type cacheKey struct {
 	solver        string
 	kBits         uint64 // math.Float64bits(K), canonical for float compare
 	maxComponents int
+	verify        bool // verified responses carry a certificate in the body
 }
 
-func newCacheKey(fp uint64, solver string, k float64, maxComponents int) cacheKey {
+func newCacheKey(fp uint64, solver string, k float64, maxComponents int, verify bool) cacheKey {
 	if k == 0 {
 		k = 0 // normalize -0.0, mirroring the fingerprint's weight rule
 	}
-	return cacheKey{fingerprint: fp, solver: solver, kBits: math.Float64bits(k), maxComponents: maxComponents}
+	return cacheKey{fingerprint: fp, solver: solver, kBits: math.Float64bits(k), maxComponents: maxComponents, verify: verify}
 }
 
 // shardIndex spreads keys across shards by re-mixing all key fields; the
@@ -48,6 +49,9 @@ func (k cacheKey) shardIndex(n int) int {
 	mix(k.fingerprint)
 	mix(k.kBits)
 	mix(uint64(k.maxComponents))
+	if k.verify {
+		mix(1)
+	}
 	for i := 0; i < len(k.solver); i++ {
 		h ^= uint64(k.solver[i])
 		h *= 1099511628211

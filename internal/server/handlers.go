@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/verify"
 )
 
 // The wire format. Graphs travel in the graph package's JSON envelope
@@ -36,6 +37,18 @@ type solveRequest struct {
 	// NoCache bypasses the result cache for this request (both lookup and
 	// fill) — the load-testing and debugging escape hatch.
 	NoCache bool `json:"noCache,omitempty"`
+	// Verify runs the solver-independent optimality certificate on the
+	// result (see internal/verify) and reports it in the response.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// verifyInfo is the wire form of a verify.Certificate.
+type verifyInfo struct {
+	Criterion string  `json:"criterion"`
+	Certified bool    `json:"certified"`
+	Objective float64 `json:"objective"`
+	Bound     float64 `json:"bound"`
+	Detail    string  `json:"detail,omitempty"`
 }
 
 // solveResponse is the body of a successful solve. Cached hits replay these
@@ -50,7 +63,12 @@ type solveResponse struct {
 	ComponentWeights []float64 `json:"componentWeights"`
 	NumComponents    int       `json:"numComponents"`
 	Fingerprint      string    `json:"fingerprint"`
-	Stats            struct {
+	// Verify is present only when the request asked for verification; cached
+	// hits replay the certificate of the original solve (the cache key
+	// includes the verify flag, so unverified entries never satisfy a
+	// verified request).
+	Verify *verifyInfo `json:"verify,omitempty"`
+	Stats  struct {
 		DurationMs float64 `json:"durationMs"`
 		Iterations int64   `json:"iterations"`
 	} `json:"stats"`
@@ -128,7 +146,7 @@ func (s *Server) parseSolve(req solveRequest) (parsedSolve, error) {
 		req: req,
 		g:   g,
 		fp:  fp,
-		key: newCacheKey(fp, req.Solver, req.K, req.MaxComponents),
+		key: newCacheKey(fp, req.Solver, req.K, req.MaxComponents, req.Verify),
 	}, nil
 }
 
@@ -167,8 +185,9 @@ func (s *Server) engineRequest(p parsedSolve, defaultTimeoutMs int64) engine.Req
 }
 
 // marshalResult renders the canonical response bytes for one solve result —
-// the bytes that get cached and replayed byte-identically on hits.
-func marshalResult(fp uint64, res engine.Result) ([]byte, error) {
+// the bytes that get cached and replayed byte-identically on hits. cert is
+// nil unless the request asked for verification.
+func marshalResult(fp uint64, res engine.Result, cert *verifyInfo) ([]byte, error) {
 	var body solveResponse
 	body.Solver = res.Solver
 	body.K = res.K
@@ -181,9 +200,35 @@ func marshalResult(fp uint64, res engine.Result) ([]byte, error) {
 	body.ComponentWeights = res.ComponentWeights
 	body.NumComponents = res.NumComponents()
 	body.Fingerprint = fmt.Sprintf("%016x", fp)
+	body.Verify = cert
 	body.Stats.DurationMs = float64(res.Stats.Duration) / float64(time.Millisecond)
 	body.Stats.Iterations = res.Stats.Iterations
 	return json.Marshal(&body)
+}
+
+// certifyResult runs the optimality certificate for a solved request and
+// bumps the server's verify counters. A solver without a registered
+// objective is reported as an uncertified response rather than an error —
+// the caller asked a question the certificate machinery cannot answer, and
+// the Detail field says so.
+func (s *Server) certifyResult(req engine.Request, res engine.Result) *verifyInfo {
+	cert, err := verify.CertifyResult(req, &res)
+	if err != nil {
+		s.verifyUncertified.Add(1)
+		return &verifyInfo{Certified: false, Detail: err.Error()}
+	}
+	if cert.Certified {
+		s.verifyCertified.Add(1)
+	} else {
+		s.verifyUncertified.Add(1)
+	}
+	return &verifyInfo{
+		Criterion: cert.Criterion,
+		Certified: cert.Certified,
+		Objective: cert.Objective,
+		Bound:     cert.Bound,
+		Detail:    cert.Detail,
+	}
 }
 
 // writeJSON writes a JSON body with the given status.
@@ -263,12 +308,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	res, err := engine.Solve(r.Context(), s.engineRequest(p, 0))
+	ereq := s.engineRequest(p, 0)
+	res, err := engine.Solve(r.Context(), ereq)
 	if err != nil {
 		s.writeError(w, solveStatus(err), err.Error())
 		return
 	}
-	body, err := marshalResult(p.fp, res)
+	var cert *verifyInfo
+	if p.req.Verify {
+		cert = s.certifyResult(ereq, res)
+	}
+	body, err := marshalResult(p.fp, res, cert)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -361,7 +411,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				resp.Stats.Failed++
 				continue
 			}
-			body, err := marshalResult(parsed[i].fp, item.Result)
+			var cert *verifyInfo
+			if parsed[i].req.Verify {
+				cert = s.certifyResult(reqs[j], item.Result)
+			}
+			body, err := marshalResult(parsed[i].fp, item.Result, cert)
 			if err != nil {
 				resp.Items[i] = batchItem{Error: err.Error()}
 				resp.Stats.Failed++
@@ -387,6 +441,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 type solverInfo struct {
 	Name string `json:"name"`
 	Kind string `json:"kind"`
+	// Objective is the criterion the solver optimizes and the certificate
+	// machinery can certify ("bandwidth", "bottleneck", "minprocs"), or
+	// "unknown" when the solver declares none.
+	Objective string `json:"objective"`
 }
 
 func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
@@ -397,7 +455,11 @@ func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 		if err != nil {
 			continue // unregistered between Names and Get; skip
 		}
-		out = append(out, solverInfo{Name: name, Kind: sol.Kind().String()})
+		out = append(out, solverInfo{
+			Name:      name,
+			Kind:      sol.Kind().String(),
+			Objective: engine.ObjectiveOf(sol).String(),
+		})
 	}
 	body, _ := json.Marshal(out)
 	writeJSON(w, http.StatusOK, body)
@@ -423,5 +485,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	httpSnap, inFlight := s.httpm.snapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	writeMetrics(w, s.collector.Snapshot(), s.cache.Stats(), s.limiter.Stats(),
-		httpSnap, inFlight, time.Since(s.started))
+		httpSnap, inFlight, s.verifyCertified.Load(), s.verifyUncertified.Load(),
+		time.Since(s.started))
 }

@@ -66,7 +66,7 @@ func (m *httpMetrics) snapshot() (map[string]map[int]uint64, int64) {
 
 // writeMetrics renders every gauge and counter in Prometheus text format,
 // with series sorted for deterministic output (stable diffs, testable).
-func writeMetrics(w io.Writer, solvers map[string]engine.Aggregate, cs CacheStats, ls LimiterStats, http map[string]map[int]uint64, httpInFlight int64, uptime time.Duration) {
+func writeMetrics(w io.Writer, solvers map[string]engine.Aggregate, cs CacheStats, ls LimiterStats, http map[string]map[int]uint64, httpInFlight int64, verifyCertified, verifyUncertified uint64, uptime time.Duration) {
 	names := make([]string, 0, len(solvers))
 	for name := range solvers {
 		names = append(names, name)
@@ -134,6 +134,11 @@ func writeMetrics(w io.Writer, solvers map[string]engine.Aggregate, cs CacheStat
 	})
 	series("partitiond_admission_shed_deadline_total", "counter", "Requests that left the admission queue on deadline or disconnect.", func() {
 		fmt.Fprintf(w, "partitiond_admission_shed_deadline_total %d\n", ls.ShedDeadline)
+	})
+
+	series("partitiond_verify_total", "counter", "Requested optimality certificates by outcome.", func() {
+		fmt.Fprintf(w, "partitiond_verify_total{result=\"certified\"} %d\n", verifyCertified)
+		fmt.Fprintf(w, "partitiond_verify_total{result=\"uncertified\"} %d\n", verifyUncertified)
 	})
 
 	series("partitiond_http_requests_total", "counter", "HTTP requests by route and status code.", func() {

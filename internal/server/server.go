@@ -118,6 +118,10 @@ type Server struct {
 	hs        *http.Server
 	draining  atomic.Bool
 	started   time.Time
+
+	// Outcomes of requested certificates, for /metrics.
+	verifyCertified   atomic.Uint64
+	verifyUncertified atomic.Uint64
 }
 
 // New builds a Server from cfg (zero-value fields take defaults).

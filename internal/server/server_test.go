@@ -454,11 +454,17 @@ func TestSolversHealthzMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 	found := map[string]string{}
+	objectives := map[string]string{}
 	for _, si := range solvers {
 		found[si.Name] = si.Kind
+		objectives[si.Name] = si.Objective
 	}
 	if found["bandwidth"] != "path" || found["partition-tree"] != "tree" {
 		t.Errorf("solver listing incomplete: %v", found)
+	}
+	if objectives["bandwidth"] != "bandwidth" || objectives["minproc"] != "minprocs" ||
+		objectives["partition-tree"] != "bottleneck" {
+		t.Errorf("solver objectives wrong: %v", objectives)
 	}
 
 	health := doJSON(t, s.Handler(), "GET", "/healthz", nil)
@@ -587,5 +593,94 @@ func TestConcurrentSolvesUnderLimit(t *testing.T) {
 	st := s.LimiterStats()
 	if st.InFlight != 0 || st.Queued != 0 {
 		t.Errorf("limiter not drained after test: %+v", st)
+	}
+}
+
+// TestSolveVerify drives the verification path end to end: a verified solve
+// reports a certificate, the certificate rides the cache byte-identically,
+// verified and unverified requests occupy distinct cache entries, and the
+// outcomes land in /metrics.
+func TestSolveVerify(t *testing.T) {
+	s := newTestServer(t, Config{})
+	g := pathGraphJSON(t, 60, 17)
+	req := solveRequest{Solver: "bandwidth", K: 400, Graph: g, Verify: true}
+
+	rec := doJSON(t, s.Handler(), "POST", "/v1/solve", req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, body = %s", rec.Code, rec.Body.String())
+	}
+	var resp solveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Verify == nil {
+		t.Fatal("verify requested but response has no certificate")
+	}
+	if !resp.Verify.Certified || resp.Verify.Criterion != "bandwidth" {
+		t.Errorf("certificate = %+v, want certified bandwidth", resp.Verify)
+	}
+	if resp.Verify.Objective != resp.CutWeight {
+		t.Errorf("certificate objective %v != cut weight %v", resp.Verify.Objective, resp.CutWeight)
+	}
+
+	// The same request without verify must not hit the verified entry and
+	// must omit the certificate.
+	plain := doJSON(t, s.Handler(), "POST", "/v1/solve",
+		solveRequest{Solver: "bandwidth", K: 400, Graph: g})
+	if got := plain.Header().Get("X-Cache"); got != "MISS" {
+		t.Errorf("unverified request X-Cache = %q, want MISS (distinct cache key)", got)
+	}
+	var plainResp solveResponse
+	if err := json.Unmarshal(plain.Body.Bytes(), &plainResp); err != nil {
+		t.Fatal(err)
+	}
+	if plainResp.Verify != nil {
+		t.Errorf("unverified response carries a certificate: %+v", plainResp.Verify)
+	}
+
+	// A repeated verified request replays the certificate from the cache.
+	hit := doJSON(t, s.Handler(), "POST", "/v1/solve", req)
+	if got := hit.Header().Get("X-Cache"); got != "HIT" {
+		t.Errorf("repeat verified request X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(hit.Body.Bytes(), rec.Body.Bytes()) {
+		t.Error("cached verified response is not byte-identical")
+	}
+
+	// Batch items honor the per-item verify flag too.
+	brec := doJSON(t, s.Handler(), "POST", "/v1/batch", batchRequest{Requests: []solveRequest{
+		{Solver: "minproc-path", K: 400, Graph: g, Verify: true},
+		{Solver: "bandwidth-naive", K: 400, Graph: g},
+	}})
+	if brec.Code != http.StatusOK {
+		t.Fatalf("batch status = %d, body = %s", brec.Code, brec.Body.String())
+	}
+	var bresp batchResponse
+	if err := json.Unmarshal(brec.Body.Bytes(), &bresp); err != nil {
+		t.Fatal(err)
+	}
+	var item0, item1 solveResponse
+	if err := json.Unmarshal(bresp.Items[0].Result, &item0); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(bresp.Items[1].Result, &item1); err != nil {
+		t.Fatal(err)
+	}
+	if item0.Verify == nil || !item0.Verify.Certified || item0.Verify.Criterion != "minprocs" {
+		t.Errorf("batch item 0 certificate = %+v, want certified minprocs", item0.Verify)
+	}
+	if item1.Verify != nil {
+		t.Errorf("batch item 1 carries an unrequested certificate: %+v", item1.Verify)
+	}
+
+	// Two certificates were issued (solve + batch item); the cache hit
+	// replayed one without re-verifying.
+	met := doJSON(t, s.Handler(), "GET", "/metrics", nil)
+	text := met.Body.String()
+	if !strings.Contains(text, `partitiond_verify_total{result="certified"} 2`) {
+		t.Errorf("metrics missing certified=2:\n%s", text)
+	}
+	if !strings.Contains(text, `partitiond_verify_total{result="uncertified"} 0`) {
+		t.Errorf("metrics missing uncertified=0:\n%s", text)
 	}
 }

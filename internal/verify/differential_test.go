@@ -1,0 +1,322 @@
+package verify
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/verify/oracle"
+	"repro/internal/workload"
+)
+
+// registrySolvers are the ten production solvers the harness must cover;
+// the registry may hold extra test-local registrations (skipped because they
+// declare no objective).
+var registrySolvers = []string{
+	"bandwidth", "bandwidth-deque", "bandwidth-heap", "bandwidth-limited",
+	"bandwidth-naive", "bottleneck", "bottleneck-greedy", "minproc",
+	"minproc-path", "partition-tree",
+}
+
+func TestRegistryCoverage(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range engine.Names() {
+		names[n] = true
+	}
+	for _, want := range registrySolvers {
+		if !names[want] {
+			t.Errorf("solver %q missing from registry", want)
+			continue
+		}
+		s, err := engine.Get(want)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", want, err)
+		}
+		if engine.ObjectiveOf(s) == engine.ObjectiveUnknown {
+			t.Errorf("solver %q declares no objective; the harness cannot check it", want)
+		}
+	}
+}
+
+func feq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// objectiveValue extracts the result's value under the solver's objective.
+func objectiveValue(obj engine.Objective, res *engine.Result) float64 {
+	switch obj {
+	case engine.ObjectiveBandwidth:
+		return res.CutWeight
+	case engine.ObjectiveBottleneck:
+		return res.Bottleneck
+	case engine.ObjectiveMinProcs:
+		return float64(len(res.ComponentWeights))
+	default:
+		return math.NaN()
+	}
+}
+
+// differentialRound runs every registry solver on one random path and one
+// random tree derived from seed, checking each answer against the exhaustive
+// oracles, against every same-objective solver, and against its certificate.
+func differentialRound(t *testing.T, seed uint64, maxN int) {
+	t.Helper()
+	if maxN < 2 {
+		maxN = 2
+	}
+	if maxN > oracle.MaxBruteEdges {
+		maxN = oracle.MaxBruteEdges
+	}
+	r := workload.NewRNG(seed)
+	nP := 2 + r.Intn(maxN-1)
+	nT := 2 + r.Intn(maxN-1)
+	p := workload.RandomPath(r, nP, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+	tr := workload.RandomTree(r, nT, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+	kP := p.MaxNodeWeight() * (1 + 2*r.Float64())
+	kT := tr.MaxNodeWeight() * (1 + 2*r.Float64())
+
+	pd, err := oracle.PathDP(p, kP)
+	if err != nil {
+		t.Fatalf("seed %d: PathDP: %v", seed, err)
+	}
+	tb, err := oracle.TreeBrute(tr, kT)
+	if err != nil {
+		t.Fatalf("seed %d: TreeBrute: %v", seed, err)
+	}
+	ptb, err := oracle.TreeBrute(p.AsTree(), kP)
+	if err != nil {
+		t.Fatalf("seed %d: TreeBrute(path): %v", seed, err)
+	}
+	if !pd.Feasible || !tb.Feasible || !ptb.Feasible {
+		t.Fatalf("seed %d: K above max task weight must be feasible", seed)
+	}
+
+	// oracleValue returns ground truth for (objective, input).
+	oracleValue := func(obj engine.Objective, input string) float64 {
+		switch input {
+		case "path":
+			switch obj {
+			case engine.ObjectiveBandwidth:
+				return pd.MinCutWeight
+			case engine.ObjectiveBottleneck:
+				return pd.MinBottleneck
+			default:
+				return float64(pd.MinComponents)
+			}
+		default:
+			switch obj {
+			case engine.ObjectiveBandwidth:
+				return tb.Bandwidth
+			case engine.ObjectiveBottleneck:
+				return tb.Bottleneck
+			default:
+				return float64(tb.Components)
+			}
+		}
+	}
+
+	type agreeKey struct {
+		obj   engine.Objective
+		input string
+	}
+	first := map[agreeKey]string{}
+	firstVal := map[agreeKey]float64{}
+
+	for _, name := range engine.Names() {
+		s, err := engine.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		obj := engine.ObjectiveOf(s)
+		if obj == engine.ObjectiveUnknown {
+			continue // test-local registration from another test file
+		}
+		inputs := []string{"path"}
+		if s.Kind() == engine.KindTree {
+			inputs = []string{"tree", "path"}
+		}
+		for _, input := range inputs {
+			req := engine.Request{Solver: name, K: kP}
+			var checkFeasible func(cut []int) error
+			if input == "tree" {
+				req.Tree, req.K = tr, kT
+				checkFeasible = func(cut []int) error { return core.CheckTreeFeasible(tr, cut, kT) }
+			} else {
+				req.Path = p
+				checkFeasible = func(cut []int) error { return core.CheckPathFeasible(p, cut, kP) }
+			}
+			if name == "bandwidth-limited" {
+				// A cap equal to the vertex count never binds, keeping the
+				// capped solver comparable to the unconstrained oracle.
+				req.Options.MaxComponents = p.Len()
+			}
+			res, err := engine.Solve(context.Background(), req)
+			if err != nil {
+				t.Errorf("seed %d: %s/%s: Solve: %v", seed, name, input, err)
+				continue
+			}
+			if err := checkFeasible(res.Cut); err != nil {
+				t.Errorf("seed %d: %s/%s: infeasible cut %v: %v", seed, name, input, res.Cut, err)
+				continue
+			}
+			got := objectiveValue(obj, &res)
+			if want := oracleValue(obj, input); !feq(got, want) {
+				t.Errorf("seed %d: %s/%s: %v objective = %v, oracle = %v (cut %v)",
+					seed, name, input, obj, got, want, res.Cut)
+			}
+			key := agreeKey{obj, input}
+			if prev, ok := first[key]; !ok {
+				first[key], firstVal[key] = name, got
+			} else if !feq(firstVal[key], got) {
+				t.Errorf("seed %d: %s and %s disagree on %v/%s: %v vs %v",
+					seed, prev, name, obj, input, firstVal[key], got)
+			}
+			cert, err := CertifyResult(req, &res)
+			if err != nil {
+				t.Errorf("seed %d: %s/%s: CertifyResult: %v", seed, name, input, err)
+				continue
+			}
+			if !cert.Certified {
+				t.Errorf("seed %d: %s/%s: not certified: %+v (cut %v)", seed, name, input, cert, res.Cut)
+			}
+		}
+	}
+}
+
+func TestDifferentialRegistry(t *testing.T) {
+	for seed := uint64(1); seed <= 60; seed++ {
+		differentialRound(t, seed, 12)
+	}
+}
+
+// Metamorphic property: scaling every weight and K by a power of two (exact
+// in float64) scales bandwidth and bottleneck by the same factor and leaves
+// component counts unchanged.
+func TestMetamorphicScaling(t *testing.T) {
+	const factor = 4
+	r := workload.NewRNG(11)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(11)
+		p := workload.RandomPath(r, n, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+		k := p.MaxNodeWeight() * (1 + 2*r.Float64())
+		scaled := p.Clone()
+		for i := range scaled.NodeW {
+			scaled.NodeW[i] *= factor
+		}
+		for i := range scaled.EdgeW {
+			scaled.EdgeW[i] *= factor
+		}
+		for _, name := range []string{"bandwidth", "minproc-path", "bottleneck"} {
+			base, err := engine.Solve(context.Background(), engine.Request{Solver: name, Path: p, K: k})
+			if err != nil {
+				t.Fatalf("seed %d trial %d: %s: %v", r.Seed(), trial, name, err)
+			}
+			big, err := engine.Solve(context.Background(), engine.Request{Solver: name, Path: scaled, K: k * factor})
+			if err != nil {
+				t.Fatalf("seed %d trial %d: %s scaled: %v", r.Seed(), trial, name, err)
+			}
+			if !feq(big.CutWeight, factor*base.CutWeight) {
+				t.Errorf("seed %d trial %d: %s: scaled cut weight %v, want %v",
+					r.Seed(), trial, name, big.CutWeight, factor*base.CutWeight)
+			}
+			if !feq(big.Bottleneck, factor*base.Bottleneck) {
+				t.Errorf("seed %d trial %d: %s: scaled bottleneck %v, want %v",
+					r.Seed(), trial, name, big.Bottleneck, factor*base.Bottleneck)
+			}
+			if len(big.ComponentWeights) != len(base.ComponentWeights) {
+				t.Errorf("seed %d trial %d: %s: scaled components %d, want %d",
+					r.Seed(), trial, name, len(big.ComponentWeights), len(base.ComponentWeights))
+			}
+		}
+	}
+}
+
+// Metamorphic property: relabeling tree vertices (keeping edge order and
+// weights) leaves every objective value unchanged — the objectives only see
+// weights, never vertex identities.
+func TestMetamorphicRelabeling(t *testing.T) {
+	r := workload.NewRNG(22)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(11)
+		tr := workload.RandomTree(r, n, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+		k := tr.MaxNodeWeight() * (1 + 2*r.Float64())
+		perm := r.Perm(n)
+		nodeW := make([]float64, n)
+		for v, w := range tr.NodeW {
+			nodeW[perm[v]] = w
+		}
+		edges := make([]graph.Edge, len(tr.Edges))
+		for i, e := range tr.Edges {
+			edges[i] = graph.Edge{U: perm[e.U], V: perm[e.V], W: e.W}
+		}
+		relabeled, err := graph.NewTree(nodeW, edges)
+		if err != nil {
+			t.Fatalf("seed %d trial %d: NewTree: %v", r.Seed(), trial, err)
+		}
+		// As in the reversal test, only the declared objective value is
+		// invariant — the concrete cut (and with it the secondary metrics)
+		// may differ between labelings when optima tie.
+		for _, name := range []string{"bottleneck", "minproc", "partition-tree"} {
+			s, err := engine.Get(name)
+			if err != nil {
+				t.Fatalf("Get(%q): %v", name, err)
+			}
+			base, err := engine.Solve(context.Background(), engine.Request{Solver: name, Tree: tr, K: k})
+			if err != nil {
+				t.Fatalf("seed %d trial %d: %s: %v", r.Seed(), trial, name, err)
+			}
+			rel, err := engine.Solve(context.Background(), engine.Request{Solver: name, Tree: relabeled, K: k})
+			if err != nil {
+				t.Fatalf("seed %d trial %d: %s relabeled: %v", r.Seed(), trial, name, err)
+			}
+			obj := engine.ObjectiveOf(s)
+			if got, want := objectiveValue(obj, &rel), objectiveValue(obj, &base); !feq(got, want) {
+				t.Errorf("seed %d trial %d: %s: relabeled %v objective %v, want %v",
+					r.Seed(), trial, name, obj, got, want)
+			}
+		}
+	}
+}
+
+// Metamorphic property: reversing a path leaves all three objective values
+// unchanged (the graph is the same up to orientation).
+func TestMetamorphicReversal(t *testing.T) {
+	r := workload.NewRNG(33)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(11)
+		p := workload.RandomPath(r, n, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+		k := p.MaxNodeWeight() * (1 + 2*r.Float64())
+		rev := p.Clone()
+		for i, j := 0, len(rev.NodeW)-1; i < j; i, j = i+1, j-1 {
+			rev.NodeW[i], rev.NodeW[j] = rev.NodeW[j], rev.NodeW[i]
+		}
+		for i, j := 0, len(rev.EdgeW)-1; i < j; i, j = i+1, j-1 {
+			rev.EdgeW[i], rev.EdgeW[j] = rev.EdgeW[j], rev.EdgeW[i]
+		}
+		// Only each solver's *objective value* is invariant: the chosen cut
+		// itself may legitimately differ between orientations (ties, and
+		// first-fit scanning direction), dragging secondary metrics with it.
+		for _, name := range []string{"bandwidth", "minproc-path"} {
+			s, err := engine.Get(name)
+			if err != nil {
+				t.Fatalf("Get(%q): %v", name, err)
+			}
+			base, err := engine.Solve(context.Background(), engine.Request{Solver: name, Path: p, K: k})
+			if err != nil {
+				t.Fatalf("seed %d trial %d: %s: %v", r.Seed(), trial, name, err)
+			}
+			back, err := engine.Solve(context.Background(), engine.Request{Solver: name, Path: rev, K: k})
+			if err != nil {
+				t.Fatalf("seed %d trial %d: %s reversed: %v", r.Seed(), trial, name, err)
+			}
+			obj := engine.ObjectiveOf(s)
+			if got, want := objectiveValue(obj, &back), objectiveValue(obj, &base); !feq(got, want) {
+				t.Errorf("seed %d trial %d: %s: reversed %v objective %v, want %v",
+					r.Seed(), trial, name, obj, got, want)
+			}
+		}
+	}
+}

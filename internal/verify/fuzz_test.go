@@ -1,0 +1,85 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/verify/oracle"
+	"repro/internal/workload"
+)
+
+// FuzzDifferential drives the registry-wide differential round from a fuzzed
+// seed: every solver against the exhaustive oracles, same-objective solvers
+// against each other, and every answer through its certificate. The seed
+// corpus keeps a deterministic slice of the space in plain `go test` runs.
+func FuzzDifferential(f *testing.F) {
+	for seed := uint64(100); seed < 110; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		differentialRound(t, seed, 10)
+	})
+}
+
+// FuzzCertificates feeds arbitrary (often corrupt) cuts to the certificate
+// checkers and enforces soundness: a certificate may reject a good answer
+// only for documented reasons, but it must NEVER certify a wrong one — if
+// Certified is true, the cut is feasible and its objective value matches the
+// exhaustive oracle optimum.
+func FuzzCertificates(f *testing.F) {
+	f.Add(uint64(1), []byte{0})
+	f.Add(uint64(2), []byte{1, 3})
+	f.Add(uint64(3), []byte{2, 2, 250})
+	f.Add(uint64(4), []byte(nil))
+	f.Fuzz(func(t *testing.T, seed uint64, rawCut []byte) {
+		r := workload.NewRNG(seed)
+		n := 2 + r.Intn(9)
+		p := workload.RandomPath(r, n, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+		k := p.MaxNodeWeight() * (1 + 2*r.Float64())
+		// Derive a cut from the raw bytes: in-range but arbitrary, with
+		// duplicates allowed (NormalizeCut must absorb them).
+		cut := make([]int, 0, len(rawCut))
+		for _, b := range rawCut {
+			cut = append(cut, int(b)%p.NumEdges())
+		}
+		pd, err := oracle.PathDP(p, k)
+		if err != nil {
+			t.Fatalf("seed %d: PathDP: %v", seed, err)
+		}
+		if !pd.Feasible {
+			t.Fatalf("seed %d: K above max task weight must be feasible", seed)
+		}
+		tr := p.AsTree()
+		tb, err := oracle.TreeBrute(tr, k)
+		if err != nil {
+			t.Fatalf("seed %d: TreeBrute: %v", seed, err)
+		}
+
+		if cert, err := CertifyBandwidth(p, k, cut); err != nil {
+			t.Fatalf("seed %d cut %v: CertifyBandwidth: %v", seed, cut, err)
+		} else if cert.Certified {
+			if err := core.CheckPathFeasible(p, graph.NormalizeCut(cut), k); err != nil {
+				t.Errorf("seed %d cut %v: certified infeasible cut: %v", seed, cut, err)
+			}
+			if math.Abs(cert.Objective-pd.MinCutWeight) > 1e-9*math.Max(1, pd.MinCutWeight) {
+				t.Errorf("seed %d cut %v: certified weight %v, optimum %v", seed, cut, cert.Objective, pd.MinCutWeight)
+			}
+		}
+		if cert, err := CertifyBottleneck(tr, k, cut); err != nil {
+			t.Fatalf("seed %d cut %v: CertifyBottleneck: %v", seed, cut, err)
+		} else if cert.Certified {
+			if math.Abs(cert.Objective-tb.Bottleneck) > 1e-9*math.Max(1, tb.Bottleneck) {
+				t.Errorf("seed %d cut %v: certified bottleneck %v, optimum %v", seed, cut, cert.Objective, tb.Bottleneck)
+			}
+		}
+		if cert, err := CertifyProcMin(tr, k, cut); err != nil {
+			t.Fatalf("seed %d cut %v: CertifyProcMin: %v", seed, cut, err)
+		} else if cert.Certified {
+			if int(cert.Objective) != tb.Components {
+				t.Errorf("seed %d cut %v: certified %v components, optimum %d", seed, cut, cert.Objective, tb.Components)
+			}
+		}
+	})
+}

@@ -1,0 +1,206 @@
+package oracle
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func mustPath(t *testing.T, nodeW, edgeW []float64) *graph.Path {
+	t.Helper()
+	p, err := graph.NewPath(nodeW, edgeW)
+	if err != nil {
+		t.Fatalf("NewPath: %v", err)
+	}
+	return p
+}
+
+func mustTree(t *testing.T, nodeW []float64, edges []graph.Edge) *graph.Tree {
+	t.Helper()
+	tr, err := graph.NewTree(nodeW, edges)
+	if err != nil {
+		t.Fatalf("NewTree: %v", err)
+	}
+	return tr
+}
+
+func TestTreeBruteHandCases(t *testing.T) {
+	// Star: centre 0 (weight 3) with leaves 1,2,3 (weight 2 each); edge
+	// weights 5, 1, 1.
+	star := mustTree(t, []float64{3, 2, 2, 2}, []graph.Edge{
+		{U: 0, V: 1, W: 5}, {U: 0, V: 2, W: 1}, {U: 0, V: 3, W: 1},
+	})
+	res, err := TreeBrute(star, 5)
+	if err != nil {
+		t.Fatalf("TreeBrute: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatal("star with K=5 should be feasible")
+	}
+	// Total weight 9 > 5, so at least one leaf must go; one cut suffices
+	// (centre + two leaves = 7 > 5, so actually two leaves must go).
+	if res.Components != 3 {
+		t.Errorf("Components = %d, want 3", res.Components)
+	}
+	// Cheapest pair of cut edges avoids the weight-5 edge: total 2.
+	if res.Bandwidth != 2 {
+		t.Errorf("Bandwidth = %v, want 2", res.Bandwidth)
+	}
+	if res.Bottleneck != 1 {
+		t.Errorf("Bottleneck = %v, want 1", res.Bottleneck)
+	}
+	if !reflect.DeepEqual(res.BandwidthCut, []int{1, 2}) {
+		t.Errorf("BandwidthCut = %v, want [1 2]", res.BandwidthCut)
+	}
+}
+
+func TestTreeBruteNoCutNeeded(t *testing.T) {
+	tr := mustTree(t, []float64{1, 1}, []graph.Edge{{U: 0, V: 1, W: 7}})
+	res, err := TreeBrute(tr, 2)
+	if err != nil {
+		t.Fatalf("TreeBrute: %v", err)
+	}
+	if !res.Feasible || res.Components != 1 || res.Bandwidth != 0 || res.Bottleneck != 0 {
+		t.Errorf("got %+v, want feasible single component with zero cut", res)
+	}
+}
+
+func TestTreeBruteInfeasible(t *testing.T) {
+	tr := mustTree(t, []float64{10, 1}, []graph.Edge{{U: 0, V: 1, W: 1}})
+	res, err := TreeBrute(tr, 5)
+	if err != nil {
+		t.Fatalf("TreeBrute: %v", err)
+	}
+	if res.Feasible {
+		t.Fatalf("vertex heavier than K must be infeasible, got %+v", res)
+	}
+}
+
+func TestTreeBruteTooLarge(t *testing.T) {
+	r := workload.NewRNG(1)
+	tr := workload.RandomTree(r, MaxBruteEdges+2, workload.UniformWeights(1, 2), workload.UniformWeights(1, 2))
+	if _, err := TreeBrute(tr, 100); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("TreeBrute(%d edges) = %v, want ErrTooLarge", tr.NumEdges(), err)
+	}
+}
+
+func TestPathDPHandCases(t *testing.T) {
+	// Tasks 2,2,2 with edges 5,1; K=4 forces at least one cut.
+	p := mustPath(t, []float64{2, 2, 2}, []float64{5, 1})
+	res, err := PathDP(p, 4)
+	if err != nil {
+		t.Fatalf("PathDP: %v", err)
+	}
+	if !res.Feasible {
+		t.Fatal("want feasible")
+	}
+	if res.MinCutWeight != 1 {
+		t.Errorf("MinCutWeight = %v, want 1 (cut the light edge)", res.MinCutWeight)
+	}
+	if res.MinComponents != 2 {
+		t.Errorf("MinComponents = %d, want 2", res.MinComponents)
+	}
+	if res.MinBottleneck != 1 {
+		t.Errorf("MinBottleneck = %v, want 1", res.MinBottleneck)
+	}
+
+	single := mustPath(t, []float64{3}, nil)
+	res, err = PathDP(single, 3)
+	if err != nil {
+		t.Fatalf("PathDP(single): %v", err)
+	}
+	if !res.Feasible || res.MinComponents != 1 || res.MinCutWeight != 0 {
+		t.Errorf("single vertex at bound: got %+v", res)
+	}
+
+	res, err = PathDP(single, 2.5)
+	if err != nil {
+		t.Fatalf("PathDP(single, infeasible): %v", err)
+	}
+	if res.Feasible {
+		t.Errorf("single vertex above bound must be infeasible, got %+v", res)
+	}
+}
+
+// The path oracles must agree with the tree oracle on the path-as-tree view;
+// they share no code, so agreement is strong evidence both are right.
+func TestPathDPMatchesTreeBrute(t *testing.T) {
+	r := workload.NewRNG(4242)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(10)
+		p := workload.RandomPath(r, n, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+		k := p.MaxNodeWeight() * (1 + 2*r.Float64())
+		pd, err := PathDP(p, k)
+		if err != nil {
+			t.Fatalf("seed %d trial %d: PathDP: %v", r.Seed(), trial, err)
+		}
+		tb, err := TreeBrute(p.AsTree(), k)
+		if err != nil {
+			t.Fatalf("seed %d trial %d: TreeBrute: %v", r.Seed(), trial, err)
+		}
+		if pd.Feasible != tb.Feasible {
+			t.Fatalf("seed %d trial %d: feasibility disagrees: DP=%v brute=%v", r.Seed(), trial, pd.Feasible, tb.Feasible)
+		}
+		if !pd.Feasible {
+			continue
+		}
+		if math.Abs(pd.MinCutWeight-tb.Bandwidth) > 1e-9 {
+			t.Errorf("seed %d trial %d: MinCutWeight=%v brute=%v", r.Seed(), trial, pd.MinCutWeight, tb.Bandwidth)
+		}
+		if math.Abs(pd.MinBottleneck-tb.Bottleneck) > 1e-9 {
+			t.Errorf("seed %d trial %d: MinBottleneck=%v brute=%v", r.Seed(), trial, pd.MinBottleneck, tb.Bottleneck)
+		}
+		if pd.MinComponents != tb.Components {
+			t.Errorf("seed %d trial %d: MinComponents=%d brute=%d", r.Seed(), trial, pd.MinComponents, tb.Components)
+		}
+	}
+}
+
+func TestMinComponentsTreeMatchesBrute(t *testing.T) {
+	r := workload.NewRNG(777)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(10)
+		var tr *graph.Tree
+		switch trial % 3 {
+		case 0:
+			tr = workload.RandomTree(r, n, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+		case 1:
+			tr = workload.Star(r, n, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+		default:
+			tr = workload.Caterpillar(r, 1+n/2, 1, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+		}
+		k := tr.MaxNodeWeight() * (1 + 2*r.Float64())
+		comps, cut, err := MinComponentsTree(tr, k)
+		if err != nil {
+			t.Fatalf("seed %d trial %d: MinComponentsTree: %v", r.Seed(), trial, err)
+		}
+		tb, err := TreeBrute(tr, k)
+		if err != nil {
+			t.Fatalf("seed %d trial %d: TreeBrute: %v", r.Seed(), trial, err)
+		}
+		if !tb.Feasible {
+			t.Fatalf("seed %d trial %d: K chosen above max vertex weight must be feasible", r.Seed(), trial)
+		}
+		if comps != tb.Components {
+			t.Errorf("seed %d trial %d: greedy=%d brute=%d", r.Seed(), trial, comps, tb.Components)
+		}
+		// The returned cut must actually realize the count feasibly.
+		if len(cut)+1 != comps {
+			t.Errorf("seed %d trial %d: cut %v does not match count %d", r.Seed(), trial, cut, comps)
+		}
+		if m, err := tr.MaxComponentWeight(cut); err != nil || m > k {
+			t.Errorf("seed %d trial %d: greedy cut infeasible: max=%v err=%v", r.Seed(), trial, m, err)
+		}
+	}
+}
+
+func TestMinComponentsTreeInfeasible(t *testing.T) {
+	tr := mustTree(t, []float64{10, 1}, []graph.Edge{{U: 0, V: 1, W: 1}})
+	if _, _, err := MinComponentsTree(tr, 5); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("MinComponentsTree = %v, want ErrInfeasible", err)
+	}
+}

@@ -1,0 +1,231 @@
+// Package verify certifies solver answers independently of the algorithms
+// that produced them. Each of the paper's three criteria has a checkable
+// optimality characterization:
+//
+//   - bottleneck (§2.1): feasibility is monotone in the sorted edge prefix,
+//     so a bottleneck B is optimal iff cutting every edge strictly lighter
+//     than B is infeasible;
+//   - processor minimization (§2.2): the Kundu–Misra leaf-pruning greedy is
+//     exchange-optimal, giving an independent reference count (plus the
+//     ⌈total/K⌉ counting bound);
+//   - bandwidth (§2.3): every feasible cut hits all prime critical subpaths,
+//     and the greedy dual packing over the ordered-interval instance equals
+//     the optimal hitting weight (the interval constraint matrix is totally
+//     unimodular), giving a tight lower bound on the cut weight.
+//
+// A Certificate therefore proves a result right without re-running the
+// solver under test: the evidence comes from different code paths
+// (internal/prime + internal/hitting for bandwidth, internal/verify/oracle
+// for processors, the feasibility checker itself for bottleneck).
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/hitting"
+	"repro/internal/prime"
+	"repro/internal/verify/oracle"
+)
+
+// ErrNotCertifiable is returned by CertifyResult for solvers that declare no
+// objective (engine.ObjectiveUnknown) or for graph/objective combinations
+// with no certificate checker.
+var ErrNotCertifiable = errors.New("verify: result not certifiable")
+
+// Certificate records the outcome of checking one solver answer.
+type Certificate struct {
+	// Criterion is the certified objective ("bottleneck", "minprocs",
+	// "bandwidth").
+	Criterion string
+	// Certified reports whether the cut is feasible AND its objective value
+	// matches the independent evidence. False means the certificate could
+	// not establish optimality — the answer may still be correct (see
+	// Detail), but it is not proven.
+	Certified bool
+	// Objective is the cut's objective value under Criterion.
+	Objective float64
+	// Bound is the independent evidence compared against Objective: the
+	// packing lower bound for bandwidth, the greedy reference count for
+	// minprocs, and the strictly-lighter bottleneck threshold probed for
+	// bottleneck.
+	Bound float64
+	// Detail explains a false Certified (infeasible cut, bound gap, binding
+	// component cap, …). Empty when certified.
+	Detail string
+}
+
+// eps returns the comparison tolerance for an objective value v: floating
+// accumulation differs between solver and evidence, so exact equality is too
+// strict for large weights.
+func eps(v float64) float64 {
+	return 1e-9 * math.Max(1, math.Abs(v))
+}
+
+// CertifyBottleneck checks that cut is feasible for (t, K) and that its
+// bottleneck — the heaviest cut-edge weight — is minimal. Optimality
+// evidence: cut every edge strictly lighter than the claimed bottleneck;
+// adding edges to a tree cut only shrinks components, so that maximal cut is
+// feasible iff some cut with a strictly smaller bottleneck is. O(n α(n)).
+func CertifyBottleneck(t *graph.Tree, k float64, cut []int) (*Certificate, error) {
+	cut = graph.NormalizeCut(cut)
+	cert := &Certificate{Criterion: "bottleneck"}
+	b, err := t.MaxCutEdgeWeight(cut)
+	if err != nil {
+		return nil, err
+	}
+	cert.Objective = b
+	if err := core.CheckTreeFeasible(t, cut, k); err != nil {
+		if errors.Is(err, core.ErrInfeasible) {
+			cert.Detail = err.Error()
+			return cert, nil
+		}
+		return nil, err
+	}
+	if b == 0 {
+		// Edge weights are non-negative: a zero bottleneck cannot be beaten.
+		cert.Certified = true
+		return cert, nil
+	}
+	lighter := make([]int, 0, t.NumEdges())
+	for i, e := range t.Edges {
+		if e.W < b {
+			lighter = append(lighter, i)
+		}
+	}
+	cert.Bound = b
+	if err := core.CheckTreeFeasible(t, lighter, k); err == nil {
+		cert.Detail = fmt.Sprintf("a feasible cut exists using only edges lighter than %v", b)
+		return cert, nil
+	} else if !errors.Is(err, core.ErrInfeasible) {
+		return nil, err
+	}
+	cert.Certified = true
+	return cert, nil
+}
+
+// CertifyProcMin checks that cut is feasible for (t, K) and uses the minimum
+// possible number of components. Evidence: an independent Kundu–Misra greedy
+// (oracle.MinComponentsTree) plus the ⌈total weight / K⌉ counting bound.
+func CertifyProcMin(t *graph.Tree, k float64, cut []int) (*Certificate, error) {
+	cut = graph.NormalizeCut(cut)
+	// Removing an edge from a tree always splits one component in two.
+	comps := len(cut) + 1
+	cert := &Certificate{Criterion: "minprocs", Objective: float64(comps)}
+	if err := core.CheckTreeFeasible(t, cut, k); err != nil {
+		if errors.Is(err, core.ErrInfeasible) {
+			cert.Detail = err.Error()
+			return cert, nil
+		}
+		return nil, err
+	}
+	ref, _, err := oracle.MinComponentsTree(t, k)
+	if err != nil {
+		// The cut above was feasible, so the instance cannot be infeasible.
+		return nil, err
+	}
+	cert.Bound = float64(ref)
+	if counting := int(math.Ceil(t.TotalNodeWeight() / k)); ref < counting {
+		return nil, fmt.Errorf("verify: internal error: greedy count %d below counting bound %d", ref, counting)
+	}
+	if comps != ref {
+		cert.Detail = fmt.Sprintf("cut uses %d components, minimum is %d", comps, ref)
+		return cert, nil
+	}
+	cert.Certified = true
+	return cert, nil
+}
+
+// CertifyBandwidth checks that cut is feasible for (p, K) and that its total
+// weight is minimal. Evidence: any feasible cut hits every prime critical
+// subpath, so its weight is at least the optimal hitting weight of the
+// compressed instance, which the greedy dual packing (hitting.PackingBound)
+// computes exactly. A feasible cut whose weight meets that bound is optimal.
+func CertifyBandwidth(p *graph.Path, k float64, cut []int) (*Certificate, error) {
+	cut = graph.NormalizeCut(cut)
+	cert := &Certificate{Criterion: "bandwidth"}
+	w, err := p.CutWeight(cut)
+	if err != nil {
+		return nil, err
+	}
+	cert.Objective = w
+	if err := core.CheckPathFeasible(p, cut, k); err != nil {
+		if errors.Is(err, core.ErrInfeasible) {
+			cert.Detail = err.Error()
+			return cert, nil
+		}
+		return nil, err
+	}
+	inst, _, err := prime.Analyze(p.NodeW, p.EdgeW, k)
+	if err != nil {
+		// ErrVertexTooHeavy cannot happen here: the cut was feasible.
+		return nil, err
+	}
+	lb, err := hitting.PackingBound(&hitting.Instance{Beta: inst.Beta, A: inst.A, B: inst.B})
+	if err != nil {
+		return nil, err
+	}
+	cert.Bound = lb
+	if w > lb+eps(w) {
+		cert.Detail = fmt.Sprintf("cut weight %v exceeds the hitting lower bound %v", w, lb)
+		return cert, nil
+	}
+	cert.Certified = true
+	return cert, nil
+}
+
+// CertifyResult certifies an engine result against its request: the solver's
+// declared objective (engine.ObjectiveOf) picks the certificate checker, and
+// path inputs are lifted to trees for the tree-criterion checkers exactly as
+// treeSolver does. Solvers without a declared objective return
+// ErrNotCertifiable.
+func CertifyResult(req engine.Request, res *engine.Result) (*Certificate, error) {
+	if res == nil {
+		return nil, fmt.Errorf("verify: nil result: %w", ErrNotCertifiable)
+	}
+	s, err := engine.Get(req.Solver)
+	if err != nil {
+		return nil, err
+	}
+	asTree := func() (*graph.Tree, error) {
+		if req.Tree != nil {
+			return req.Tree, nil
+		}
+		if req.Path != nil {
+			return req.Path.AsTree(), nil
+		}
+		return nil, fmt.Errorf("verify: request has no graph: %w", ErrNotCertifiable)
+	}
+	switch obj := engine.ObjectiveOf(s); obj {
+	case engine.ObjectiveBandwidth:
+		if req.Path == nil {
+			return nil, fmt.Errorf("verify: bandwidth certificate needs a path graph: %w", ErrNotCertifiable)
+		}
+		cert, err := CertifyBandwidth(req.Path, req.K, res.Cut)
+		if err != nil {
+			return nil, err
+		}
+		if !cert.Certified && req.Options.MaxComponents > 0 {
+			cert.Detail += " (component cap set: the capped optimum may legitimately exceed the unconstrained bound)"
+		}
+		return cert, nil
+	case engine.ObjectiveBottleneck:
+		t, err := asTree()
+		if err != nil {
+			return nil, err
+		}
+		return CertifyBottleneck(t, req.K, res.Cut)
+	case engine.ObjectiveMinProcs:
+		t, err := asTree()
+		if err != nil {
+			return nil, err
+		}
+		return CertifyProcMin(t, req.K, res.Cut)
+	default:
+		return nil, fmt.Errorf("verify: solver %q declares objective %v: %w", req.Solver, obj, ErrNotCertifiable)
+	}
+}

@@ -12,11 +12,19 @@ import "math"
 // is a valid generator seeded with 0.
 type RNG struct {
 	state uint64
+	seed  uint64
 }
 
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed uint64) *RNG {
-	return &RNG{state: seed}
+	return &RNG{state: seed, seed: seed}
+}
+
+// Seed returns the seed the generator was constructed with, so test failures
+// can log it and failing cases reproduce deterministically. The zero value
+// reports seed 0, matching its stream.
+func (r *RNG) Seed() uint64 {
+	return r.seed
 }
 
 // Uint64 returns the next 64 pseudo-random bits.

@@ -251,3 +251,22 @@ func TestRandomTreeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRNGSeed(t *testing.T) {
+	r := NewRNG(0xdeadbeef)
+	if got := r.Seed(); got != 0xdeadbeef {
+		t.Fatalf("Seed() = %#x, want 0xdeadbeef", got)
+	}
+	// Drawing values must not change the reported seed: the whole point is
+	// that a failure message printed late in a test still reproduces the run.
+	for i := 0; i < 100; i++ {
+		r.Uint64()
+	}
+	if got := r.Seed(); got != 0xdeadbeef {
+		t.Fatalf("Seed() after draws = %#x, want 0xdeadbeef", got)
+	}
+	var zero RNG
+	if got := zero.Seed(); got != 0 {
+		t.Fatalf("zero-value Seed() = %#x, want 0", got)
+	}
+}

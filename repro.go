@@ -39,6 +39,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/hitting"
+	"repro/internal/verify"
 	"repro/internal/workload"
 )
 
@@ -122,6 +123,22 @@ func Solve(ctx context.Context, req SolveRequest) (SolveResult, error) {
 
 // Solvers lists the registered solver names in sorted order.
 func Solvers() []string { return engine.Names() }
+
+// Certificate is a solver-independent optimality certificate: a solve result
+// re-checked for feasibility and matched against independent evidence
+// (monotone feasibility for bottleneck, an exchange-optimal greedy for
+// minprocs, the prime-subpath packing bound for bandwidth).
+type Certificate = verify.Certificate
+
+// ErrNotCertifiable is returned by Certify for solvers whose objective the
+// certificate machinery does not cover.
+var ErrNotCertifiable = verify.ErrNotCertifiable
+
+// Certify checks a completed solve against the certificate for the solver's
+// declared objective; see internal/verify.
+func Certify(req SolveRequest, res *SolveResult) (*Certificate, error) {
+	return verify.CertifyResult(req, res)
+}
 
 // NewStatsCollector returns an empty per-solver stats collector.
 func NewStatsCollector() *StatsCollector { return engine.NewCollector() }
