@@ -8,6 +8,8 @@
 //	partition -algo bottleneck -k 100 -in tree.txt
 //	partition -algo minproc    -k 100 -in tree.txt
 //	partition -algo pipeline   -k 100 -in tree.txt   # bottleneck→contract→minproc
+//	partition -algo bandwidth  -k 100 -trace          # print the phase-span tree
+//	partition -algo bandwidth  -k 100 -trace-out t.json  # Chrome trace-event JSON
 //	partition -list                                   # list registered solvers
 //
 // -algo accepts any solver name from the engine registry (see -list);
@@ -45,6 +47,8 @@ func run() error {
 	maxProcs := flag.Int("m", 0, "limit the number of components (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 	stats := flag.Bool("stats", false, "print per-solve statistics (duration, iterations)")
+	traceFlag := flag.Bool("trace", false, "record phase spans and print the span tree after the report")
+	traceOut := flag.String("trace-out", "", "write the trace as Chrome trace-event JSON to this file (implies -trace; load via chrome://tracing or ui.perfetto.dev)")
 	verifyFlag := flag.Bool("verify", false, "re-check the result against the solver-independent optimality certificate")
 	list := flag.Bool("list", false, "list registered solver names and exit")
 	in := flag.String("in", "", "input graph file (default stdin)")
@@ -117,12 +121,33 @@ func run() error {
 	default:
 		return fmt.Errorf("cannot partition a %T", any)
 	}
-	res, err := repro.Solve(context.Background(), req)
+	ctx := context.Background()
+	var tr *repro.SolveTrace
+	if *traceFlag || *traceOut != "" {
+		tr = repro.NewSolveTrace("partition " + name)
+		ctx = repro.WithSolveTrace(ctx, tr)
+	}
+	res, err := repro.Solve(ctx, req)
 	if err != nil {
 		return err
 	}
+	if tr != nil {
+		tr.Finish()
+	}
 	if err := report(any, &res, *dot, *procs, *speed, *bus); err != nil {
 		return err
+	}
+	if tr != nil {
+		fmt.Println()
+		if err := tr.WriteText(os.Stdout); err != nil {
+			return err
+		}
+		if *traceOut != "" {
+			if err := writeChromeTrace(*traceOut, tr); err != nil {
+				return err
+			}
+			fmt.Printf("chrome trace:     %s\n", *traceOut)
+		}
 	}
 	if *verifyFlag {
 		if err := reportCertificate(req, &res); err != nil {
@@ -245,6 +270,18 @@ func printMetrics(m *repro.Metrics) {
 	fmt.Printf("bus time:         %g\n", m.BusTime)
 	fmt.Printf("max proc traffic: %g\n", m.MaxProcessorTraffic)
 	fmt.Printf("utilization:      %.3f\n", m.Utilization)
+}
+
+func writeChromeTrace(path string, tr *repro.SolveTrace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func writeDOT(path string, render func(io.Writer) error) error {

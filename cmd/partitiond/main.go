@@ -9,6 +9,7 @@
 //	partitiond -addr :8080 -max-concurrent 8 -queue 32 -cache-size 4096
 //	partitiond -cache-size -1                 # disable the result cache
 //	partitiond -log json                      # structured JSON logs
+//	partitiond -debug-addr localhost:6060     # net/http/pprof on a side listener
 //
 // Endpoints:
 //
@@ -29,6 +30,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +59,7 @@ func run() error {
 	batchWorkers := flag.Int("batch-workers", 0, "worker pool size per /v1/batch call (0 = max-concurrent)")
 	drain := flag.Duration("drain", 15*time.Second, "how long to wait for in-flight solves on shutdown")
 	logFormat := flag.String("log", "text", "log format: text | json")
+	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty disables); keep it off public interfaces")
 	flag.Parse()
 
 	// Fail fast on nonsense before binding the port.
@@ -122,6 +125,26 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The profiling listener is separate from the API listener so pprof is
+	// never reachable through the public port. An explicit mux avoids the
+	// DefaultServeMux registrations that net/http/pprof's import performs.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Addr: *debugAddr, Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", *debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 
@@ -134,6 +157,9 @@ func run() error {
 	logger.Info("signal received, draining", "timeout", *drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if debugSrv != nil {
+		debugSrv.Shutdown(drainCtx)
+	}
 	if err := srv.Shutdown(drainCtx); err != nil {
 		return fmt.Errorf("drain incomplete: %w", err)
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/hitting"
+	"repro/internal/obs"
 	"repro/internal/prime"
 )
 
@@ -61,30 +62,44 @@ func bandwidthTempS(ctx context.Context, p *graph.Path, k float64, instrument bo
 	if err := p.Validate(); err != nil {
 		return nil, nil, 0, err
 	}
-	inst, _, err := prime.Analyze(p.NodeW, p.EdgeW, k)
+	// Phase 1 (§2.3.1): prime critical subpaths + non-redundant edge
+	// compression — the O(n) part of the O(n + p log q) bound.
+	_, sp := obs.StartSpan(ctx, "prime-extract")
+	inst, ivs, err := prime.Analyze(p.NodeW, p.EdgeW, k)
 	if err != nil {
+		sp.End()
 		if errors.Is(err, prime.ErrVertexTooHeavy) {
 			return nil, nil, 0, fmt.Errorf("%v: %w", err, ErrInfeasible)
 		}
 		return nil, nil, 0, err
 	}
+	sp.SetAttr("primeSubpaths", len(ivs))
+	sp.SetAttr("nonRedundantEdges", len(inst.Beta))
+	sp.End()
 	hin := &hitting.Instance{Beta: inst.Beta, A: inst.A, B: inst.B}
+	// Phase 2 (§2.3.1 Algorithm 4.1): the TEMP_S monotone-queue DP sweep —
+	// the O(p log q) part.
+	dctx, sp := obs.StartSpan(ctx, "temps-dp")
 	var sol *hitting.Solution
 	var trace *hitting.Trace
 	var iters int64
 	if instrument {
-		sol, trace, iters, err = hitting.SolveTempSInstrumentedCtx(ctx, hin)
+		sol, trace, iters, err = hitting.SolveTempSInstrumentedCtx(dctx, hin)
 	} else {
-		sol, iters, err = hitting.SolveTempSCtx(ctx, hin)
+		sol, iters, err = hitting.SolveTempSCtx(dctx, hin)
 	}
+	sp.SetAttr("iterations", iters)
+	sp.End()
 	if err != nil {
 		return nil, nil, iters, err
 	}
+	_, sp = obs.StartSpan(ctx, "build-partition")
 	cut := make([]int, len(sol.Points))
 	for i, pt := range sol.Points {
 		cut[i] = inst.Orig[pt]
 	}
 	pp, err := newPathPartition(p, cut, k)
+	sp.End()
 	if err != nil {
 		return nil, nil, iters, err
 	}
@@ -193,8 +208,11 @@ func BandwidthDequeCtx(ctx context.Context, p *graph.Path, k float64) (*PathPart
 	// eviction (front) and the dominance eviction (back) are valid.
 	deque := make([]int, 0, n)
 	deque = append(deque, -1)
+	_, sweep := obs.StartSpan(ctx, "dp-sweep")
+	sweep.SetAttr("edges", n-1)
 	for i := 0; i < n-1; i++ {
 		if err := tk.tick(); err != nil {
+			sweep.End()
 			return nil, tk.n, err
 		}
 		// Evict candidates j whose segment v_{j+1}..v_i exceeds K.
@@ -216,7 +234,10 @@ func BandwidthDequeCtx(ctx context.Context, p *graph.Path, k float64) (*PathPart
 			deque = append(deque, i)
 		}
 	}
+	sweep.End()
+	_, fin := obs.StartSpan(ctx, "finish-scan")
 	pp, err := s.finish(p, k)
+	fin.End()
 	return pp, tk.n, err
 }
 
@@ -263,8 +284,11 @@ func BandwidthHeapCtx(ctx context.Context, p *graph.Path, k float64) (*PathParti
 	// winLo tracks the smallest predecessor index still inside the window;
 	// heap entries below it are stale and lazily discarded.
 	winLo := -1
+	_, sweep := obs.StartSpan(ctx, "dp-sweep")
+	sweep.SetAttr("edges", n-1)
 	for i := 0; i < n-1; i++ {
 		if err := tk.tick(); err != nil {
+			sweep.End()
 			return nil, tk.n, err
 		}
 		for winLo <= i && s.prefix[i+1]-s.prefix[winLo+1] > k {
@@ -285,7 +309,10 @@ func BandwidthHeapCtx(ctx context.Context, p *graph.Path, k float64) (*PathParti
 			h.pushItem(heapItem{j: i, f: s.f[i]})
 		}
 	}
+	sweep.End()
+	_, fin := obs.StartSpan(ctx, "finish-scan")
 	pp, err := s.finish(p, k)
+	fin.End()
 	return pp, tk.n, err
 }
 
@@ -312,11 +339,14 @@ func BandwidthNaiveCtx(ctx context.Context, p *graph.Path, k float64) (*PathPart
 		return done, 0, err
 	}
 	n := p.Len()
+	_, sweep := obs.StartSpan(ctx, "dp-sweep")
+	sweep.SetAttr("edges", n-1)
 	for i := 0; i < n-1; i++ {
 		best := math.Inf(1)
 		parent := -2
 		for j := i - 1; j >= -1; j-- {
 			if err := tk.tick(); err != nil {
+				sweep.End()
 				return nil, tk.n, err
 			}
 			if s.prefix[i+1]-s.prefix[j+1] > k {
@@ -338,6 +368,10 @@ func BandwidthNaiveCtx(ctx context.Context, p *graph.Path, k float64) (*PathPart
 		s.f[i] = p.EdgeW[i] + best
 		s.parent[i] = parent
 	}
+	sweep.SetAttr("iterations", tk.n)
+	sweep.End()
+	_, fin := obs.StartSpan(ctx, "finish-scan")
 	pp, err := s.finish(p, k)
+	fin.End()
 	return pp, tk.n, err
 }

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // This file implements bottleneck minimization on tree task graphs (§2.1,
@@ -121,7 +122,10 @@ func bottleneck(ctx context.Context, t *graph.Tree, k float64, binary bool) (*Tr
 	if t.MaxNodeWeight() > k {
 		return nil, 0, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
 	}
+	_, sp := obs.StartSpan(ctx, "edge-sort")
 	order := sortedEdgeOrder(t)
+	sp.SetAttr("edges", len(order))
+	sp.End()
 	var cnt int
 	if binary {
 		// sort.Search semantics over [0, len(order)], written out so the
@@ -129,7 +133,11 @@ func bottleneck(ctx context.Context, t *graph.Tree, k float64, binary bool) (*Tr
 		lo, hi := 0, len(order)+1
 		for lo < hi {
 			mid := int(uint(lo+hi) >> 1)
+			_, ps := obs.StartSpan(ctx, "feasibility-probe")
 			ok, err := prefixFeasible(t, order, mid, k, tk)
+			ps.SetAttr("prefix", mid)
+			ps.SetAttr("feasible", ok)
+			ps.End()
 			if err != nil {
 				return nil, tk.n, err
 			}
@@ -141,15 +149,21 @@ func bottleneck(ctx context.Context, t *graph.Tree, k float64, binary bool) (*Tr
 		}
 		cnt = lo
 	} else {
+		// One span for the whole O(n²) sweep: a span per probe would cost
+		// O(n) allocations on traced solves for no extra phase information.
+		_, ss := obs.StartSpan(ctx, "feasibility-sweep")
 		for cnt = 0; cnt <= len(order); cnt++ {
 			ok, err := prefixFeasible(t, order, cnt, k, tk)
 			if err != nil {
+				ss.End()
 				return nil, tk.n, err
 			}
 			if ok {
 				break
 			}
 		}
+		ss.SetAttr("probes", cnt+1)
+		ss.End()
 	}
 	if cnt > len(order) {
 		// With every edge cut, components are single vertices, all ≤ K by

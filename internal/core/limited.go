@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Extensions beyond the paper's fixed-K formulation that a deployment
@@ -64,9 +65,13 @@ func BandwidthLimitedCtx(ctx context.Context, p *graph.Path, k float64, m int) (
 	fPrev := make([]float64, n-1)
 	fCur := make([]float64, n-1)
 	parent := make([][]int32, m) // parent[j][i], j ≥ 2
+	// One span for the whole level-wise DP; per-level spans would cost O(m)
+	// allocations without adding phase information.
+	_, dp := obs.StartSpan(ctx, "level-dp")
 	// Level 1: single cut at edge i; first block v_0..v_i must fit.
 	for i := 0; i < n-1; i++ {
 		if err := tk.tick(); err != nil {
+			dp.End()
 			return nil, tk.n, err
 		}
 		if prefix[i+1] <= k {
@@ -96,6 +101,7 @@ func BandwidthLimitedCtx(ctx context.Context, p *graph.Path, k float64, m int) (
 		ptr := 0 // next predecessor index to admit
 		for i := 0; i < n-1; i++ {
 			if err := tk.tick(); err != nil {
+				dp.End()
 				return nil, tk.n, err
 			}
 			// Admit predecessors ending before i.
@@ -123,6 +129,8 @@ func BandwidthLimitedCtx(ctx context.Context, p *graph.Path, k float64, m int) (
 		scanFinal(j, fCur)
 		fPrev, fCur = fCur, fPrev
 	}
+	dp.SetAttr("levels", m-1)
+	dp.End()
 	if bestI < 0 {
 		return nil, tk.n, fmt.Errorf("no feasible cut with at most %d components: %w", m, ErrInfeasible)
 	}

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // This file implements processor minimization on tree task graphs (§2.2,
@@ -46,6 +47,7 @@ func MinProcessorsCtx(ctx context.Context, t *graph.Tree, k float64) (*TreeParti
 		return nil, 0, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
 	}
 	n := t.Len()
+	_, sp := obs.StartSpan(ctx, "postorder-build")
 	adj := t.Adjacency()
 	// Iterative BFS from the root; reverse BFS order is a post-order for
 	// trees (children precede parents).
@@ -67,6 +69,8 @@ func MinProcessorsCtx(ctx context.Context, t *graph.Tree, k float64) (*TreeParti
 			}
 		}
 	}
+	sp.SetAttr("nodes", n)
+	sp.End()
 	// res[v] is the weight of the super-node that v has been merged into so
 	// far: v plus all absorbed descendant subtrees.
 	res := make([]float64, n)
@@ -76,8 +80,12 @@ func MinProcessorsCtx(ctx context.Context, t *graph.Tree, k float64) (*TreeParti
 		res  float64
 		edge int
 	}
+	// One span for the whole post-order absorb/prune sweep; per-node rounds
+	// are summarized by the pruned-edge attr rather than per-round spans.
+	_, sweep := obs.StartSpan(ctx, "leaf-pruning")
 	for i := n - 1; i >= 0; i-- {
 		if err := tk.tick(); err != nil {
+			sweep.End()
 			return nil, tk.n, err
 		}
 		v := order[i]
@@ -107,10 +115,13 @@ func MinProcessorsCtx(ctx context.Context, t *graph.Tree, k float64) (*TreeParti
 		}
 		if total > k {
 			// Cannot happen: total is now just t.NodeW[v] ≤ k. Guard anyway.
+			sweep.End()
 			return nil, tk.n, ErrInfeasible
 		}
 		res[v] = total
 	}
+	sweep.SetAttr("pruned", len(cut))
+	sweep.End()
 	tp, err := newTreePartition(t, graph.NormalizeCut(cut), k)
 	return tp, tk.n, err
 }
@@ -141,8 +152,10 @@ func MinProcessorsPathCtx(ctx context.Context, p *graph.Path, k float64) (*PathP
 	}
 	var cut []int
 	var load float64
+	_, sweep := obs.StartSpan(ctx, "first-fit-sweep")
 	for i, w := range p.NodeW {
 		if err := tk.tick(); err != nil {
+			sweep.End()
 			return nil, tk.n, err
 		}
 		if load+w > k {
@@ -151,6 +164,8 @@ func MinProcessorsPathCtx(ctx context.Context, p *graph.Path, k float64) (*PathP
 		}
 		load += w
 	}
+	sweep.SetAttr("tasks", p.Len())
+	sweep.End()
 	pp, err := newPathPartition(p, cut, k)
 	return pp, tk.n, err
 }
@@ -170,15 +185,23 @@ func PartitionTree(t *graph.Tree, k float64) (*TreePartition, error) {
 // PartitionTreeCtx is PartitionTree with cancellation and iteration
 // accounting (summed over the pipeline's stages).
 func PartitionTreeCtx(ctx context.Context, t *graph.Tree, k float64) (*TreePartition, int64, error) {
-	bt, it1, err := BottleneckCtx(ctx, t, k)
+	// Each pipeline stage runs inside its own span, so the stage's internal
+	// phase spans (edge-sort, feasibility probes, leaf-pruning) nest under it.
+	bctx, sp := obs.StartSpan(ctx, "stage:bottleneck")
+	bt, it1, err := BottleneckCtx(bctx, t, k)
+	sp.End()
 	if err != nil {
 		return nil, it1, err
 	}
+	_, sp = obs.StartSpan(ctx, "contract")
 	contraction, err := t.Contract(bt.Cut)
+	sp.End()
 	if err != nil {
 		return nil, it1, err
 	}
-	mp, it2, err := MinProcessorsCtx(ctx, contraction.Tree, k)
+	mctx, sp := obs.StartSpan(ctx, "stage:minproc")
+	mp, it2, err := MinProcessorsCtx(mctx, contraction.Tree, k)
+	sp.End()
 	if err != nil {
 		return nil, it1 + it2, err
 	}

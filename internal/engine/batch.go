@@ -3,9 +3,25 @@ package engine
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
+
+// batchIndexKey carries a request's index within its Batch.Run call, so the
+// engine can attribute the solve's Event to the right batch item.
+type batchIndexKey struct{}
+
+// batchIndexFrom returns the batch index carried by ctx, or -1 for a
+// standalone solve.
+func batchIndexFrom(ctx context.Context) int {
+	if v, ok := ctx.Value(batchIndexKey{}).(int); ok {
+		return v
+	}
+	return -1
+}
 
 // Batch runs many solve requests concurrently on a bounded worker pool.
 // The zero value is ready to use: GOMAXPROCS workers, no default deadline.
@@ -69,6 +85,7 @@ func (b *Batch) Run(ctx context.Context, reqs []Request) (*BatchResult, error) {
 	}
 	out := &BatchResult{Items: make([]BatchItem, len(reqs))}
 	out.Stats.Requests = len(reqs)
+	rid := obs.RequestIDFrom(ctx)
 	start := time.Now()
 	if workers > 0 {
 		idx := make(chan int)
@@ -85,7 +102,14 @@ func (b *Batch) Run(ctx context.Context, reqs []Request) (*BatchResult, error) {
 					if req.Options.Observer == nil {
 						req.Options.Observer = b.Observer
 					}
-					res, err := Solve(ctx, req)
+					// Stamp the item's index (and a derived request ID)
+					// into the context so observers can attribute the
+					// resulting Event to this batch position.
+					ictx := context.WithValue(ctx, batchIndexKey{}, i)
+					if rid != "" {
+						ictx = obs.WithRequestID(ictx, rid+"#"+strconv.Itoa(i))
+					}
+					res, err := Solve(ictx, req)
 					out.Items[i] = BatchItem{Result: res, Err: err}
 				}
 			}()

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Sentinel errors.
@@ -157,8 +158,12 @@ func Solve(ctx context.Context, req Request) (Result, error) {
 
 // instrumented wraps a solve body with the engine's common machinery:
 // deadline application, up-front cancellation check, timing, allocation
-// sampling, and observer notification. Errors from the body are returned
-// unwrapped so callers can match the algorithm packages' sentinel errors.
+// sampling, trace span management, and observer notification. When the
+// context carries an obs.Trace, the solve runs inside a span named after the
+// solver, so the phase spans the algorithms open nest under it; without a
+// trace the span machinery is a no-op (one context lookup, zero
+// allocations). Errors from the body are returned unwrapped so callers can
+// match the algorithm packages' sentinel errors.
 func instrumented(ctx context.Context, name string, opt Options, body func(context.Context) (Result, int64, error)) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -172,8 +177,10 @@ func instrumented(ctx context.Context, name string, opt Options, body func(conte
 	if opt.TrackAllocs {
 		runtime.ReadMemStats(&before)
 	}
+	sctx, span := obs.StartSpan(ctx, name)
 	start := time.Now()
-	res, iters, err := body(ctx)
+	res, iters, err := body(sctx)
+	span.End()
 	res.Stats.Duration = time.Since(start)
 	res.Stats.Iterations = iters
 	if opt.TrackAllocs {
@@ -182,7 +189,18 @@ func instrumented(ctx context.Context, name string, opt Options, body func(conte
 		res.Stats.Allocs = after.Mallocs - before.Mallocs
 	}
 	res.Solver = name
-	notify(opt.Observer, Event{Solver: name, Stats: res.Stats, Err: err})
+	if err != nil {
+		span.SetAttr("error", err.Error())
+	}
+	notify(opt.Observer, Event{
+		Solver:     name,
+		Stats:      res.Stats,
+		Err:        err,
+		RequestID:  obs.RequestIDFrom(ctx),
+		BatchIndex: batchIndexFrom(ctx),
+		Trace:      obs.FromContext(ctx),
+		Phases:     span.PhaseTotals(),
+	})
 	if err != nil {
 		return Result{Solver: name, Stats: res.Stats}, err
 	}

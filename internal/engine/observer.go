@@ -3,6 +3,8 @@ package engine
 import (
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Event describes one completed solve. Observers receive it after the solve
@@ -15,6 +17,20 @@ type Event struct {
 	Stats Stats
 	// Err is the solve's error, nil on success.
 	Err error
+	// RequestID is the correlation ID the context carried
+	// (obs.WithRequestID), "" when none. Solves run by Batch get the batch
+	// context's ID suffixed with "#<index>" so their events are
+	// distinguishable.
+	RequestID string
+	// BatchIndex is the request's index within its Batch.Run call, or -1
+	// for a standalone solve.
+	BatchIndex int
+	// Trace is the trace the solve ran under (its root may still be open —
+	// the caller owns the root span), nil when the context carried none.
+	Trace *obs.Trace
+	// Phases aggregates the phase spans recorded inside this solve's own
+	// span by name; nil when the solve was untraced.
+	Phases map[string]obs.PhaseStat
 }
 
 // Observer receives solve events. Implementations must be safe for

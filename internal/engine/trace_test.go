@@ -1,0 +1,264 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// eventRecorder is a concurrency-safe observer that keeps every event.
+type eventRecorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (r *eventRecorder) Observe(e Event) {
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+func (r *eventRecorder) all() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+func TestSolveTracedEvent(t *testing.T) {
+	rec := &eventRecorder{}
+	tr := obs.New("test-solve")
+	ctx := obs.WithRequestID(obs.NewContext(context.Background(), tr), "req-42")
+	req := Request{
+		Solver:  "bandwidth",
+		Path:    testPath(t, 64),
+		K:       250,
+		Options: Options{Observer: rec},
+	}
+	if _, err := Solve(ctx, req); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	tr.Finish()
+	events := rec.all()
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.RequestID != "req-42" {
+		t.Errorf("RequestID = %q, want %q", ev.RequestID, "req-42")
+	}
+	if ev.BatchIndex != -1 {
+		t.Errorf("BatchIndex = %d, want -1 for standalone solve", ev.BatchIndex)
+	}
+	if ev.Trace != tr {
+		t.Errorf("Trace = %p, want the attached trace %p", ev.Trace, tr)
+	}
+	for _, phase := range []string{"prime-extract", "temps-dp", "build-partition"} {
+		ps, ok := ev.Phases[phase]
+		if !ok {
+			t.Errorf("Phases missing %q (got %v)", phase, ev.Phases)
+			continue
+		}
+		if ps.Count < 1 {
+			t.Errorf("Phases[%q].Count = %d, want >= 1", phase, ps.Count)
+		}
+	}
+	// The solver span must appear in the finished tree, under the root.
+	root := tr.Tree()
+	var solverSpan *obs.SpanNode
+	for _, c := range root.Children {
+		if c.Name == "bandwidth" {
+			solverSpan = c
+		}
+	}
+	if solverSpan == nil {
+		t.Fatalf("trace tree has no %q span under root (children: %v)", "bandwidth", root.Children)
+	}
+	if len(solverSpan.Children) == 0 {
+		t.Errorf("solver span has no phase children")
+	}
+}
+
+func TestSolveUntracedEvent(t *testing.T) {
+	rec := &eventRecorder{}
+	req := Request{
+		Solver:  "bandwidth",
+		Path:    testPath(t, 64),
+		K:       250,
+		Options: Options{Observer: rec},
+	}
+	if _, err := Solve(context.Background(), req); err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	events := rec.all()
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Trace != nil {
+		t.Errorf("Trace = %v, want nil on untraced solve", ev.Trace)
+	}
+	if ev.Phases != nil {
+		t.Errorf("Phases = %v, want nil on untraced solve", ev.Phases)
+	}
+	if ev.RequestID != "" {
+		t.Errorf("RequestID = %q, want empty", ev.RequestID)
+	}
+	if ev.BatchIndex != -1 {
+		t.Errorf("BatchIndex = %d, want -1", ev.BatchIndex)
+	}
+}
+
+// TestRegisteredSolversEmitPhaseSpans checks every production solver opens at
+// least one phase span on a traced solve — the tentpole's coverage guarantee.
+// The list is pinned rather than taken from Names() because other test files
+// register blocking test-only solvers in the shared registry.
+func TestRegisteredSolversEmitPhaseSpans(t *testing.T) {
+	solvers := []string{
+		"bandwidth", "bandwidth-deque", "bandwidth-heap", "bandwidth-limited",
+		"bandwidth-naive", "bottleneck", "bottleneck-greedy", "minproc",
+		"minproc-path", "partition-tree",
+	}
+	p := testPath(t, 96)
+	tree := testTree(t, 96)
+	for _, name := range solvers {
+		t.Run(name, func(t *testing.T) {
+			s, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := Request{Solver: name, K: 300}
+			if s.Kind() == KindPath {
+				req.Path = p
+			} else {
+				req.Tree = tree
+			}
+			if name == "bandwidth-limited" {
+				req.Options.MaxComponents = 96
+			}
+			rec := &eventRecorder{}
+			req.Options.Observer = rec
+			ctx := obs.NewContext(context.Background(), obs.New("phase-coverage"))
+			if _, err := Solve(ctx, req); err != nil {
+				t.Fatalf("Solve(%s): %v", name, err)
+			}
+			events := rec.all()
+			if len(events) != 1 {
+				t.Fatalf("got %d events, want 1", len(events))
+			}
+			if len(events[0].Phases) == 0 {
+				t.Errorf("solver %q recorded no phase spans", name)
+			}
+		})
+	}
+}
+
+func TestBatchEventAttribution(t *testing.T) {
+	const n = 8
+	rec := &eventRecorder{}
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Solver: "bandwidth", Path: testPath(t, 32), K: 200}
+	}
+	b := &Batch{Workers: 3, Observer: rec}
+	ctx := obs.WithRequestID(context.Background(), "batch-7")
+	res, err := b.Run(ctx, reqs)
+	if err != nil {
+		t.Fatalf("Batch.Run: %v", err)
+	}
+	if res.Stats.Solved != n {
+		t.Fatalf("Solved = %d, want %d", res.Stats.Solved, n)
+	}
+	events := rec.all()
+	if len(events) != n {
+		t.Fatalf("got %d events, want %d", len(events), n)
+	}
+	seen := make(map[int]string, n)
+	for _, ev := range events {
+		if ev.BatchIndex < 0 || ev.BatchIndex >= n {
+			t.Fatalf("BatchIndex = %d out of range [0,%d)", ev.BatchIndex, n)
+		}
+		if prev, dup := seen[ev.BatchIndex]; dup {
+			t.Fatalf("BatchIndex %d seen twice (%q, %q)", ev.BatchIndex, prev, ev.RequestID)
+		}
+		seen[ev.BatchIndex] = ev.RequestID
+	}
+	for i := 0; i < n; i++ {
+		want := "batch-7#" + strconv.Itoa(i)
+		if seen[i] != want {
+			t.Errorf("item %d RequestID = %q, want %q", i, seen[i], want)
+		}
+	}
+}
+
+func TestBatchWithoutRequestID(t *testing.T) {
+	rec := &eventRecorder{}
+	reqs := []Request{{Solver: "bandwidth", Path: testPath(t, 16), K: 150}}
+	b := &Batch{Observer: rec}
+	if _, err := b.Run(context.Background(), reqs); err != nil {
+		t.Fatalf("Batch.Run: %v", err)
+	}
+	events := rec.all()
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	if events[0].RequestID != "" {
+		t.Errorf("RequestID = %q, want empty when batch context carries none", events[0].RequestID)
+	}
+	if events[0].BatchIndex != 0 {
+		t.Errorf("BatchIndex = %d, want 0", events[0].BatchIndex)
+	}
+}
+
+// TestBatchSharedTrace checks concurrent batch items can grow disjoint
+// subtrees under one shared trace without racing.
+func TestBatchSharedTrace(t *testing.T) {
+	const n = 6
+	tr := obs.New("batch")
+	ctx := obs.NewContext(context.Background(), tr)
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Solver: "minproc-path", Path: testPath(t, 32), K: 200}
+	}
+	b := &Batch{Workers: 4}
+	if _, err := b.Run(ctx, reqs); err != nil {
+		t.Fatalf("Batch.Run: %v", err)
+	}
+	tr.Finish()
+	root := tr.Tree()
+	if len(root.Children) != n {
+		t.Fatalf("root has %d children, want %d solver spans", len(root.Children), n)
+	}
+	for _, c := range root.Children {
+		if c.Name != "minproc-path" {
+			t.Errorf("unexpected child span %q", c.Name)
+		}
+	}
+}
+
+func BenchmarkSolveUntraced(b *testing.B) {
+	req := Request{Solver: "bandwidth", Path: testPath(b, 256), K: 400}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveTraced(b *testing.B) {
+	req := Request{Solver: "bandwidth", Path: testPath(b, 256), K: 400}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := obs.NewContext(context.Background(), obs.New(fmt.Sprintf("bench-%d", i)))
+		if _, err := Solve(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket latency histogram with lock-free Observe:
+// per-bucket atomic counters plus an atomic float sum. Bucket semantics are
+// Prometheus's — an observation v lands in the first bucket whose upper
+// bound satisfies v <= bound, with one implicit +Inf overflow bucket.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; the last is the +Inf bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // math.Float64bits of the running sum
+}
+
+// NewHistogram builds a histogram over the given upper bounds, which must be
+// strictly increasing and non-empty; it panics otherwise (bucket layouts are
+// build-time configuration, not request data).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: NewHistogram needs at least one bucket bound")
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || (i > 0 && b <= bounds[i-1]) {
+			panic(fmt.Sprintf("obs: bucket bounds must be strictly increasing, got %v at %d", b, i))
+		}
+	}
+	h := &Histogram{bounds: append([]float64(nil), bounds...)}
+	h.buckets = make([]atomic.Uint64, len(bounds)+1)
+	return h
+}
+
+// LatencyBuckets returns the default log-spaced solve-latency layout:
+// powers of two from 1µs to ~33.6s (26 buckets), matching the dynamic range
+// between a cached microsolve and the server's maximum solve deadline.
+func LatencyBuckets() []float64 {
+	out := make([]float64, 26)
+	b := 1e-6
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	idx := sort.SearchFloat64s(h.bounds, v) // first bound >= v, or overflow
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		want := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, want) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Counts are
+// per-bucket (not cumulative); the final entry is the +Inf bucket.
+// Observations racing a snapshot may be split across Count/Sum/Counts — fine
+// for a metrics scrape, do not use it for exact accounting.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// WritePrometheus renders the snapshot as Prometheus text-format series:
+// name_bucket lines with cumulative counts and an le label, then name_sum
+// and name_count. Labels are rendered sorted by key; the caller owns the
+// # HELP / # TYPE header (several label sets usually share one family).
+func (s HistogramSnapshot) WritePrometheus(w io.Writer, name string, labels map[string]string) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	base := ""
+	for _, k := range keys {
+		base += fmt.Sprintf("%s=%q,", k, labels[k])
+	}
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, base, strconv.FormatFloat(b, 'g', -1, 64), cum)
+	}
+	cum += s.Counts[len(s.Bounds)]
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, base, cum)
+	trail := ""
+	if len(keys) > 0 {
+		trail = "{" + base[:len(base)-1] + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, trail, s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, trail, s.Count)
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// SpanNode is the exported, render-ready copy of a span: offsets are
+// relative to the trace root so a tree serializes compactly, and the JSON
+// shape is the one /v1/solve returns for trace:true.
+type SpanNode struct {
+	Name       string         `json:"name"`
+	StartUs    int64          `json:"startUs"`
+	DurationUs int64          `json:"durationUs"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []*SpanNode    `json:"children,omitempty"`
+}
+
+// Tree snapshots the whole trace as a SpanNode tree. Call after Finish so
+// durations are settled; open spans render with a zero duration.
+func (t *Trace) Tree() *SpanNode {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return buildNode(t.root, t.root.Start)
+}
+
+func buildNode(s *Span, base time.Time) *SpanNode {
+	n := &SpanNode{
+		Name:       s.Name,
+		StartUs:    s.Start.Sub(base).Microseconds(),
+		DurationUs: s.Duration.Microseconds(),
+	}
+	if len(s.Attrs) > 0 {
+		n.Attrs = make(map[string]any, len(s.Attrs))
+		for _, a := range s.Attrs {
+			n.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range s.children {
+		n.Children = append(n.Children, buildNode(c, base))
+	}
+	return n
+}
+
+// WriteText renders the trace as an indented human-readable tree, one span
+// per line with its duration and attributes.
+func (t *Trace) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	node := t.Tree()
+	if t.RequestID != "" {
+		if _, err := fmt.Fprintf(w, "request-id: %s\n", t.RequestID); err != nil {
+			return err
+		}
+	}
+	return writeTextNode(w, node, 0)
+}
+
+func writeTextNode(w io.Writer, n *SpanNode, depth int) error {
+	for i := 0; i < depth; i++ {
+		if _, err := io.WriteString(w, "  "); err != nil {
+			return err
+		}
+	}
+	line := fmt.Sprintf("%s  %v", n.Name, time.Duration(n.DurationUs)*time.Microsecond)
+	for _, k := range sortedAttrKeys(n.Attrs) {
+		line += fmt.Sprintf("  %s=%v", k, n.Attrs[k])
+	}
+	if _, err := fmt.Fprintln(w, line); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := writeTextNode(w, c, depth+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func sortedAttrKeys(attrs map[string]any) []string {
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ { // insertion sort; attr sets are tiny
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}
+
+// chromeEvent is one complete ("ph":"X") event of the Chrome trace-event
+// format, loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"` // microseconds since trace start
+	Dur  int64          `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome renders the trace as Chrome trace-event JSON (the
+// {"traceEvents":[...]} object form).
+func (t *Trace) WriteChrome(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	var events []chromeEvent
+	var flatten func(n *SpanNode)
+	flatten = func(n *SpanNode) {
+		events = append(events, chromeEvent{
+			Name: n.Name, Ph: "X", Ts: n.StartUs, Dur: n.DurationUs,
+			Pid: 1, Tid: 1, Args: n.Attrs,
+		})
+		for _, c := range n.Children {
+			flatten(c)
+		}
+	}
+	flatten(t.Tree())
+	doc := struct {
+		TraceEvents     []chromeEvent     `json:"traceEvents"`
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		OtherData       map[string]string `json:"otherData,omitempty"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	if t.RequestID != "" {
+		doc.OtherData = map[string]string{"requestId": t.RequestID}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&doc)
+}

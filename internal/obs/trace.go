@@ -1,0 +1,217 @@
+// Package obs is the zero-dependency observability kit shared by the solver
+// engine, the CLIs, and partitiond. It provides three request-scoped
+// facilities:
+//
+//   - Traces: a hierarchy of timed Spans carried through context.Context.
+//     Solvers open spans at their structural phase boundaries (edge sort,
+//     feasibility probes, prime-subpath extraction, the TEMP_S DP sweep, ...)
+//     so a finished trace shows the paper's complexity terms as measured wall
+//     time. Tracing is strictly opt-in per request: on a context without a
+//     trace, StartSpan returns its input context and a nil *Span, and every
+//     *Span method is nil-safe, so instrumented hot paths pay one context
+//     lookup and zero allocations when tracing is off.
+//   - Histograms: log-bucketed latency distributions with lock-free Observe
+//     and Prometheus text rendering (histogram.go).
+//   - Request IDs: propagation of an X-Request-ID-style correlation token
+//     through contexts, so slog records, engine events, and trace roots can
+//     all be joined on one ID.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span — a phase's size parameter
+// (points, intervals, probes) rather than free-form logging.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// Span is one timed operation inside a trace. Fields are written by the
+// tracing machinery and read after the span has ended; use the Trace
+// accessors (Tree, PhaseTotals, WriteText) for concurrency-safe views.
+type Span struct {
+	// Name identifies the phase, e.g. "prime-extract" or "temps-dp".
+	Name string
+	// Start is the span's wall-clock start (monotonic-backed).
+	Start time.Time
+	// Duration is set by End; zero while the span is still open.
+	Duration time.Duration
+	// Attrs are the span's annotations in insertion order.
+	Attrs []Attr
+
+	tr       *Trace
+	children []*Span
+}
+
+// Trace is one request's span tree. Construct with New, attach to a context
+// with NewContext, and close with Finish once the traced operation is done.
+// All mutation goes through one per-trace mutex, so concurrent solves (a
+// batch) may safely grow disjoint subtrees of a shared trace.
+type Trace struct {
+	// RequestID tags the trace with the originating request's correlation
+	// ID; empty when the caller has none.
+	RequestID string
+
+	mu   sync.Mutex
+	root *Span
+}
+
+// New starts a trace whose root span begins now.
+func New(name string) *Trace {
+	t := &Trace{}
+	t.root = &Span{Name: name, Start: time.Now(), tr: t}
+	return t
+}
+
+// Root returns the trace's root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span. Call it once the traced operation is complete,
+// before rendering the trace.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+}
+
+type traceKey struct{}
+type spanKey struct{}
+type requestIDKey struct{}
+
+// NewContext returns ctx carrying t, with t's root as the current span.
+// Spans started from the returned context (and its descendants) nest under
+// the root.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	ctx = context.WithValue(ctx, traceKey{}, t)
+	return context.WithValue(ctx, spanKey{}, t.root)
+}
+
+// FromContext returns the trace carried by ctx, or nil.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// StartSpan opens a child span under the context's current span and returns
+// a derived context in which the new span is current. When ctx carries no
+// trace it returns ctx unchanged and a nil span — the zero-cost disabled
+// path. Callers that want sibling phases rather than nesting discard the
+// returned context:
+//
+//	_, sp := obs.StartSpan(ctx, "edge-sort")
+//	... phase work ...
+//	sp.End()
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.child(name)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// child appends a started span under s.
+func (s *Span) child(name string) *Span {
+	sp := &Span{Name: name, Start: time.Now(), tr: s.tr}
+	s.tr.mu.Lock()
+	s.children = append(s.children, sp)
+	s.tr.mu.Unlock()
+	return sp
+}
+
+// End closes the span, recording its duration. Safe on a nil span; a second
+// End keeps the first duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.Start)
+	s.tr.mu.Lock()
+	if s.Duration == 0 {
+		s.Duration = d
+	}
+	s.tr.mu.Unlock()
+}
+
+// SetAttr annotates the span. Safe on a nil span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+	s.tr.mu.Unlock()
+}
+
+// PhaseStat aggregates the spans of one phase name: how often the phase ran
+// and its total wall time.
+type PhaseStat struct {
+	Count int64
+	Total time.Duration
+}
+
+// PhaseTotals aggregates every span strictly below s by name — the
+// per-phase breakdown metrics exporters consume. Nil-safe (returns nil).
+func (s *Span) PhaseTotals() map[string]PhaseStat {
+	if s == nil {
+		return nil
+	}
+	out := make(map[string]PhaseStat)
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	var walk func(sp *Span)
+	walk = func(sp *Span) {
+		for _, c := range sp.children {
+			st := out[c.Name]
+			st.Count++
+			st.Total += c.Duration
+			out[c.Name] = st
+			walk(c)
+		}
+	}
+	walk(s)
+	return out
+}
+
+// PhaseTotals aggregates every span below the root by name.
+func (t *Trace) PhaseTotals() map[string]PhaseStat { return t.Root().PhaseTotals() }
+
+// WithRequestID returns ctx carrying the request correlation ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// ridFallback numbers request IDs when the system randomness source fails.
+var ridFallback atomic.Uint64
+
+// NewRequestID returns a fresh 16-hex-character correlation ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "req-" + strconv.FormatUint(ridFallback.Add(1), 16)
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -25,13 +25,14 @@ type cacheKey struct {
 	kBits         uint64 // math.Float64bits(K), canonical for float compare
 	maxComponents int
 	verify        bool // verified responses carry a certificate in the body
+	trace         bool // traced responses carry a span tree in the body
 }
 
-func newCacheKey(fp uint64, solver string, k float64, maxComponents int, verify bool) cacheKey {
+func newCacheKey(fp uint64, solver string, k float64, maxComponents int, verify, trace bool) cacheKey {
 	if k == 0 {
 		k = 0 // normalize -0.0, mirroring the fingerprint's weight rule
 	}
-	return cacheKey{fingerprint: fp, solver: solver, kBits: math.Float64bits(k), maxComponents: maxComponents, verify: verify}
+	return cacheKey{fingerprint: fp, solver: solver, kBits: math.Float64bits(k), maxComponents: maxComponents, verify: verify, trace: trace}
 }
 
 // shardIndex spreads keys across shards by re-mixing all key fields; the
@@ -51,6 +52,9 @@ func (k cacheKey) shardIndex(n int) int {
 	mix(uint64(k.maxComponents))
 	if k.verify {
 		mix(1)
+	}
+	if k.trace {
+		mix(2)
 	}
 	for i := 0; i < len(k.solver); i++ {
 		h ^= uint64(k.solver[i])

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/verify"
 )
 
@@ -40,6 +41,10 @@ type solveRequest struct {
 	// Verify runs the solver-independent optimality certificate on the
 	// result (see internal/verify) and reports it in the response.
 	Verify bool `json:"verify,omitempty"`
+	// Trace returns the solve's phase-span tree in the response. Only
+	// honored on /v1/solve; batch items are solved under one shared batch
+	// trace and ignore this flag.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // verifyInfo is the wire form of a verify.Certificate.
@@ -68,7 +73,11 @@ type solveResponse struct {
 	// includes the verify flag, so unverified entries never satisfy a
 	// verified request).
 	Verify *verifyInfo `json:"verify,omitempty"`
-	Stats  struct {
+	// Trace is the solve's span tree, present only when the request set
+	// "trace". Like Stats, cached hits replay the tree of the original
+	// solve (the trace flag is part of the cache key).
+	Trace *obs.SpanNode `json:"trace,omitempty"`
+	Stats struct {
 		DurationMs float64 `json:"durationMs"`
 		Iterations int64   `json:"iterations"`
 	} `json:"stats"`
@@ -146,7 +155,7 @@ func (s *Server) parseSolve(req solveRequest) (parsedSolve, error) {
 		req: req,
 		g:   g,
 		fp:  fp,
-		key: newCacheKey(fp, req.Solver, req.K, req.MaxComponents, req.Verify),
+		key: newCacheKey(fp, req.Solver, req.K, req.MaxComponents, req.Verify, req.Trace),
 	}, nil
 }
 
@@ -186,8 +195,9 @@ func (s *Server) engineRequest(p parsedSolve, defaultTimeoutMs int64) engine.Req
 
 // marshalResult renders the canonical response bytes for one solve result —
 // the bytes that get cached and replayed byte-identically on hits. cert is
-// nil unless the request asked for verification.
-func marshalResult(fp uint64, res engine.Result, cert *verifyInfo) ([]byte, error) {
+// nil unless the request asked for verification; trace is nil unless it asked
+// for the span tree.
+func marshalResult(fp uint64, res engine.Result, cert *verifyInfo, trace *obs.SpanNode) ([]byte, error) {
 	var body solveResponse
 	body.Solver = res.Solver
 	body.K = res.K
@@ -201,6 +211,7 @@ func marshalResult(fp uint64, res engine.Result, cert *verifyInfo) ([]byte, erro
 	body.NumComponents = res.NumComponents()
 	body.Fingerprint = fmt.Sprintf("%016x", fp)
 	body.Verify = cert
+	body.Trace = trace
 	body.Stats.DurationMs = float64(res.Stats.Duration) / float64(time.Millisecond)
 	body.Stats.Iterations = res.Stats.Iterations
 	return json.Marshal(&body)
@@ -308,8 +319,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	// Every solve runs under a trace: the phase spans feed the per-phase
+	// metrics whether or not the client asked for the tree back. The root
+	// carries the request ID so exported traces correlate with log lines.
+	tr := obs.New("solve " + p.req.Solver)
+	tr.RequestID = obs.RequestIDFrom(r.Context())
 	ereq := s.engineRequest(p, 0)
-	res, err := engine.Solve(r.Context(), ereq)
+	res, err := engine.Solve(obs.NewContext(r.Context(), tr), ereq)
+	tr.Finish()
 	if err != nil {
 		s.writeError(w, solveStatus(err), err.Error())
 		return
@@ -318,7 +335,11 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if p.req.Verify {
 		cert = s.certifyResult(ereq, res)
 	}
-	body, err := marshalResult(p.fp, res, cert)
+	var spans *obs.SpanNode
+	if p.req.Trace {
+		spans = tr.Tree()
+	}
+	body, err := marshalResult(p.fp, res, cert, spans)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err.Error())
 		return
@@ -366,6 +387,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	parsed := make([]parsedSolve, len(breq.Requests))
 	var missIdx []int
 	for i, item := range breq.Requests {
+		// Trace is solve-only: items run under the shared batch trace below,
+		// and their cached bodies must stay interchangeable with an untraced
+		// /v1/solve for the same request.
+		item.Trace = false
 		p, err := s.parseSolve(item)
 		if err != nil {
 			resp.Items[i] = batchItem{Error: err.Error()}
@@ -401,8 +426,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for j, i := range missIdx {
 			reqs[j] = s.engineRequest(parsed[i], breq.TimeoutMs)
 		}
+		// One shared trace for the whole batch: each item's solver span grows
+		// a disjoint subtree under the root, and the phase metrics see every
+		// item. Item events are attributed via BatchIndex and "rid#i" IDs.
+		tr := obs.New("batch")
+		tr.RequestID = obs.RequestIDFrom(r.Context())
 		b := &engine.Batch{Workers: s.cfg.BatchWorkers}
-		out, _ := b.Run(r.Context(), reqs) // per-item errors land in Items
+		out, _ := b.Run(obs.NewContext(r.Context(), tr), reqs) // per-item errors land in Items
+		tr.Finish()
 		release()
 		for j, i := range missIdx {
 			item := out.Items[j]
@@ -415,7 +446,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if parsed[i].req.Verify {
 				cert = s.certifyResult(reqs[j], item.Result)
 			}
-			body, err := marshalResult(parsed[i].fp, item.Result, cert)
+			body, err := marshalResult(parsed[i].fp, item.Result, cert, nil)
 			if err != nil {
 				resp.Items[i] = batchItem{Error: err.Error()}
 				resp.Stats.Failed++
@@ -482,9 +513,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	httpSnap, inFlight := s.httpm.snapshot()
+	httpSnap, httpDur, inFlight := s.httpm.snapshot()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	writeMetrics(w, s.collector.Snapshot(), s.cache.Stats(), s.limiter.Stats(),
-		httpSnap, inFlight, s.verifyCertified.Load(), s.verifyUncertified.Load(),
-		time.Since(s.started))
+	writeMetrics(w, metricsSnapshot{
+		solvers:           s.collector.Snapshot(),
+		cache:             s.cache.Stats(),
+		limiter:           s.limiter.Stats(),
+		http:              httpSnap,
+		httpDurations:     httpDur,
+		httpInFlight:      inFlight,
+		verifyCertified:   s.verifyCertified.Load(),
+		verifyUncertified: s.verifyUncertified.Load(),
+		uptime:            time.Since(s.started),
+	})
+	s.solvem.writeTo(w)
 }

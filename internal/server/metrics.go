@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Hand-rolled Prometheus text exposition (format version 0.0.4) — the repo
@@ -19,28 +20,38 @@ import (
 //   - the cache and limiter snapshots,
 //   - the HTTP layer's own per-route request counters.
 
-// httpMetrics counts requests by (route, status code) plus an in-flight
-// gauge. Routes are the registered patterns, not raw URLs, so cardinality is
-// bounded.
+// httpMetrics counts requests by (route, status code) and tracks a per-route
+// latency histogram, plus an in-flight gauge. Routes are the registered
+// patterns, not raw URLs, so cardinality is bounded.
 type httpMetrics struct {
-	mu       sync.Mutex
-	requests map[string]map[int]uint64 // route → code → count
-	inFlight int64
+	mu        sync.Mutex
+	requests  map[string]map[int]uint64 // route → code → count
+	durations map[string]*obs.Histogram // route → latency histogram
+	inFlight  int64
 }
 
 func newHTTPMetrics() *httpMetrics {
-	return &httpMetrics{requests: make(map[string]map[int]uint64)}
+	return &httpMetrics{
+		requests:  make(map[string]map[int]uint64),
+		durations: make(map[string]*obs.Histogram),
+	}
 }
 
-func (m *httpMetrics) observe(route string, code int) {
+func (m *httpMetrics) observe(route string, code int, d time.Duration) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	byCode := m.requests[route]
 	if byCode == nil {
 		byCode = make(map[int]uint64)
 		m.requests[route] = byCode
 	}
 	byCode[code]++
+	h := m.durations[route]
+	if h == nil {
+		h = obs.NewHistogram(obs.LatencyBuckets())
+		m.durations[route] = h
+	}
+	m.mu.Unlock()
+	h.ObserveDuration(d)
 }
 
 func (m *httpMetrics) addInFlight(d int64) {
@@ -49,8 +60,9 @@ func (m *httpMetrics) addInFlight(d int64) {
 	m.mu.Unlock()
 }
 
-// snapshot returns a deep copy plus the in-flight gauge.
-func (m *httpMetrics) snapshot() (map[string]map[int]uint64, int64) {
+// snapshot returns a deep copy of the counters and histograms plus the
+// in-flight gauge.
+func (m *httpMetrics) snapshot() (map[string]map[int]uint64, map[string]obs.HistogramSnapshot, int64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make(map[string]map[int]uint64, len(m.requests))
@@ -61,12 +73,34 @@ func (m *httpMetrics) snapshot() (map[string]map[int]uint64, int64) {
 		}
 		out[route] = cp
 	}
-	return out, m.inFlight
+	hists := make(map[string]obs.HistogramSnapshot, len(m.durations))
+	for route, h := range m.durations {
+		hists[route] = h.Snapshot()
+	}
+	return out, hists, m.inFlight
+}
+
+// metricsSnapshot gathers everything one /metrics render needs, captured
+// atomically enough for monitoring purposes.
+type metricsSnapshot struct {
+	solvers           map[string]engine.Aggregate
+	cache             CacheStats
+	limiter           LimiterStats
+	http              map[string]map[int]uint64
+	httpDurations     map[string]obs.HistogramSnapshot
+	httpInFlight      int64
+	verifyCertified   uint64
+	verifyUncertified uint64
+	uptime            time.Duration
 }
 
 // writeMetrics renders every gauge and counter in Prometheus text format,
 // with series sorted for deterministic output (stable diffs, testable).
-func writeMetrics(w io.Writer, solvers map[string]engine.Aggregate, cs CacheStats, ls LimiterStats, http map[string]map[int]uint64, httpInFlight int64, verifyCertified, verifyUncertified uint64, uptime time.Duration) {
+func writeMetrics(w io.Writer, snap metricsSnapshot) {
+	solvers, cs, ls := snap.solvers, snap.cache, snap.limiter
+	http, httpInFlight := snap.http, snap.httpInFlight
+	verifyCertified, verifyUncertified := snap.verifyCertified, snap.verifyUncertified
+	uptime := snap.uptime
 	names := make([]string, 0, len(solvers))
 	for name := range solvers {
 		names = append(names, name)
@@ -156,6 +190,16 @@ func writeMetrics(w io.Writer, solvers map[string]engine.Aggregate, cs CacheStat
 			for _, c := range codes {
 				fmt.Fprintf(w, "partitiond_http_requests_total{route=%q,code=\"%d\"} %d\n", r, c, http[r][c])
 			}
+		}
+	})
+	series("partitiond_http_request_duration_seconds", "histogram", "HTTP request duration by route.", func() {
+		routes := make([]string, 0, len(snap.httpDurations))
+		for r := range snap.httpDurations {
+			routes = append(routes, r)
+		}
+		sort.Strings(routes)
+		for _, r := range routes {
+			snap.httpDurations[r].WritePrometheus(w, "partitiond_http_request_duration_seconds", map[string]string{"route": r})
 		}
 	})
 	series("partitiond_http_in_flight", "gauge", "HTTP requests currently being served.", func() {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Config sizes the serving layer. The zero value is usable: every field has
@@ -112,7 +113,8 @@ type Server struct {
 	cache     *Cache
 	limiter   *Limiter
 	collector *engine.Collector
-	observer  engine.Observer // collector (+ cfg.Observer), attached to every solve
+	solvem    *solveMetrics   // latency histograms + phase accounting
+	observer  engine.Observer // collector + solvem (+ cfg.Observer), attached to every solve
 	httpm     *httpMetrics
 	handler   http.Handler
 	hs        *http.Server
@@ -131,13 +133,14 @@ func New(cfg Config) *Server {
 		cfg:       cfg,
 		limiter:   NewLimiter(cfg.MaxConcurrent, cfg.MaxQueue),
 		collector: engine.NewCollector(),
+		solvem:    newSolveMetrics(),
 		httpm:     newHTTPMetrics(),
 		started:   time.Now(),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = NewCache(cfg.CacheSize, cfg.CacheShards)
 	}
-	s.observer = engine.Observers(s.collector, cfg.Observer)
+	s.observer = engine.Observers(s.collector, s.solvem, cfg.Observer)
 	s.handler = s.routes()
 	s.hs = &http.Server{
 		Addr:              cfg.Addr,
@@ -185,12 +188,36 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return n, err
 }
 
-// instrument wraps a handler with request logging, the per-route counters,
-// and the body-size cap.
+// sanitizeRequestID keeps a client-supplied request ID only when it is
+// printable ASCII of reasonable length, so IDs are safe to echo in headers
+// and log lines. Anything else is discarded and a fresh ID generated.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] < 0x21 || id[i] > 0x7e {
+			return ""
+		}
+	}
+	return id
+}
+
+// instrument wraps a handler with request-ID propagation, request logging,
+// the per-route counters and latency histogram, and the body-size cap. The
+// request ID comes from the client's X-Request-ID header when valid, is
+// generated otherwise, and is echoed back on the response; downstream it
+// rides the context into slog lines, engine events, and trace roots.
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		rid := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+		if rid == "" {
+			rid = obs.NewRequestID()
+		}
+		r = r.WithContext(obs.WithRequestID(r.Context(), rid))
 		sw := &statusWriter{ResponseWriter: w}
+		sw.Header().Set("X-Request-ID", rid)
 		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 		s.httpm.addInFlight(1)
 		h(sw, r)
@@ -198,14 +225,16 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		if sw.code == 0 {
 			sw.code = http.StatusOK
 		}
-		s.httpm.observe(route, sw.code)
+		elapsed := time.Since(start)
+		s.httpm.observe(route, sw.code, elapsed)
 		s.cfg.Logger.Info("request",
 			"method", r.Method,
 			"route", route,
 			"status", sw.code,
 			"bytes", sw.bytes,
-			"duration", time.Since(start),
+			"duration", elapsed,
 			"remote", r.RemoteAddr,
+			"requestID", rid,
 			"cache", sw.Header().Get("X-Cache"),
 		)
 	})

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// solveMetrics is the engine Observer behind the solve-latency histograms and
+// the per-phase time accounting on /metrics. It sees every solve the server
+// runs — standalone and batch items alike — because it is chained into the
+// server's observer. The histograms themselves are lock-free; the mutex only
+// guards the maps that lazily create one series per solver.
+type solveMetrics struct {
+	mu     sync.Mutex
+	hist   map[string]*obs.Histogram           // solver → latency histogram
+	phases map[string]map[string]obs.PhaseStat // solver → phase → totals
+}
+
+func newSolveMetrics() *solveMetrics {
+	return &solveMetrics{
+		hist:   make(map[string]*obs.Histogram),
+		phases: make(map[string]map[string]obs.PhaseStat),
+	}
+}
+
+// Observe records one solve event.
+func (m *solveMetrics) Observe(ev engine.Event) {
+	m.mu.Lock()
+	h := m.hist[ev.Solver]
+	if h == nil {
+		h = obs.NewHistogram(obs.LatencyBuckets())
+		m.hist[ev.Solver] = h
+	}
+	if len(ev.Phases) > 0 {
+		per := m.phases[ev.Solver]
+		if per == nil {
+			per = make(map[string]obs.PhaseStat)
+			m.phases[ev.Solver] = per
+		}
+		for name, ps := range ev.Phases {
+			agg := per[name]
+			agg.Count += ps.Count
+			agg.Total += ps.Total
+			per[name] = agg
+		}
+	}
+	m.mu.Unlock()
+	h.ObserveDuration(ev.Stats.Duration)
+}
+
+// writeTo renders the solve histogram and phase series in Prometheus text
+// format, sorted for deterministic output.
+func (m *solveMetrics) writeTo(w io.Writer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	solvers := make([]string, 0, len(m.hist))
+	for name := range m.hist {
+		solvers = append(solvers, name)
+	}
+	sort.Strings(solvers)
+
+	fmt.Fprint(w, "# HELP partitiond_solve_duration_seconds Solve wall time by solver.\n# TYPE partitiond_solve_duration_seconds histogram\n")
+	for _, name := range solvers {
+		m.hist[name].Snapshot().WritePrometheus(w, "partitiond_solve_duration_seconds", map[string]string{"solver": name})
+	}
+
+	phased := make([]string, 0, len(m.phases))
+	for name := range m.phases {
+		phased = append(phased, name)
+	}
+	sort.Strings(phased)
+	fmt.Fprint(w, "# HELP partitiond_solve_phase_seconds_total Time spent inside each solver phase span.\n# TYPE partitiond_solve_phase_seconds_total counter\n")
+	for _, name := range phased {
+		for _, phase := range sortedPhases(m.phases[name]) {
+			fmt.Fprintf(w, "partitiond_solve_phase_seconds_total{solver=%q,phase=%q} %g\n",
+				name, phase, m.phases[name][phase].Total.Seconds())
+		}
+	}
+	fmt.Fprint(w, "# HELP partitiond_solve_phase_count_total Phase spans recorded, by solver and phase.\n# TYPE partitiond_solve_phase_count_total counter\n")
+	for _, name := range phased {
+		for _, phase := range sortedPhases(m.phases[name]) {
+			fmt.Fprintf(w, "partitiond_solve_phase_count_total{solver=%q,phase=%q} %d\n",
+				name, phase, m.phases[name][phase].Count)
+		}
+	}
+}
+
+func sortedPhases(per map[string]obs.PhaseStat) []string {
+	out := make([]string, 0, len(per))
+	for phase := range per {
+		out = append(out, phase)
+	}
+	sort.Strings(out)
+	return out
+}

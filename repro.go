@@ -39,6 +39,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/hitting"
+	"repro/internal/obs"
 	"repro/internal/verify"
 	"repro/internal/workload"
 )
@@ -114,6 +115,35 @@ type (
 	// statistics.
 	StatsCollector = engine.Collector
 )
+
+// Request-scoped tracing (internal/obs). Attach a SolveTrace to the context
+// passed to Solve and the solvers record phase spans (edge sort, feasibility
+// probes, DP sweeps, ...) under it; see SolveTrace.WriteText/WriteChrome for
+// rendering. Without a trace the span machinery is a no-op. ("Trace" was
+// already taken by the TEMP_S queue instrumentation above.)
+type (
+	// SolveTrace is a request-scoped span tree recording solve phases.
+	SolveTrace = obs.Trace
+	// SolveSpanNode is one rendered span of a SolveTrace tree.
+	SolveSpanNode = obs.SpanNode
+	// PhaseStat aggregates the spans of one phase name: count and total time.
+	PhaseStat = obs.PhaseStat
+)
+
+// NewSolveTrace returns a trace whose root span carries the given name.
+func NewSolveTrace(name string) *SolveTrace { return obs.New(name) }
+
+// WithSolveTrace attaches tr to ctx so solves run under it record phase
+// spans.
+func WithSolveTrace(ctx context.Context, tr *SolveTrace) context.Context {
+	return obs.NewContext(ctx, tr)
+}
+
+// WithRequestID stamps a correlation ID onto ctx; it appears in SolveEvents
+// and trace roots.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return obs.WithRequestID(ctx, id)
+}
 
 // Solve runs the named solver of req with cancellation and per-solve stats;
 // see Solvers for the registry names.
