@@ -1,5 +1,5 @@
-// Command gengraph emits random task graphs in the text codec, for feeding
-// cmd/partition and for building ad-hoc experiments.
+// Command gengraph emits random task graphs, for feeding cmd/partition and
+// for building ad-hoc experiments.
 //
 // Usage:
 //
@@ -9,16 +9,22 @@
 //	gengraph -kind dary   -n 1000 -d 3
 //	gengraph -kind caterpillar -n 0 -spine 20 -leaves 4
 //	gengraph -kind pde    -rows 64 -cols 1024
+//	gengraph -kind path -n 100000 -format bin > big.pgb
 //
-// -json switches the output from the text codec to the JSON envelope that
-// partitiond's /v1/solve accepts.
+// -format selects the output encoding: "text" (default) is the line-oriented
+// codec of internal/graph, "json" is the envelope partitiond's /v1/solve
+// accepts, and "bin" is the PGB1 binary frame (internal/codec) that both
+// cmd/partition and partitiond's binary wire format consume. -json is kept
+// as a deprecated alias for -format json.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/codec"
 	"repro/internal/graph"
 	"repro/internal/workload"
 )
@@ -44,8 +50,24 @@ func run() error {
 	leaves := flag.Int("leaves", 3, "leaves per spine vertex for -kind caterpillar")
 	rows := flag.Int("rows", 32, "grid rows for -kind pde")
 	cols := flag.Int("cols", 1024, "grid columns for -kind pde")
-	asJSON := flag.Bool("json", false, "emit the JSON envelope for partitiond instead of the text codec")
+	format := flag.String("format", "", "output encoding: text | json | bin (default text)")
+	asJSON := flag.Bool("json", false, "deprecated alias for -format json")
 	flag.Parse()
+
+	switch *format {
+	case "":
+		if *asJSON {
+			*format = "json"
+		} else {
+			*format = "text"
+		}
+	case "text", "json", "bin":
+		if *asJSON && *format != "json" {
+			return fmt.Errorf("-json conflicts with -format %s", *format)
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want text, json, or bin)", *format)
+	}
 
 	switch *kind {
 	case "caterpillar":
@@ -106,8 +128,15 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown kind %q", *kind)
 	}
-	if *asJSON {
+	switch *format {
+	case "json":
 		return graph.WriteJSON(os.Stdout, g)
+	case "bin":
+		w := bufio.NewWriter(os.Stdout)
+		if err := codec.Encode(w, g); err != nil {
+			return err
+		}
+		return w.Flush()
 	}
 	switch g := g.(type) {
 	case *graph.Path:

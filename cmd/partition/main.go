@@ -13,13 +13,16 @@
 //	partition -list                                   # list registered solvers
 //
 // -algo accepts any solver name from the engine registry (see -list);
-// "pipeline" is kept as an alias for "partition-tree". The input format is
-// the line-oriented codec of internal/graph (see README); it is read from
-// stdin when -in is omitted. Path solvers expect a "path" graph; the tree
+// "pipeline" is kept as an alias for "partition-tree". The input is read
+// from stdin when -in is omitted and its encoding is auto-detected: a PGB1
+// binary frame (gengraph -format bin, internal/codec) by its magic bytes,
+// anything else as the line-oriented text codec or JSON envelope of
+// internal/graph (see README). Path solvers expect a "path" graph; the tree
 // solvers accept "path" or "tree".
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -30,6 +33,7 @@ import (
 	"strings"
 
 	"repro"
+	"repro/internal/codec"
 	"repro/internal/graph"
 )
 
@@ -90,7 +94,7 @@ func run() error {
 		defer f.Close()
 		r = f
 	}
-	any, err := graph.ReadAny(r)
+	any, err := readGraph(r)
 	if err != nil {
 		return fmt.Errorf("reading graph: %w", err)
 	}
@@ -164,6 +168,26 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// readGraph reads one graph in any of the supported encodings: a PGB1 binary
+// frame is detected by its magic bytes, a JSON envelope by its leading '{',
+// and anything else is parsed as the line-oriented text codec. Binary inputs
+// may carry trailing bytes (e.g. a concatenated stream); only the first
+// frame is used.
+func readGraph(r io.Reader) (any, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if codec.Sniff(data) {
+		g, _, _, err := codec.Decode(data, codec.Options{})
+		return g, err
+	}
+	if t := bytes.TrimLeft(data, " \t\r\n"); len(t) > 0 && t[0] == '{' {
+		return graph.ReadJSON(bytes.NewReader(t))
+	}
+	return graph.ReadAny(bytes.NewReader(data))
 }
 
 // reportCertificate runs the optimality certificate and prints its verdict.

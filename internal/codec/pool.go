@@ -1,0 +1,132 @@
+package codec
+
+import (
+	"math/bits"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Pool recycles the weight and edge arrays binary decoding produces, in
+// power-of-two size classes. A serving layer decodes one graph per request
+// and drops it after the solve; recycling the arrays makes the steady-state
+// decode allocate only the graph header struct. All methods are safe for
+// concurrent use and safe on a nil *Pool (plain allocation, no recycling).
+type Pool struct {
+	floats [maxSizeClass]sync.Pool // class c holds *[]float64 with cap 1<<c
+	edges  [maxSizeClass]sync.Pool // class c holds *[]graph.Edge with cap 1<<c
+
+	// fhdr and ehdr hold spare slice-header boxes. Put needs a pointer to
+	// hand sync.Pool; taking &s of a local header would heap-allocate one
+	// per call, so instead headers cycle between these freelists and the
+	// size-class pools and are only ever allocated when a freelist is dry.
+	fhdr sync.Pool // spare *[]float64
+	ehdr sync.Pool // spare *[]graph.Edge
+}
+
+// maxSizeClass bounds the pooled capacity at 2^(maxSizeClass-1) elements
+// (128M) — beyond that, arrays are allocated and dropped normally.
+const maxSizeClass = 28
+
+// sizeClass returns the smallest class whose capacity holds n, or -1 when n
+// is beyond pooling.
+func sizeClass(n int) int {
+	if n == 0 {
+		return 0
+	}
+	c := bits.Len(uint(n - 1))
+	if c >= maxSizeClass {
+		return -1
+	}
+	return c
+}
+
+// getFloats returns a []float64 of length n, recycled when possible.
+func (p *Pool) getFloats(n int) []float64 {
+	c := sizeClass(n)
+	if p == nil || c < 0 {
+		return make([]float64, n)
+	}
+	if v, ok := p.floats[c].Get().(*[]float64); ok {
+		s := (*v)[:n]
+		*v = nil
+		p.fhdr.Put(v)
+		return s
+	}
+	return make([]float64, n, 1<<c)
+}
+
+// putFloats recycles s for a future getFloats of its size class.
+func (p *Pool) putFloats(s []float64) {
+	if p == nil || s == nil {
+		return
+	}
+	// Only exact power-of-two capacities re-enter the pool, so a class-c
+	// entry always satisfies any request of that class.
+	c := sizeClass(cap(s))
+	if c < 0 || cap(s) != 1<<c {
+		return
+	}
+	w, _ := p.fhdr.Get().(*[]float64)
+	if w == nil {
+		w = new([]float64)
+	}
+	*w = s[:0]
+	p.floats[c].Put(w)
+}
+
+// getEdges returns a []graph.Edge of length n, recycled when possible.
+func (p *Pool) getEdges(n int) []graph.Edge {
+	c := sizeClass(n)
+	if p == nil || c < 0 {
+		return make([]graph.Edge, n)
+	}
+	if v, ok := p.edges[c].Get().(*[]graph.Edge); ok {
+		s := (*v)[:n]
+		*v = nil
+		p.ehdr.Put(v)
+		return s
+	}
+	return make([]graph.Edge, n, 1<<c)
+}
+
+// putEdges recycles s for a future getEdges of its size class.
+func (p *Pool) putEdges(s []graph.Edge) {
+	if p == nil || s == nil {
+		return
+	}
+	c := sizeClass(cap(s))
+	if c < 0 || cap(s) != 1<<c {
+		return
+	}
+	w, _ := p.ehdr.Get().(*[]graph.Edge)
+	if w == nil {
+		w = new([]graph.Edge)
+	}
+	*w = s[:0]
+	p.edges[c].Put(w)
+}
+
+// Release returns the arrays of a graph produced by Decode with this pool to
+// the pool. The graph must not be used afterwards — the next decode will
+// overwrite its arrays. Graphs not decoded from this pool are also accepted:
+// their arrays simply join the pool if their capacities are poolable.
+func (p *Pool) Release(g any) {
+	if p == nil || g == nil {
+		return
+	}
+	switch v := g.(type) {
+	case *graph.Path:
+		p.putFloats(v.NodeW)
+		p.putFloats(v.EdgeW)
+		v.NodeW, v.EdgeW = nil, nil
+	case *graph.Tree:
+		p.putFloats(v.NodeW)
+		p.putEdges(v.Edges)
+		v.NodeW, v.Edges = nil, nil
+	case *graph.Graph:
+		p.putFloats(v.NodeW)
+		p.putEdges(v.Edges)
+		v.NodeW, v.Edges = nil, nil
+	}
+}

@@ -63,9 +63,13 @@ func bandwidthTempS(ctx context.Context, p *graph.Path, k float64, instrument bo
 		return nil, nil, 0, err
 	}
 	// Phase 1 (§2.3.1): prime critical subpaths + non-redundant edge
-	// compression — the O(n) part of the O(n + p log q) bound.
-	_, sp := obs.StartSpan(ctx, "prime-extract")
-	inst, ivs, err := prime.Analyze(p.NodeW, p.EdgeW, k)
+	// compression — the O(n) part of the O(n + p log q) bound. The analysis
+	// writes into pooled scratch; everything it returns is dead once the cut
+	// has been translated back to original edge indices below.
+	sc := getScratch()
+	defer sc.release()
+	sp := obs.Phase(ctx, "prime-extract")
+	inst, ivs, err := sc.prime.Analyze(p.NodeW, p.EdgeW, k)
 	if err != nil {
 		sp.End()
 		if errors.Is(err, prime.ErrVertexTooHeavy) {
@@ -76,7 +80,11 @@ func bandwidthTempS(ctx context.Context, p *graph.Path, k float64, instrument bo
 	sp.SetAttr("primeSubpaths", len(ivs))
 	sp.SetAttr("nonRedundantEdges", len(inst.Beta))
 	sp.End()
-	hin := &hitting.Instance{Beta: inst.Beta, A: inst.A, B: inst.B}
+	// The instance lives in pooled scratch: it only needs to outlive the DP
+	// sweep below, and keeping it out of the heap saves an allocation per
+	// solve (the &Instance literal would escape through the Solve call).
+	sc.hin = hitting.Instance{Beta: inst.Beta, A: inst.A, B: inst.B}
+	hin := &sc.hin
 	// Phase 2 (§2.3.1 Algorithm 4.1): the TEMP_S monotone-queue DP sweep —
 	// the O(p log q) part.
 	dctx, sp := obs.StartSpan(ctx, "temps-dp")
@@ -93,7 +101,7 @@ func bandwidthTempS(ctx context.Context, p *graph.Path, k float64, instrument bo
 	if err != nil {
 		return nil, nil, iters, err
 	}
-	_, sp = obs.StartSpan(ctx, "build-partition")
+	sp = obs.Phase(ctx, "build-partition")
 	cut := make([]int, len(sol.Points))
 	for i, pt := range sol.Points {
 		cut[i] = inst.Orig[pt]
@@ -129,29 +137,23 @@ func (s *dpState) reconstruct(i int) []int {
 	return cut
 }
 
-// prepDP validates inputs and handles the trivial cases. It returns a
-// non-nil partition when the answer is already decided (empty cut feasible),
-// or a prepared dpState.
-func prepDP(p *graph.Path, k float64) (*PathPartition, *dpState, error) {
+// prepDPCheck validates inputs and handles the trivial cases, returning a
+// non-nil partition when the answer is already decided (empty cut feasible).
+// Callers then size the dpState arrays out of their pooled scratch.
+func prepDPCheck(p *graph.Path, k float64) (*PathPartition, error) {
 	if err := checkBound(k); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if err := p.Validate(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if p.MaxNodeWeight() > k {
-		return nil, nil, fmt.Errorf("max vertex weight %v > K=%v: %w", p.MaxNodeWeight(), k, ErrInfeasible)
+		return nil, fmt.Errorf("max vertex weight %v > K=%v: %w", p.MaxNodeWeight(), k, ErrInfeasible)
 	}
 	if p.TotalNodeWeight() <= k {
-		pp, err := newPathPartition(p, nil, k)
-		return pp, nil, err
+		return newPathPartition(p, nil, k)
 	}
-	n := p.Len()
-	return nil, &dpState{
-		f:      make([]float64, n-1),
-		parent: make([]int, n-1),
-		prefix: p.PrefixNodeWeights(),
-	}, nil
+	return nil, nil
 }
 
 func (s *dpState) finish(p *graph.Path, k float64) (*PathPartition, error) {
@@ -191,7 +193,9 @@ func BandwidthDequeCtx(ctx context.Context, p *graph.Path, k float64) (*PathPart
 		return nil, 0, err
 	}
 	tk := newTicker(ctx)
-	done, s, err := prepDP(p, k)
+	sc := getScratch()
+	defer sc.release()
+	done, s, err := sc.prepDP(p, k)
 	if done != nil || err != nil {
 		return done, 0, err
 	}
@@ -206,9 +210,10 @@ func BandwidthDequeCtx(ctx context.Context, p *graph.Path, k float64) (*PathPart
 	}
 	// Candidates appear in increasing j and increasing f, so both the window
 	// eviction (front) and the dominance eviction (back) are valid.
-	deque := make([]int, 0, n)
+	sc.deque = growI(sc.deque, n)
+	deque := sc.deque[:0]
 	deque = append(deque, -1)
-	_, sweep := obs.StartSpan(ctx, "dp-sweep")
+	sweep := obs.Phase(ctx, "dp-sweep")
 	sweep.SetAttr("edges", n-1)
 	for i := 0; i < n-1; i++ {
 		if err := tk.tick(); err != nil {
@@ -235,7 +240,7 @@ func BandwidthDequeCtx(ctx context.Context, p *graph.Path, k float64) (*PathPart
 		}
 	}
 	sweep.End()
-	_, fin := obs.StartSpan(ctx, "finish-scan")
+	fin := obs.Phase(ctx, "finish-scan")
 	pp, err := s.finish(p, k)
 	fin.End()
 	return pp, tk.n, err
@@ -275,16 +280,23 @@ func BandwidthHeapCtx(ctx context.Context, p *graph.Path, k float64) (*PathParti
 		return nil, 0, err
 	}
 	tk := newTicker(ctx)
-	done, s, err := prepDP(p, k)
+	sc := getScratch()
+	defer sc.release()
+	done, s, err := sc.prepDP(p, k)
 	if done != nil || err != nil {
 		return done, 0, err
 	}
 	n := p.Len()
-	h := &minHeap{{j: -1, f: 0}}
+	// The heap holds at most one candidate per edge plus the virtual root.
+	if cap(sc.heapBuf) < n+1 {
+		sc.heapBuf = make(minHeap, 0, n+1)
+	}
+	h := &sc.heapBuf
+	*h = append((*h)[:0], heapItem{j: -1, f: 0})
 	// winLo tracks the smallest predecessor index still inside the window;
 	// heap entries below it are stale and lazily discarded.
 	winLo := -1
-	_, sweep := obs.StartSpan(ctx, "dp-sweep")
+	sweep := obs.Phase(ctx, "dp-sweep")
 	sweep.SetAttr("edges", n-1)
 	for i := 0; i < n-1; i++ {
 		if err := tk.tick(); err != nil {
@@ -310,7 +322,7 @@ func BandwidthHeapCtx(ctx context.Context, p *graph.Path, k float64) (*PathParti
 		}
 	}
 	sweep.End()
-	_, fin := obs.StartSpan(ctx, "finish-scan")
+	fin := obs.Phase(ctx, "finish-scan")
 	pp, err := s.finish(p, k)
 	fin.End()
 	return pp, tk.n, err
@@ -334,12 +346,14 @@ func BandwidthNaiveCtx(ctx context.Context, p *graph.Path, k float64) (*PathPart
 		return nil, 0, err
 	}
 	tk := newTicker(ctx)
-	done, s, err := prepDP(p, k)
+	sc := getScratch()
+	defer sc.release()
+	done, s, err := sc.prepDP(p, k)
 	if done != nil || err != nil {
 		return done, 0, err
 	}
 	n := p.Len()
-	_, sweep := obs.StartSpan(ctx, "dp-sweep")
+	sweep := obs.Phase(ctx, "dp-sweep")
 	sweep.SetAttr("edges", n-1)
 	for i := 0; i < n-1; i++ {
 		best := math.Inf(1)
@@ -370,7 +384,7 @@ func BandwidthNaiveCtx(ctx context.Context, p *graph.Path, k float64) (*PathPart
 	}
 	sweep.SetAttr("iterations", tk.n)
 	sweep.End()
-	_, fin := obs.StartSpan(ctx, "finish-scan")
+	fin := obs.Phase(ctx, "finish-scan")
 	pp, err := s.finish(p, k)
 	fin.End()
 	return pp, tk.n, err

@@ -20,10 +20,10 @@ import (
 // (O(n log n)) while BottleneckGreedy grows it one edge at a time exactly as
 // the paper states (O(n²) with per-step feasibility checks).
 
-// sortedEdgeOrder returns edge indices sorted by increasing weight, breaking
-// ties by index for determinism.
-func sortedEdgeOrder(t *graph.Tree) []int {
-	order := make([]int, len(t.Edges))
+// sortedEdgeOrder returns edge indices sorted by increasing weight into buf
+// (grown as needed), breaking ties by index for determinism.
+func sortedEdgeOrder(t *graph.Tree, buf []int) []int {
+	order := growI(buf, len(t.Edges))
 	for i := range order {
 		order[i] = i
 	}
@@ -34,15 +34,21 @@ func sortedEdgeOrder(t *graph.Tree) []int {
 }
 
 // prefixFeasible reports whether cutting the first cnt edges of order leaves
-// all components of t within the bound k. O(n α(n)) per call. The ticker
-// counts the union sweep and surfaces cancellation.
-func prefixFeasible(t *graph.Tree, order []int, cnt int, k float64, tk *ticker) (bool, error) {
-	inCut := make([]bool, len(t.Edges))
+// all components of t within the bound k. O(n α(n)) per call over sc's pooled
+// union-find arrays. The ticker counts the union sweep and surfaces
+// cancellation.
+func prefixFeasible(t *graph.Tree, order []int, cnt int, k float64, tk *ticker, sc *scratch) (bool, error) {
+	sc.inCut = growB(sc.inCut, len(t.Edges))
+	inCut := sc.inCut
+	for i := range inCut {
+		inCut[i] = false
+	}
 	for _, e := range order[:cnt] {
 		inCut[e] = true
 	}
-	parent := make([]int, t.Len())
-	weight := make([]float64, t.Len())
+	sc.parentV = growI(sc.parentV, t.Len())
+	sc.weight = growF(sc.weight, t.Len())
+	parent, weight := sc.parentV, sc.weight
 	for v := range parent {
 		parent[v] = v
 		weight[v] = t.NodeW[v]
@@ -122,8 +128,11 @@ func bottleneck(ctx context.Context, t *graph.Tree, k float64, binary bool) (*Tr
 	if t.MaxNodeWeight() > k {
 		return nil, 0, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
 	}
-	_, sp := obs.StartSpan(ctx, "edge-sort")
-	order := sortedEdgeOrder(t)
+	sc := getScratch()
+	defer sc.release()
+	sp := obs.Phase(ctx, "edge-sort")
+	sc.order = sortedEdgeOrder(t, sc.order)
+	order := sc.order
 	sp.SetAttr("edges", len(order))
 	sp.End()
 	var cnt int
@@ -133,8 +142,8 @@ func bottleneck(ctx context.Context, t *graph.Tree, k float64, binary bool) (*Tr
 		lo, hi := 0, len(order)+1
 		for lo < hi {
 			mid := int(uint(lo+hi) >> 1)
-			_, ps := obs.StartSpan(ctx, "feasibility-probe")
-			ok, err := prefixFeasible(t, order, mid, k, tk)
+			ps := obs.Phase(ctx, "feasibility-probe")
+			ok, err := prefixFeasible(t, order, mid, k, tk, sc)
 			ps.SetAttr("prefix", mid)
 			ps.SetAttr("feasible", ok)
 			ps.End()
@@ -151,9 +160,9 @@ func bottleneck(ctx context.Context, t *graph.Tree, k float64, binary bool) (*Tr
 	} else {
 		// One span for the whole O(n²) sweep: a span per probe would cost
 		// O(n) allocations on traced solves for no extra phase information.
-		_, ss := obs.StartSpan(ctx, "feasibility-sweep")
+		ss := obs.Phase(ctx, "feasibility-sweep")
 		for cnt = 0; cnt <= len(order); cnt++ {
-			ok, err := prefixFeasible(t, order, cnt, k, tk)
+			ok, err := prefixFeasible(t, order, cnt, k, tk, sc)
 			if err != nil {
 				ss.End()
 				return nil, tk.n, err

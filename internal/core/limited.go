@@ -57,17 +57,21 @@ func BandwidthLimitedCtx(ctx context.Context, p *graph.Path, k float64, m int) (
 	if m > n {
 		m = n
 	}
-	prefix := p.PrefixNodeWeights()
+	sc := getScratch()
+	defer sc.release()
+	sc.dp.prefix = p.PrefixNodeWeightsInto(sc.dp.prefix)
+	prefix := sc.dp.prefix
 	// f[j][i]: min cut weight for the prefix ending with a cut at edge i,
 	// using exactly j cuts so far (j ≥ 1); parent for reconstruction.
 	// Level j consumes level j−1 via a sliding-window minimum.
 	const inf = math.MaxFloat64
-	fPrev := make([]float64, n-1)
-	fCur := make([]float64, n-1)
+	sc.f64a = growF(sc.f64a, n-1)
+	sc.f64b = growF(sc.f64b, n-1)
+	fPrev, fCur := sc.f64a, sc.f64b
 	parent := make([][]int32, m) // parent[j][i], j ≥ 2
 	// One span for the whole level-wise DP; per-level spans would cost O(m)
 	// allocations without adding phase information.
-	_, dp := obs.StartSpan(ctx, "level-dp")
+	dp := obs.Phase(ctx, "level-dp")
 	// Level 1: single cut at edge i; first block v_0..v_i must fit.
 	for i := 0; i < n-1; i++ {
 		if err := tk.tick(); err != nil {
@@ -94,10 +98,12 @@ func BandwidthLimitedCtx(ctx context.Context, p *graph.Path, k float64, m int) (
 		}
 	}
 	scanFinal(1, fPrev)
+	// Monotone deque over predecessors from the previous level, reused (and
+	// re-sliced empty) across levels.
+	sc.deque32 = growI32(sc.deque32, n)
 	for j := 2; j <= m-1; j++ {
 		parent[j] = make([]int32, n-1)
-		// Monotone deque over predecessors from level j−1.
-		deque := make([]int32, 0, n)
+		deque := sc.deque32[:0]
 		ptr := 0 // next predecessor index to admit
 		for i := 0; i < n-1; i++ {
 			if err := tk.tick(); err != nil {

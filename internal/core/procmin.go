@@ -47,13 +47,19 @@ func MinProcessorsCtx(ctx context.Context, t *graph.Tree, k float64) (*TreeParti
 		return nil, 0, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
 	}
 	n := t.Len()
-	_, sp := obs.StartSpan(ctx, "postorder-build")
-	adj := t.Adjacency()
+	sc := getScratch()
+	defer sc.release()
+	sp := obs.Phase(ctx, "postorder-build")
+	// Columnar adjacency: three flat int32 columns out of one pooled buffer
+	// instead of a []Arc slice per vertex.
+	var csr graph.CSR
+	csr, sc.csrBuf = t.BuildCSR(sc.csrBuf)
 	// Iterative BFS from the root; reverse BFS order is a post-order for
 	// trees (children precede parents).
-	order := make([]int, 0, n)
-	parentEdge := make([]int, n)
-	parent := make([]int, n)
+	sc.order = growI(sc.order, n)
+	sc.parentV = growI(sc.parentV, n)
+	sc.parentEdge = growI(sc.parentEdge, n)
+	order, parent, parentEdge := sc.order[:0], sc.parentV, sc.parentEdge
 	for v := range parent {
 		parent[v] = -1
 		parentEdge[v] = -1
@@ -61,11 +67,12 @@ func MinProcessorsCtx(ctx context.Context, t *graph.Tree, k float64) (*TreeParti
 	order = append(order, 0)
 	for qi := 0; qi < len(order); qi++ {
 		v := order[qi]
-		for _, a := range adj[v] {
-			if a.To != parent[v] {
-				parent[a.To] = v
-				parentEdge[a.To] = a.Edge
-				order = append(order, a.To)
+		lo, hi := csr.Arcs(v)
+		for a := lo; a < hi; a++ {
+			if to := int(csr.To[a]); to != parent[v] {
+				parent[to] = v
+				parentEdge[to] = int(csr.EIdx[a])
+				order = append(order, to)
 			}
 		}
 	}
@@ -73,31 +80,31 @@ func MinProcessorsCtx(ctx context.Context, t *graph.Tree, k float64) (*TreeParti
 	sp.End()
 	// res[v] is the weight of the super-node that v has been merged into so
 	// far: v plus all absorbed descendant subtrees.
-	res := make([]float64, n)
+	sc.res = growF(sc.res, n)
+	res := sc.res
 	copy(res, t.NodeW)
 	var cut []int
-	type child struct {
-		res  float64
-		edge int
-	}
 	// One span for the whole post-order absorb/prune sweep; per-node rounds
 	// are summarized by the pruned-edge attr rather than per-round spans.
-	_, sweep := obs.StartSpan(ctx, "leaf-pruning")
+	sweep := obs.Phase(ctx, "leaf-pruning")
 	for i := n - 1; i >= 0; i-- {
 		if err := tk.tick(); err != nil {
 			sweep.End()
 			return nil, tk.n, err
 		}
 		v := order[i]
-		var children []child
+		children := sc.children[:0]
 		total := t.NodeW[v]
-		for _, a := range adj[v] {
-			if a.To == parent[v] {
+		lo, hi := csr.Arcs(v)
+		for a := lo; a < hi; a++ {
+			to := int(csr.To[a])
+			if to == parent[v] {
 				continue
 			}
-			children = append(children, child{res: res[a.To], edge: a.Edge})
-			total += res[a.To]
+			children = append(children, childSlot{res: res[to], edge: int(csr.EIdx[a])})
+			total += res[to]
 		}
+		sc.children = children
 		if total <= k {
 			res[v] = total
 			continue
@@ -152,7 +159,7 @@ func MinProcessorsPathCtx(ctx context.Context, p *graph.Path, k float64) (*PathP
 	}
 	var cut []int
 	var load float64
-	_, sweep := obs.StartSpan(ctx, "first-fit-sweep")
+	sweep := obs.Phase(ctx, "first-fit-sweep")
 	for i, w := range p.NodeW {
 		if err := tk.tick(); err != nil {
 			sweep.End()
@@ -193,7 +200,7 @@ func PartitionTreeCtx(ctx context.Context, t *graph.Tree, k float64) (*TreeParti
 	if err != nil {
 		return nil, it1, err
 	}
-	_, sp = obs.StartSpan(ctx, "contract")
+	sp = obs.Phase(ctx, "contract")
 	contraction, err := t.Contract(bt.Cut)
 	sp.End()
 	if err != nil {

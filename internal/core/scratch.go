@@ -1,0 +1,113 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/hitting"
+	"repro/internal/prime"
+)
+
+// Per-solve scratch memory. Every solver in this package works over a set of
+// flat arrays sized by the input (DP tables, prefix sums, postorder stacks,
+// union-find state, feasibility markers). Under a serving layer the same
+// solver runs thousands of times on similarly-sized inputs, so the arrays are
+// pooled: a solve checks a scratch out of a package sync.Pool, reslices its
+// fields to the input size (growing only on high-water marks), and returns it
+// when done. Nothing stored in a scratch escapes a solve — partitions are
+// assembled from fresh allocations — so recycling is safe.
+
+type scratch struct {
+	// prime is the bandwidth solver's Analyze scratch (prime subpaths +
+	// compressed instance).
+	prime prime.Scratch
+	// dp is the window-constrained prefix DP state shared by the
+	// Bandwidth{Deque,Heap,Naive} family.
+	dp dpState
+	// hin is the hitting-set instance handed to the TEMP_S sweep; it lives
+	// here so building it does not allocate per solve.
+	hin hitting.Instance
+	// deque backs the monotone deque of BandwidthDeque and the heap-ordered
+	// candidate list of BandwidthHeap (as heapBuf).
+	deque   []int
+	heapBuf minHeap
+	// order is the weight-sorted edge permutation (bottleneck) or the BFS
+	// vertex order (procmin).
+	order []int
+	// parentV / parentEdge / res are the rooted-tree columns of the procmin
+	// sweep; parentV doubles as the union-find parent of prefixFeasible.
+	parentV    []int
+	parentEdge []int
+	res        []float64
+	// weight is the union-find component weight of prefixFeasible.
+	weight []float64
+	// inCut marks cut edges during feasibility probes.
+	inCut []bool
+	// csrBuf backs the columnar adjacency (graph.CSR) of tree solvers.
+	csrBuf []int32
+	// children collects a vertex's absorbed children for the procmin
+	// sort-and-prune step, reused across vertices.
+	children []childSlot
+	// f64a / f64b are the level-DP rows of BandwidthLimited; deque32 is its
+	// per-level monotone deque.
+	f64a, f64b []float64
+	deque32    []int32
+}
+
+// childSlot is one absorbed child in the procmin prune step.
+type childSlot struct {
+	res  float64
+	edge int
+}
+
+var solvePool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch  { return solvePool.Get().(*scratch) }
+func (s *scratch) release() { solvePool.Put(s) }
+
+// growF returns a []float64 of length n reusing s's capacity.
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// growI returns an []int of length n reusing s's capacity.
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growI32 returns an []int32 of length n reusing s's capacity.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// growB returns a []bool of length n reusing s's capacity; entries are NOT
+// cleared.
+func growB(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	return s[:n]
+}
+
+// prepDPScratch wires the DP state to sc's pooled arrays and runs prepDP's
+// validation and trivial-case handling.
+func (sc *scratch) prepDP(p *graph.Path, k float64) (*PathPartition, *dpState, error) {
+	done, err := prepDPCheck(p, k)
+	if done != nil || err != nil {
+		return done, nil, err
+	}
+	n := p.Len()
+	sc.dp.f = growF(sc.dp.f, n-1)
+	sc.dp.parent = growI(sc.dp.parent, n-1)
+	sc.dp.prefix = p.PrefixNodeWeightsInto(sc.dp.prefix)
+	return nil, &sc.dp, nil
+}

@@ -37,7 +37,10 @@ type tokenReader struct {
 
 func newTokenReader(r io.Reader) *tokenReader {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	// The writers put a whole weight row on one line, so the token buffer
+	// must hold it: ~18 bytes per float means 256 MiB covers paths of
+	// ~14M nodes. (Graphs past that belong in the binary codec anyway.)
+	sc.Buffer(make([]byte, 0, 64*1024), 256*1024*1024)
 	return &tokenReader{sc: sc}
 }
 

@@ -52,6 +52,36 @@ func fnvMixWeight(h uint64, w float64) uint64 {
 	return fnvMix(h, math.Float64bits(w))
 }
 
+// Hasher computes a fingerprint incrementally over the same canonical stream
+// as FingerprintPath/Tree/Graph, so a decoder can fold weights and counts in
+// as it reads them — one pass over the wire bytes instead of a separate walk
+// over the built graph. Feeding a Hasher the exact sequence the batch
+// functions hash yields the identical value; the codec package's tests pin
+// that equivalence.
+type Hasher struct{ h uint64 }
+
+// NewPathHasher starts a path fingerprint. Mix: Word(node count), node
+// weights via Weight, Word(edge count), edge weights via Weight.
+func NewPathHasher() Hasher { return Hasher{h: fnvMix(fnvOffset64, fpTagPath)} }
+
+// NewTreeHasher starts a tree fingerprint. Mix: Word(node count), node
+// weights via Weight, Word(edge count), then Word(u), Word(v), Weight(w) per
+// edge in declaration order.
+func NewTreeHasher() Hasher { return Hasher{h: fnvMix(fnvOffset64, fpTagTree)} }
+
+// NewGraphHasher starts a general-graph fingerprint; the stream shape is the
+// tree's.
+func NewGraphHasher() Hasher { return Hasher{h: fnvMix(fnvOffset64, fpTagGraph)} }
+
+// Word folds one 64-bit word (a count or an edge endpoint) into the hash.
+func (fh *Hasher) Word(w uint64) { fh.h = fnvMix(fh.h, w) }
+
+// Weight folds one weight into the hash with the canonical -0.0 rule.
+func (fh *Hasher) Weight(w float64) { fh.h = fnvMixWeight(fh.h, w) }
+
+// Sum returns the fingerprint accumulated so far.
+func (fh *Hasher) Sum() uint64 { return fh.h }
+
 // FingerprintPath returns the stable fingerprint of a linear task graph.
 func FingerprintPath(p *Path) uint64 {
 	h := fnvMix(fnvOffset64, fpTagPath)

@@ -18,10 +18,18 @@ type Graph struct {
 
 // NewGraph constructs and validates a general task graph. Slices are copied.
 func NewGraph(nodeW []float64, edges []Edge) (*Graph, error) {
-	g := &Graph{
-		NodeW: append([]float64(nil), nodeW...),
-		Edges: append([]Edge(nil), edges...),
-	}
+	return NewGraphOwned(
+		append([]float64(nil), nodeW...),
+		append([]Edge(nil), edges...),
+	)
+}
+
+// NewGraphOwned constructs and validates a general task graph that takes
+// ownership of the argument slices without copying — the zero-copy
+// constructor the binary codec decodes into. The caller must not reuse the
+// slices afterwards.
+func NewGraphOwned(nodeW []float64, edges []Edge) (*Graph, error) {
+	g := &Graph{NodeW: nodeW, Edges: edges}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}

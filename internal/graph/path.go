@@ -14,12 +14,23 @@ type Path struct {
 }
 
 // NewPath constructs and validates a linear task graph. The slices are
-// copied, so the caller retains ownership of its arguments.
+// copied, so the caller retains ownership of its arguments. Both columns are
+// carved out of a single backing allocation; the capacities are clipped so a
+// later append to either column cannot bleed into the other.
 func NewPath(nodeW, edgeW []float64) (*Path, error) {
-	p := &Path{
-		NodeW: append([]float64(nil), nodeW...),
-		EdgeW: append([]float64(nil), edgeW...),
-	}
+	n := len(nodeW)
+	slab := make([]float64, n+len(edgeW))
+	copy(slab, nodeW)
+	copy(slab[n:], edgeW)
+	return NewPathOwned(slab[:n:n], slab[n:])
+}
+
+// NewPathOwned constructs and validates a linear task graph that takes
+// ownership of the argument slices without copying — the zero-copy
+// constructor the binary codec decodes into. The caller must not reuse the
+// slices afterwards.
+func NewPathOwned(nodeW, edgeW []float64) (*Path, error) {
+	p := &Path{NodeW: nodeW, EdgeW: edgeW}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,12 +63,13 @@ func (p *Path) Validate() error {
 	return checkWeights("EdgeW", p.EdgeW)
 }
 
-// Clone returns a deep copy of the path.
+// Clone returns a deep copy of the path, backed by one fresh allocation.
 func (p *Path) Clone() *Path {
-	return &Path{
-		NodeW: append([]float64(nil), p.NodeW...),
-		EdgeW: append([]float64(nil), p.EdgeW...),
-	}
+	n := len(p.NodeW)
+	slab := make([]float64, n+len(p.EdgeW))
+	copy(slab, p.NodeW)
+	copy(slab[n:], p.EdgeW)
+	return &Path{NodeW: slab[:n:n], EdgeW: slab[n:]}
 }
 
 // TotalNodeWeight returns the sum of all task weights.
@@ -69,7 +81,21 @@ func (p *Path) MaxNodeWeight() float64 { return MaxWeight(p.NodeW) }
 // PrefixNodeWeights returns the exclusive prefix sums of NodeW: the result
 // has length Len()+1 and result[j]-result[i] is the weight of tasks i..j-1.
 func (p *Path) PrefixNodeWeights() []float64 {
-	prefix := make([]float64, len(p.NodeW)+1)
+	return p.PrefixNodeWeightsInto(nil)
+}
+
+// PrefixNodeWeightsInto is PrefixNodeWeights writing into buf when it has
+// sufficient capacity, allocating only otherwise — the scratch-pooled form
+// used by the solvers' hot paths.
+func (p *Path) PrefixNodeWeightsInto(buf []float64) []float64 {
+	n := len(p.NodeW) + 1
+	var prefix []float64
+	if cap(buf) >= n {
+		prefix = buf[:n]
+		prefix[0] = 0
+	} else {
+		prefix = make([]float64, n)
+	}
 	for i, w := range p.NodeW {
 		prefix[i+1] = prefix[i] + w
 	}
@@ -100,10 +126,18 @@ func (p *Path) ComponentWeights(cut []int) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	prefix := p.PrefixNodeWeights()
+	// One running prefix sum instead of a materialized prefix array. The
+	// components tile [0, n) left to right, so `run` after node c[1] equals
+	// prefix[c[1]+1] bit-for-bit (same accumulation order), keeping every
+	// weight identical to the array-based computation.
 	ws := make([]float64, len(comps))
+	var run float64
 	for i, c := range comps {
-		ws[i] = prefix[c[1]+1] - prefix[c[0]]
+		start := run
+		for v := c[0]; v <= c[1]; v++ {
+			run += p.NodeW[v]
+		}
+		ws[i] = run - start
 	}
 	return ws, nil
 }

@@ -26,10 +26,18 @@ type Arc struct {
 
 // NewTree constructs and validates a tree task graph. Slices are copied.
 func NewTree(nodeW []float64, edges []Edge) (*Tree, error) {
-	t := &Tree{
-		NodeW: append([]float64(nil), nodeW...),
-		Edges: append([]Edge(nil), edges...),
-	}
+	return NewTreeOwned(
+		append([]float64(nil), nodeW...),
+		append([]Edge(nil), edges...),
+	)
+}
+
+// NewTreeOwned constructs and validates a tree task graph that takes
+// ownership of the argument slices without copying — the zero-copy
+// constructor the binary codec decodes into. The caller must not reuse the
+// slices afterwards.
+func NewTreeOwned(nodeW []float64, edges []Edge) (*Tree, error) {
+	t := &Tree{NodeW: nodeW, Edges: edges}
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 )
 
 // Sentinel errors.
@@ -109,7 +110,14 @@ type cutNode struct {
 }
 
 func (c *cutNode) materialize() []int {
-	var out []int
+	count := 0
+	for n := c; n != nil; n = n.prev {
+		count++
+	}
+	if count == 0 {
+		return nil
+	}
+	out := make([]int, 0, count)
 	for n := c; n != nil; n = n.prev {
 		out = append(out, n.point)
 	}
@@ -177,6 +185,39 @@ type row struct {
 	cut    *cutNode
 }
 
+// tempSScratch holds the sweep's working arrays. Nothing in it escapes a
+// solve (Solution materializes fresh slices), so solveTempS checks one out of
+// a package pool per call and the steady-state sweep allocates nothing but
+// the Solution itself.
+type tempSScratch struct {
+	sw    []float64
+	scut  []*cutNode
+	arena []cutNode
+	rows  []row
+}
+
+var tempSPool = sync.Pool{New: func() any { return new(tempSScratch) }}
+
+// grab returns the four arrays sized for p intervals and r points, reusing
+// pooled capacity. The arena comes back with length 0 and capacity ≥ r: the
+// sweep appends at most one node per point, so the backing array never moves
+// and interior *cutNode pointers stay valid.
+func (s *tempSScratch) grab(p, r int) (sw []float64, scut []*cutNode, arena []cutNode, rows []row) {
+	if cap(s.sw) < p {
+		s.sw = make([]float64, p)
+	}
+	if cap(s.scut) < p {
+		s.scut = make([]*cutNode, p)
+	}
+	if cap(s.rows) < p {
+		s.rows = make([]row, p)
+	}
+	if cap(s.arena) < r {
+		s.arena = make([]cutNode, 0, r)
+	}
+	return s.sw[:p], s.scut[:p], s.arena[:0], s.rows[:p]
+}
+
 func solveTempS(ctx context.Context, in *Instance, tr *Trace) (*Solution, int64, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -193,17 +234,16 @@ func solveTempS(ctx context.Context, in *Instance, tr *Trace) (*Solution, int64,
 		return &Solution{}, 0, nil
 	}
 	r := in.NumPoints()
-	// Finalized per-interval optima: the paper's S_i (weight and cut).
-	sw := make([]float64, p)
-	scut := make([]*cutNode, p)
-	// Cut nodes live in one arena: at most one per covered point, so a
-	// single allocation replaces r small ones (this constant factor is what
-	// the O(n + p log q) claim is sold on).
-	arena := make([]cutNode, 0, r)
-	// The TEMP_S queue lives in rows[head..tail]; W-values are sorted in
-	// increasing order from head to tail (paper §2.3.1: "the third column
-	// will always remain sorted in increasing order").
-	rows := make([]row, p)
+	// Working arrays from the package pool: the finalized per-interval optima
+	// (the paper's S_i weight and cut), the cut-node arena (at most one node
+	// per covered point, so a single allocation replaces r small ones — this
+	// constant factor is what the O(n + p log q) claim is sold on), and the
+	// TEMP_S queue rows[head..tail], whose W-values are sorted in increasing
+	// order from head to tail (paper §2.3.1: "the third column will always
+	// remain sorted in increasing order").
+	scratch := tempSPool.Get().(*tempSScratch)
+	defer tempSPool.Put(scratch)
+	sw, scut, arena, rows := scratch.grab(p, r)
 	head, tail := 0, -1
 	nextStart := 0
 	for e := 0; e < r; e++ {

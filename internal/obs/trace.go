@@ -49,6 +49,11 @@ type Span struct {
 
 	tr       *Trace
 	children []*Span
+
+	// attrBuf and childBuf back the first few Attrs/children without a heap
+	// allocation; solver phase spans rarely exceed either.
+	attrBuf  [2]Attr
+	childBuf [4]*Span
 }
 
 // Trace is one request's span tree. Construct with New, attach to a context
@@ -62,13 +67,37 @@ type Trace struct {
 
 	mu   sync.Mutex
 	root *Span
+
+	// arena backs the first spans of the trace, so a whole typical trace —
+	// root included — costs the one Trace allocation. Entries are handed out
+	// by address, which is safe precisely because the array is part of the
+	// Trace and never moves. Overflow spans allocate individually.
+	arena [arenaSpans]Span
+	used  int
 }
+
+// arenaSpans sizes the per-trace span arena; a typical solve opens well
+// under this many phase spans.
+const arenaSpans = 16
 
 // New starts a trace whose root span begins now.
 func New(name string) *Trace {
-	t := &Trace{}
-	t.root = &Span{Name: name, Start: time.Now(), tr: t}
+	t := new(Trace)
+	t.used = 1
+	t.root = &t.arena[0]
+	t.root.Name, t.root.Start, t.root.tr = name, time.Now(), t
 	return t
+}
+
+// newSpan carves a span from the arena, or allocates on overflow. Callers
+// hold t.mu.
+func (t *Trace) newSpan() *Span {
+	if t.used < len(t.arena) {
+		sp := &t.arena[t.used]
+		t.used++
+		return sp
+	}
+	return new(Span)
 }
 
 // Root returns the trace's root span.
@@ -88,25 +117,27 @@ func (t *Trace) Finish() {
 	t.root.End()
 }
 
-type traceKey struct{}
 type spanKey struct{}
 type requestIDKey struct{}
 
 // NewContext returns ctx carrying t, with t's root as the current span.
 // Spans started from the returned context (and its descendants) nest under
-// the root.
+// the root. Only the current span is stored — the trace rides along inside
+// it — so attaching a trace costs a single context link.
 func NewContext(ctx context.Context, t *Trace) context.Context {
 	if t == nil {
 		return ctx
 	}
-	ctx = context.WithValue(ctx, traceKey{}, t)
 	return context.WithValue(ctx, spanKey{}, t.root)
 }
 
 // FromContext returns the trace carried by ctx, or nil.
 func FromContext(ctx context.Context) *Trace {
-	t, _ := ctx.Value(traceKey{}).(*Trace)
-	return t
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	if sp == nil {
+		return nil
+	}
+	return sp.tr
 }
 
 // StartSpan opens a child span under the context's current span and returns
@@ -127,10 +158,33 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return context.WithValue(ctx, spanKey{}, sp), sp
 }
 
+// Phase opens a sibling phase span under the context's current span without
+// deriving a new context — the allocation-free twin of the
+// discard-the-context StartSpan idiom:
+//
+//	sp := obs.Phase(ctx, "edge-sort")
+//	... phase work ...
+//	sp.End()
+//
+// Use it when no further spans will nest under the phase. Nil-safe like
+// StartSpan: without a trace it returns nil.
+func Phase(ctx context.Context, name string) *Span {
+	parent, _ := ctx.Value(spanKey{}).(*Span)
+	if parent == nil {
+		return nil
+	}
+	return parent.child(name)
+}
+
 // child appends a started span under s.
 func (s *Span) child(name string) *Span {
-	sp := &Span{Name: name, Start: time.Now(), tr: s.tr}
+	now := time.Now()
 	s.tr.mu.Lock()
+	sp := s.tr.newSpan()
+	sp.Name, sp.Start, sp.tr = name, now, s.tr
+	if s.children == nil {
+		s.children = s.childBuf[:0]
+	}
 	s.children = append(s.children, sp)
 	s.tr.mu.Unlock()
 	return sp
@@ -156,6 +210,9 @@ func (s *Span) SetAttr(key string, value any) {
 		return
 	}
 	s.tr.mu.Lock()
+	if s.Attrs == nil {
+		s.Attrs = s.attrBuf[:0]
+	}
 	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
 	s.tr.mu.Unlock()
 }
@@ -176,17 +233,21 @@ func (s *Span) PhaseTotals() map[string]PhaseStat {
 	out := make(map[string]PhaseStat)
 	s.tr.mu.Lock()
 	defer s.tr.mu.Unlock()
-	var walk func(sp *Span)
-	walk = func(sp *Span) {
+	// Iterative walk with a stack-resident worklist: no closure, no
+	// recursion, no allocation for typical span counts.
+	var buf [arenaSpans]*Span
+	stack := append(buf[:0], s)
+	for len(stack) > 0 {
+		sp := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
 		for _, c := range sp.children {
 			st := out[c.Name]
 			st.Count++
 			st.Total += c.Duration
 			out[c.Name] = st
-			walk(c)
+			stack = append(stack, c)
 		}
 	}
-	walk(s)
 	return out
 }
 
@@ -213,5 +274,6 @@ func NewRequestID() string {
 	if _, err := rand.Read(b[:]); err != nil {
 		return "req-" + strconv.FormatUint(ridFallback.Add(1), 16)
 	}
-	return hex.EncodeToString(b[:])
+	var dst [16]byte
+	return string(hex.AppendEncode(dst[:0], b[:]))
 }

@@ -37,6 +37,11 @@ type Interval struct {
 // O(n) time (two pointers). It returns ErrVertexTooHeavy if some single
 // vertex already exceeds K.
 func Find(nodeW []float64, k float64) ([]Interval, error) {
+	return findInto(nil, nodeW, k)
+}
+
+// findInto is Find appending into dst[:0], reusing its capacity.
+func findInto(dst []Interval, nodeW []float64, k float64) ([]Interval, error) {
 	// First pass: count the prime subpaths so the result is allocated
 	// exactly once (the count is the number of distinct minimal right ends).
 	count, err := countPrime(nodeW, k)
@@ -44,9 +49,12 @@ func Find(nodeW []float64, k float64) ([]Interval, error) {
 		return nil, err
 	}
 	if count == 0 {
-		return nil, nil
+		return dst[:0], nil
 	}
-	out := make([]Interval, 0, count)
+	out := dst[:0]
+	if cap(out) < count {
+		out = make([]Interval, 0, count)
+	}
 	n := len(nodeW)
 	// Two pointers: for each left vertex l, rv is the minimal exclusive right
 	// bound with weight(l .. rv-1) > K.
@@ -162,9 +170,17 @@ func (in *Instance) MaxCoverage() int {
 // dropped; among consecutive edges covered by exactly the same prime
 // subpaths, only a lightest one is kept. Runs in O(n + p) time.
 func Compress(edgeW []float64, ivs []Interval) *Instance {
+	return compressInto(&Instance{}, edgeW, ivs)
+}
+
+// compressInto is Compress writing into inst, reusing its arrays' capacity.
+func compressInto(inst *Instance, edgeW []float64, ivs []Interval) *Instance {
 	p := len(ivs)
-	inst := &Instance{A: make([]int, p), B: make([]int, p)}
+	inst.A = growInts(inst.A, p)
+	inst.B = growInts(inst.B, p)
 	if p == 0 {
+		inst.Beta, inst.Orig = inst.Beta[:0], inst.Orig[:0]
+		inst.First, inst.Last = inst.First[:0], inst.Last[:0]
 		return inst
 	}
 	// At most min(n-1, 2p-1) non-redundant edges survive (§2.3); allocate
@@ -173,10 +189,10 @@ func Compress(edgeW []float64, ivs []Interval) *Instance {
 	if m := len(edgeW); capHint > m {
 		capHint = m
 	}
-	inst.Beta = make([]float64, 0, capHint)
-	inst.Orig = make([]int, 0, capHint)
-	inst.First = make([]int, 0, capHint)
-	inst.Last = make([]int, 0, capHint)
+	inst.Beta = growFloats(inst.Beta, capHint)[:0]
+	inst.Orig = growInts(inst.Orig, capHint)[:0]
+	inst.First = growInts(inst.First, capHint)[:0]
+	inst.Last = growInts(inst.Last, capHint)[:0]
 	// For each original edge e, membership is the contiguous interval range
 	// [c(e), d(e)] with c = min{j : ivs[j].B >= e} and d = max{j : ivs[j].A <= e}.
 	cPtr, dPtr := 0, -1
@@ -230,11 +246,44 @@ func Compress(edgeW []float64, ivs []Interval) *Instance {
 // Analyze runs Find and Compress together, returning the instance, the prime
 // subpaths, or an infeasibility error.
 func Analyze(nodeW, edgeW []float64, k float64) (*Instance, []Interval, error) {
-	ivs, err := Find(nodeW, k)
+	var s Scratch
+	return s.Analyze(nodeW, edgeW, k)
+}
+
+// growInts returns an []int of length n, reusing s's capacity when possible.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// growFloats returns a []float64 of length n, reusing s's capacity.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// Scratch holds the working arrays of Analyze so repeated solves reuse them
+// instead of reallocating — the bandwidth solver's per-solve scratch
+// (internal/core pools one per solve). The Instance and Interval slices
+// returned by Scratch.Analyze alias the scratch and are invalidated by the
+// next Analyze call on the same Scratch.
+type Scratch struct {
+	ivs  []Interval
+	inst Instance
+}
+
+// Analyze is the package-level Analyze writing into s's reusable arrays.
+func (s *Scratch) Analyze(nodeW, edgeW []float64, k float64) (*Instance, []Interval, error) {
+	ivs, err := findInto(s.ivs, nodeW, k)
 	if err != nil {
 		return nil, nil, err
 	}
-	return Compress(edgeW, ivs), ivs, nil
+	s.ivs = ivs
+	return compressInto(&s.inst, edgeW, ivs), ivs, nil
 }
 
 // Stats summarizes an instance for the Figure 2 study.

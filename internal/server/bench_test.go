@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"repro/internal/codec"
 	"repro/internal/graph"
 	"repro/internal/workload"
 )
@@ -36,6 +37,19 @@ func benchBody(b *testing.B, n int, k float64Factor, solver string, noCache bool
 	return body
 }
 
+// benchBodyBin renders the same request as benchBody in the binary wire
+// format (PSV1 frame with an embedded PGB1 graph).
+func benchBodyBin(b *testing.B, n int, k float64Factor, solver string, noCache bool) []byte {
+	b.Helper()
+	r := workload.NewRNG(11)
+	p := workload.RandomPath(r, n, workload.UniformWeights(1, 100), workload.UniformWeights(1, 100))
+	body, err := AppendSolveRequest(nil, SolveParams{Solver: solver, K: k(p), NoCache: noCache}, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
 type float64Factor func(p *graph.Path) float64
 
 func benchServer(b *testing.B, cfg Config) *Server {
@@ -51,6 +65,16 @@ func post(h http.Handler, body []byte) *httptest.ResponseRecorder {
 	return rec
 }
 
+// postBin posts a binary body and asks for a binary response.
+func postBin(h http.Handler, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest("POST", "/v1/solve", bytes.NewReader(body))
+	req.Header.Set("Content-Type", codec.ContentType)
+	req.Header.Set("Accept", codec.ContentType)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
 // BenchmarkSolveUncached measures the full request path with the cache
 // bypassed: decode, fingerprint, admission, engine solve, marshal.
 func BenchmarkSolveUncached(b *testing.B) {
@@ -61,6 +85,38 @@ func BenchmarkSolveUncached(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if rec := post(s.Handler(), body); rec.Code != http.StatusOK {
 			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkSolveUncachedBinary is BenchmarkSolveUncached over the binary
+// wire format in both directions — the ISSUE's headline comparison: the JSON
+// run is dominated by decode+marshal, the binary run by the solve itself.
+func BenchmarkSolveUncachedBinary(b *testing.B) {
+	s := benchServer(b, Config{MaxConcurrent: 1, MaxQueue: 4})
+	body := benchBodyBin(b, 5000, func(p *graph.Path) float64 { return 4 * p.MaxNodeWeight() }, "bandwidth", true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := postBin(s.Handler(), body); rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkSolveCachedBinary is the cached fast path over binary frames.
+func BenchmarkSolveCachedBinary(b *testing.B) {
+	s := benchServer(b, Config{MaxConcurrent: 1, MaxQueue: 4})
+	body := benchBodyBin(b, 5000, func(p *graph.Path) float64 { return 4 * p.MaxNodeWeight() }, "bandwidth", false)
+	if rec := postBin(s.Handler(), body); rec.Code != http.StatusOK { // warm
+		b.Fatalf("warm status %d", rec.Code)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := postBin(s.Handler(), body)
+		if rec.Code != http.StatusOK || rec.Header().Get("X-Cache") != "HIT" {
+			b.Fatalf("status %d, X-Cache %q", rec.Code, rec.Header().Get("X-Cache"))
 		}
 	}
 }

@@ -26,13 +26,14 @@ type cacheKey struct {
 	maxComponents int
 	verify        bool // verified responses carry a certificate in the body
 	trace         bool // traced responses carry a span tree in the body
+	bin           bool // body is the binary (PRS1) rendering, not JSON
 }
 
-func newCacheKey(fp uint64, solver string, k float64, maxComponents int, verify, trace bool) cacheKey {
+func newCacheKey(fp uint64, solver string, k float64, maxComponents int, verify, trace, bin bool) cacheKey {
 	if k == 0 {
 		k = 0 // normalize -0.0, mirroring the fingerprint's weight rule
 	}
-	return cacheKey{fingerprint: fp, solver: solver, kBits: math.Float64bits(k), maxComponents: maxComponents, verify: verify, trace: trace}
+	return cacheKey{fingerprint: fp, solver: solver, kBits: math.Float64bits(k), maxComponents: maxComponents, verify: verify, trace: trace, bin: bin}
 }
 
 // shardIndex spreads keys across shards by re-mixing all key fields; the
@@ -55,6 +56,9 @@ func (k cacheKey) shardIndex(n int) int {
 	}
 	if k.trace {
 		mix(2)
+	}
+	if k.bin {
+		mix(4)
 	}
 	for i := 0; i < len(k.solver); i++ {
 		h ^= uint64(k.solver[i])

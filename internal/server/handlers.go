@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
@@ -113,27 +115,45 @@ type batchResponse struct {
 	} `json:"stats"`
 }
 
-// parsedSolve is a decoded, validated solve item ready for the engine.
+// parsedSolve is a decoded, validated solve item ready for the engine. The
+// cache key is filled in by the handler once the response format is known
+// (the key includes it). pooled marks a graph decoded into the server's
+// codec pool, to be returned via releaseParsed after the response is built.
 type parsedSolve struct {
-	req solveRequest
-	g   any    // *graph.Path or *graph.Tree
-	fp  uint64 // graph fingerprint
-	key cacheKey
+	req    solveRequest
+	g      any    // *graph.Path or *graph.Tree
+	fp     uint64 // graph fingerprint
+	key    cacheKey
+	pooled bool
 }
 
-// parseSolve validates one solve item. Errors are client errors (400).
-func (s *Server) parseSolve(req solveRequest) (parsedSolve, error) {
+// errNodeLimit marks a graph whose node count exceeds Config.MaxNodes; it
+// maps to 413 like the body-size and codec limits.
+var errNodeLimit = errors.New("node count exceeds the server limit")
+
+// checkSolveParams validates the non-graph solve parameters, shared by the
+// JSON and binary request paths. Errors are client errors.
+func checkSolveParams(req solveRequest) error {
 	if req.Solver == "" {
-		return parsedSolve{}, errors.New(`"solver" is required`)
+		return errors.New(`"solver" is required`)
 	}
 	if !(req.K > 0) || math.IsInf(req.K, 0) {
-		return parsedSolve{}, fmt.Errorf(`"k" must be positive and finite (got %v)`, req.K)
+		return fmt.Errorf(`"k" must be positive and finite (got %v)`, req.K)
 	}
 	if req.MaxComponents < 0 {
-		return parsedSolve{}, fmt.Errorf(`"maxComponents" must be non-negative (got %d)`, req.MaxComponents)
+		return fmt.Errorf(`"maxComponents" must be non-negative (got %d)`, req.MaxComponents)
 	}
 	if req.TimeoutMs < 0 {
-		return parsedSolve{}, fmt.Errorf(`"timeoutMs" must be non-negative (got %d)`, req.TimeoutMs)
+		return fmt.Errorf(`"timeoutMs" must be non-negative (got %d)`, req.TimeoutMs)
+	}
+	return nil
+}
+
+// parseSolve validates one JSON solve item. Errors are client errors (400,
+// or 413 for limit violations).
+func (s *Server) parseSolve(req solveRequest) (parsedSolve, error) {
+	if err := checkSolveParams(req); err != nil {
+		return parsedSolve{}, err
 	}
 	if len(req.Graph) == 0 {
 		return parsedSolve{}, errors.New(`"graph" is required`)
@@ -142,21 +162,39 @@ func (s *Server) parseSolve(req solveRequest) (parsedSolve, error) {
 	if err != nil {
 		return parsedSolve{}, fmt.Errorf("bad graph: %v", err)
 	}
-	switch g.(type) {
-	case *graph.Path, *graph.Tree:
+	var n int
+	switch g := g.(type) {
+	case *graph.Path:
+		n = g.Len()
+	case *graph.Tree:
+		n = g.Len()
 	default:
 		return parsedSolve{}, fmt.Errorf(`graph kind %T is not solvable; send "path" or "tree"`, g)
+	}
+	// JSON declares no count ahead of its arrays, so unlike the binary path
+	// this check runs post-decode; MaxBytesReader has already bounded the
+	// allocation to the body cap by then.
+	if lim := s.cfg.MaxNodes; lim > 0 && n > lim {
+		return parsedSolve{}, fmt.Errorf("graph has %d nodes > limit %d: %w", n, lim, errNodeLimit)
 	}
 	fp, err := graph.Fingerprint(g)
 	if err != nil {
 		return parsedSolve{}, err
 	}
-	return parsedSolve{
-		req: req,
-		g:   g,
-		fp:  fp,
-		key: newCacheKey(fp, req.Solver, req.K, req.MaxComponents, req.Verify, req.Trace),
-	}, nil
+	return parsedSolve{req: req, g: g, fp: fp}, nil
+}
+
+// readBody drains a request body into a pooled buffer. The caller returns
+// the buffer via s.bufPool.Put once the bytes are no longer referenced
+// (decoded graphs never alias the body — weights are copied out).
+func (s *Server) readBody(r *http.Request) (*bytes.Buffer, error) {
+	buf := s.bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if _, err := buf.ReadFrom(r.Body); err != nil {
+		s.bufPool.Put(buf)
+		return nil, err
+	}
+	return buf, nil
 }
 
 // engineRequest builds the engine.Request for a parsed item. The solve
@@ -250,12 +288,63 @@ func writeJSON(w http.ResponseWriter, status int, body []byte) {
 	w.Write([]byte("\n"))
 }
 
+// writeBody writes a solve/batch response in the negotiated format: the
+// binary media type raw, or JSON with a trailing newline.
+func writeBody(w http.ResponseWriter, status int, body []byte, bin bool) {
+	if bin {
+		w.Header().Set("Content-Type", codec.ContentType)
+		w.WriteHeader(status)
+		w.Write(body)
+		return
+	}
+	writeJSON(w, status, body)
+}
+
+// requestErrStatus maps a request-decoding error to its HTTP status: limit
+// violations (body cap, declared node count, codec size guard) are 413,
+// everything else a plain 400.
+func requestErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	switch {
+	case errors.As(err, &mbe),
+		errors.Is(err, codec.ErrTooLarge),
+		errors.Is(err, errNodeLimit):
+		return http.StatusRequestEntityTooLarge
+	default:
+		return http.StatusBadRequest
+	}
+}
+
 func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
 	}
 	body, _ := json.Marshal(errorResponse{Error: msg})
 	writeJSON(w, status, body)
+}
+
+// acquireSlot admits one unit of solve work: the uncontended fast path takes
+// a free slot without building a wait context; otherwise the request queues
+// under QueueTimeout, bounded also by the client connection (r.Context()
+// ends on disconnect). On failure it writes the shed response and returns
+// nil.
+func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) (release func()) {
+	if release, ok := s.limiter.TryAcquire(); ok {
+		return release
+	}
+	qctx, qcancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
+	release, err := s.limiter.Acquire(qctx)
+	qcancel()
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.writeError(w, http.StatusTooManyRequests, "admission queue full")
+		default:
+			s.writeError(w, http.StatusServiceUnavailable, "timed out waiting for a solve slot")
+		}
+		return nil
+	}
+	return release
 }
 
 // solveStatus maps an engine/solve error to an HTTP status.
@@ -277,44 +366,62 @@ func solveStatus(err error) int {
 	}
 }
 
-// handleSolve is POST /v1/solve: decode → cache lookup → admission →
-// engine.Solve → cache fill.
+// handleSolve is POST /v1/solve: decode (JSON, or the binary frame when
+// Content-Type says so) → cache lookup → admission → engine.Solve → cache
+// fill. The response is binary when the Accept header names the binary type,
+// except traced solves, which always answer in JSON.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	var req solveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
-		return
+	var p parsedSolve
+	if isBinaryMedia(r.Header.Get("Content-Type")) {
+		buf, err := s.readBody(r)
+		if err != nil {
+			s.writeError(w, requestErrStatus(err), "bad request body: "+err.Error())
+			return
+		}
+		var rest []byte
+		p, rest, err = s.parseBinarySolve(buf.Bytes())
+		s.bufPool.Put(buf)
+		if err != nil {
+			s.writeError(w, requestErrStatus(err), err.Error())
+			return
+		}
+		if len(rest) != 0 {
+			s.releaseParsed(&p)
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("%d trailing bytes after the solve frame", len(rest)))
+			return
+		}
+	} else {
+		var req solveRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.writeError(w, requestErrStatus(err), "bad request body: "+err.Error())
+			return
+		}
+		var err error
+		p, err = s.parseSolve(req)
+		if err != nil {
+			s.writeError(w, requestErrStatus(err), err.Error())
+			return
+		}
 	}
-	p, err := s.parseSolve(req)
-	if err != nil {
-		s.writeError(w, http.StatusBadRequest, err.Error())
-		return
-	}
+	defer s.releaseParsed(&p)
+	wantBin := acceptsBinary(r.Header.Get("Accept")) && !p.req.Trace
+	p.key = newCacheKey(p.fp, p.req.Solver, p.req.K, p.req.MaxComponents, p.req.Verify, p.req.Trace, wantBin)
 
 	if !p.req.NoCache {
 		if body, ok := s.cache.Get(p.key); ok {
 			w.Header().Set("X-Cache", "HIT")
-			writeJSON(w, http.StatusOK, body)
+			writeBody(w, http.StatusOK, body, wantBin)
 			return
 		}
 	}
 
-	// Admission: wait for a solve slot within QueueTimeout, bounded also by
-	// the client connection (r.Context() ends on disconnect).
-	qctx, qcancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
-	release, err := s.limiter.Acquire(qctx)
-	qcancel()
-	if err != nil {
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			s.writeError(w, http.StatusTooManyRequests, "admission queue full")
-		default:
-			s.writeError(w, http.StatusServiceUnavailable, "timed out waiting for a solve slot")
-		}
+	release := s.acquireSlot(w, r)
+	if release == nil {
 		return
 	}
 	defer release()
@@ -322,7 +429,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// Every solve runs under a trace: the phase spans feed the per-phase
 	// metrics whether or not the client asked for the tree back. The root
 	// carries the request ID so exported traces correlate with log lines.
-	tr := obs.New("solve " + p.req.Solver)
+	// The "solve " root-name prefix only matters when the span tree is
+	// rendered into the response; skipping the concat keeps the untraced hot
+	// path one allocation cheaper.
+	name := p.req.Solver
+	if p.req.Trace {
+		name = "solve " + p.req.Solver
+	}
+	tr := obs.New(name)
 	tr.RequestID = obs.RequestIDFrom(r.Context())
 	ereq := s.engineRequest(p, 0)
 	res, err := engine.Solve(obs.NewContext(r.Context(), tr), ereq)
@@ -335,74 +449,125 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if p.req.Verify {
 		cert = s.certifyResult(ereq, res)
 	}
-	var spans *obs.SpanNode
-	if p.req.Trace {
-		spans = tr.Tree()
-	}
-	body, err := marshalResult(p.fp, res, cert, spans)
-	if err != nil {
-		s.writeError(w, http.StatusInternalServerError, err.Error())
-		return
+	var body []byte
+	if wantBin {
+		body = appendSolveResult(nil, p.fp, res, cert)
+	} else {
+		var spans *obs.SpanNode
+		if p.req.Trace {
+			spans = tr.Tree()
+		}
+		body, err = marshalResult(p.fp, res, cert, spans)
+		if err != nil {
+			s.writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
 	}
 	if !p.req.NoCache {
 		s.cache.Put(p.key, body)
 	}
 	w.Header().Set("X-Cache", "MISS")
-	writeJSON(w, http.StatusOK, body)
+	writeBody(w, http.StatusOK, body, wantBin)
+}
+
+// batchOutcome is one item's fate before rendering: exactly one of body or
+// errMsg is set. body is already in the response format (JSON object or
+// PRS1 frame).
+type batchOutcome struct {
+	body   []byte
+	errMsg string
+	cached bool
 }
 
 // handleBatch is POST /v1/batch: per-item cache lookups, then one
 // engine.Batch over the misses. The whole batch holds a single admission
 // slot — its internal parallelism is cfg.BatchWorkers — so a batch counts as
-// one unit of heavy work against the limiter.
+// one unit of heavy work against the limiter. Like solve, the request may be
+// JSON or the PBT1 binary frame, and the response format follows Accept.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	var breq batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
-		s.writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
-		return
-	}
-	if len(breq.Requests) == 0 {
-		s.writeError(w, http.StatusBadRequest, `"requests" must be non-empty`)
-		return
-	}
-	if len(breq.Requests) > s.cfg.MaxBatchRequests {
-		s.writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("batch of %d exceeds the %d-request limit", len(breq.Requests), s.cfg.MaxBatchRequests))
-		return
-	}
-	if breq.TimeoutMs < 0 {
-		s.writeError(w, http.StatusBadRequest, fmt.Sprintf(`"timeoutMs" must be non-negative (got %d)`, breq.TimeoutMs))
-		return
-	}
 	start := time.Now()
-	var resp batchResponse
-	resp.Items = make([]batchItem, len(breq.Requests))
-	resp.Stats.Requests = len(breq.Requests)
+	wantBin := acceptsBinary(r.Header.Get("Accept"))
+	var (
+		parsed    []parsedSolve
+		errMsgs   []string
+		timeoutMs int64
+	)
+	if isBinaryMedia(r.Header.Get("Content-Type")) {
+		buf, err := s.readBody(r)
+		if err != nil {
+			s.writeError(w, requestErrStatus(err), "bad request body: "+err.Error())
+			return
+		}
+		parsed, errMsgs, timeoutMs, err = s.parseBinaryBatch(buf.Bytes())
+		s.bufPool.Put(buf)
+		if err != nil {
+			s.writeError(w, requestErrStatus(err), err.Error())
+			return
+		}
+	} else {
+		var breq batchRequest
+		if err := json.NewDecoder(r.Body).Decode(&breq); err != nil {
+			s.writeError(w, requestErrStatus(err), "bad request body: "+err.Error())
+			return
+		}
+		if len(breq.Requests) == 0 {
+			s.writeError(w, http.StatusBadRequest, `"requests" must be non-empty`)
+			return
+		}
+		if len(breq.Requests) > s.cfg.MaxBatchRequests {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("batch of %d exceeds the %d-request limit", len(breq.Requests), s.cfg.MaxBatchRequests))
+			return
+		}
+		if breq.TimeoutMs < 0 {
+			s.writeError(w, http.StatusBadRequest, fmt.Sprintf(`"timeoutMs" must be non-negative (got %d)`, breq.TimeoutMs))
+			return
+		}
+		timeoutMs = breq.TimeoutMs
+		parsed = make([]parsedSolve, len(breq.Requests))
+		errMsgs = make([]string, len(breq.Requests))
+		for i, item := range breq.Requests {
+			p, err := s.parseSolve(item)
+			if err != nil {
+				errMsgs[i] = err.Error()
+				continue
+			}
+			parsed[i] = p
+		}
+	}
+	defer func() {
+		for i := range parsed {
+			s.releaseParsed(&parsed[i])
+		}
+	}()
 
-	// Decode and cache-check every item first; only misses go to the pool.
-	parsed := make([]parsedSolve, len(breq.Requests))
+	n := len(parsed)
+	outcomes := make([]batchOutcome, n)
+	var solved, failed, hits int
+
+	// Cache-check every well-formed item first; only misses go to the pool.
 	var missIdx []int
-	for i, item := range breq.Requests {
+	for i := range parsed {
+		if errMsgs[i] != "" {
+			outcomes[i].errMsg = errMsgs[i]
+			failed++
+			continue
+		}
+		p := &parsed[i]
 		// Trace is solve-only: items run under the shared batch trace below,
 		// and their cached bodies must stay interchangeable with an untraced
 		// /v1/solve for the same request.
-		item.Trace = false
-		p, err := s.parseSolve(item)
-		if err != nil {
-			resp.Items[i] = batchItem{Error: err.Error()}
-			resp.Stats.Failed++
-			continue
-		}
-		parsed[i] = p
+		p.req.Trace = false
+		p.key = newCacheKey(p.fp, p.req.Solver, p.req.K, p.req.MaxComponents, p.req.Verify, false, wantBin)
 		if !p.req.NoCache {
 			if body, ok := s.cache.Get(p.key); ok {
-				resp.Items[i] = batchItem{Result: body, Cached: true}
-				resp.Stats.Solved++
-				resp.Stats.CacheHits++
+				outcomes[i] = batchOutcome{body: body, cached: true}
+				solved++
+				hits++
 				continue
 			}
 		}
@@ -410,21 +575,13 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if len(missIdx) > 0 {
-		qctx, qcancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
-		release, err := s.limiter.Acquire(qctx)
-		qcancel()
-		if err != nil {
-			switch {
-			case errors.Is(err, ErrQueueFull):
-				s.writeError(w, http.StatusTooManyRequests, "admission queue full")
-			default:
-				s.writeError(w, http.StatusServiceUnavailable, "timed out waiting for a solve slot")
-			}
+		release := s.acquireSlot(w, r)
+		if release == nil {
 			return
 		}
 		reqs := make([]engine.Request, len(missIdx))
 		for j, i := range missIdx {
-			reqs[j] = s.engineRequest(parsed[i], breq.TimeoutMs)
+			reqs[j] = s.engineRequest(parsed[i], timeoutMs)
 		}
 		// One shared trace for the whole batch: each item's solver span grows
 		// a disjoint subtree under the root, and the phase metrics see every
@@ -438,28 +595,76 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		for j, i := range missIdx {
 			item := out.Items[j]
 			if item.Err != nil {
-				resp.Items[i] = batchItem{Error: item.Err.Error()}
-				resp.Stats.Failed++
+				outcomes[i].errMsg = item.Err.Error()
+				failed++
 				continue
 			}
 			var cert *verifyInfo
 			if parsed[i].req.Verify {
 				cert = s.certifyResult(reqs[j], item.Result)
 			}
-			body, err := marshalResult(parsed[i].fp, item.Result, cert, nil)
-			if err != nil {
-				resp.Items[i] = batchItem{Error: err.Error()}
-				resp.Stats.Failed++
-				continue
+			var body []byte
+			if wantBin {
+				body = appendSolveResult(nil, parsed[i].fp, item.Result, cert)
+			} else {
+				var err error
+				body, err = marshalResult(parsed[i].fp, item.Result, cert, nil)
+				if err != nil {
+					outcomes[i].errMsg = err.Error()
+					failed++
+					continue
+				}
 			}
 			if !parsed[i].req.NoCache {
 				s.cache.Put(parsed[i].key, body)
 			}
-			resp.Items[i] = batchItem{Result: body}
-			resp.Stats.Solved++
+			outcomes[i] = batchOutcome{body: body}
+			solved++
 		}
 	}
-	resp.Stats.WallMs = float64(time.Since(start)) / float64(time.Millisecond)
+	wallMs := float64(time.Since(start)) / float64(time.Millisecond)
+
+	if wantBin {
+		out := append([]byte(nil), batchRespMagic...)
+		out = binary.AppendUvarint(out, uint64(n))
+		out = binary.AppendUvarint(out, uint64(solved))
+		out = binary.AppendUvarint(out, uint64(failed))
+		out = binary.AppendUvarint(out, uint64(hits))
+		out = appendF64(out, wallMs)
+		out = binary.AppendUvarint(out, uint64(n))
+		for i := range outcomes {
+			o := &outcomes[i]
+			tag := byte(wireItemResult)
+			body := o.body
+			switch {
+			case o.errMsg != "":
+				tag, body = wireItemError, []byte(o.errMsg)
+			case o.cached:
+				tag = wireItemCached
+			}
+			out = append(out, tag)
+			out = binary.AppendUvarint(out, uint64(len(body)))
+			out = append(out, body...)
+		}
+		writeBody(w, http.StatusOK, out, true)
+		return
+	}
+
+	var resp batchResponse
+	resp.Items = make([]batchItem, n)
+	resp.Stats.Requests = n
+	resp.Stats.Solved = solved
+	resp.Stats.Failed = failed
+	resp.Stats.CacheHits = hits
+	resp.Stats.WallMs = wallMs
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.errMsg != "" {
+			resp.Items[i] = batchItem{Error: o.errMsg}
+		} else {
+			resp.Items[i] = batchItem{Result: o.body, Cached: o.cached}
+		}
+	}
 	body, err := json.Marshal(&resp)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err.Error())

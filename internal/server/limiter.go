@@ -21,6 +21,10 @@ type Limiter struct {
 	maxQueue int64
 	queued   atomic.Int64
 
+	// releaseFn is the one shared release closure; binding l.release at
+	// every Acquire would allocate a method value per admission.
+	releaseFn func()
+
 	admitted      atomic.Uint64
 	shedQueueFull atomic.Uint64
 	shedDeadline  atomic.Uint64
@@ -36,9 +40,24 @@ func NewLimiter(maxConcurrent, maxQueue int) *Limiter {
 	if maxQueue < 0 {
 		maxQueue = 0
 	}
-	return &Limiter{
+	l := &Limiter{
 		slots:    make(chan struct{}, maxConcurrent),
 		maxQueue: int64(maxQueue),
+	}
+	l.releaseFn = l.release
+	return l
+}
+
+// TryAcquire obtains a slot only when one is immediately free, never
+// queueing. It lets callers skip building a queue-wait context (deadline
+// timer and all) on the uncontended path.
+func (l *Limiter) TryAcquire() (release func(), ok bool) {
+	select {
+	case l.slots <- struct{}{}:
+		l.admitted.Add(1)
+		return l.releaseFn, true
+	default:
+		return nil, false
 	}
 }
 
@@ -51,7 +70,7 @@ func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
 	select {
 	case l.slots <- struct{}{}:
 		l.admitted.Add(1)
-		return l.release, nil
+		return l.releaseFn, nil
 	default:
 	}
 	if l.queued.Add(1) > l.maxQueue {
@@ -63,7 +82,7 @@ func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
 	select {
 	case l.slots <- struct{}{}:
 		l.admitted.Add(1)
-		return l.release, nil
+		return l.releaseFn, nil
 	case <-ctx.Done():
 		l.shedDeadline.Add(1)
 		return nil, ctx.Err()

@@ -1,14 +1,17 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"log/slog"
 	"net"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/codec"
 	"repro/internal/engine"
 	"repro/internal/obs"
 )
@@ -42,6 +45,11 @@ type Config struct {
 	RetryAfter time.Duration
 	// MaxBodyBytes bounds request bodies (default 32 MiB).
 	MaxBodyBytes int64
+	// MaxNodes bounds the node count of any graph in a request (default
+	// 4Mi). Binary requests declare their counts up front, so oversized
+	// graphs are rejected before any array is allocated; JSON graphs are
+	// checked right after decode. Negative disables the limit.
+	MaxNodes int
 	// BatchWorkers bounds each /v1/batch run's worker pool (default
 	// MaxConcurrent). Batch admission takes one limiter slot per batch;
 	// the pool parallelism inside that slot is this knob.
@@ -92,6 +100,12 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 32 << 20
 	}
+	if cfg.MaxNodes == 0 {
+		cfg.MaxNodes = 4 << 20
+	}
+	if cfg.MaxNodes < 0 {
+		cfg.MaxNodes = 0 // 0 = unlimited downstream
+	}
 	if cfg.BatchWorkers <= 0 {
 		cfg.BatchWorkers = cfg.MaxConcurrent
 	}
@@ -121,6 +135,15 @@ type Server struct {
 	draining  atomic.Bool
 	started   time.Time
 
+	// graphPool recycles the arrays binary-decoded graphs live in; bufPool
+	// recycles request-body read buffers. Both keep the binary fast path
+	// allocation-free per request at steady state.
+	graphPool *codec.Pool
+	bufPool   sync.Pool
+	// solverNames snapshots the registry at construction so binary request
+	// parsing can intern solver names without re-sorting the registry.
+	solverNames []string
+
 	// Outcomes of requested certificates, for /metrics.
 	verifyCertified   atomic.Uint64
 	verifyUncertified atomic.Uint64
@@ -130,12 +153,15 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:       cfg,
-		limiter:   NewLimiter(cfg.MaxConcurrent, cfg.MaxQueue),
-		collector: engine.NewCollector(),
-		solvem:    newSolveMetrics(),
-		httpm:     newHTTPMetrics(),
-		started:   time.Now(),
+		cfg:         cfg,
+		limiter:     NewLimiter(cfg.MaxConcurrent, cfg.MaxQueue),
+		collector:   engine.NewCollector(),
+		solvem:      newSolveMetrics(),
+		httpm:       newHTTPMetrics(),
+		started:     time.Now(),
+		graphPool:   new(codec.Pool),
+		bufPool:     sync.Pool{New: func() any { return new(bytes.Buffer) }},
+		solverNames: engine.Names(),
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = NewCache(cfg.CacheSize, cfg.CacheShards)
@@ -211,13 +237,13 @@ func sanitizeRequestID(id string) string {
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		rid := sanitizeRequestID(r.Header.Get("X-Request-ID"))
+		rid := sanitizeRequestID(r.Header.Get("X-Request-Id"))
 		if rid == "" {
 			rid = obs.NewRequestID()
 		}
 		r = r.WithContext(obs.WithRequestID(r.Context(), rid))
 		sw := &statusWriter{ResponseWriter: w}
-		sw.Header().Set("X-Request-ID", rid)
+		sw.Header().Set("X-Request-Id", rid)
 		r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 		s.httpm.addInFlight(1)
 		h(sw, r)
@@ -227,15 +253,17 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		}
 		elapsed := time.Since(start)
 		s.httpm.observe(route, sw.code, elapsed)
-		s.cfg.Logger.Info("request",
-			"method", r.Method,
-			"route", route,
-			"status", sw.code,
-			"bytes", sw.bytes,
-			"duration", elapsed,
-			"remote", r.RemoteAddr,
-			"requestID", rid,
-			"cache", sw.Header().Get("X-Cache"),
+		// LogAttrs with typed attrs: slog.Value keeps ints and durations
+		// inline, so the log line costs no boxing allocations per request.
+		// Exactly five attrs — slog.Record holds that many without growing.
+		// The method is implied by the route (every pattern in routes() is
+		// method-qualified), and the response size rides the metrics instead.
+		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("route", route),
+			slog.Int("status", sw.code),
+			slog.Duration("duration", elapsed),
+			slog.String("remote", r.RemoteAddr),
+			slog.String("requestID", rid),
 		)
 	})
 }
