@@ -12,6 +12,18 @@
 //	partition -algo bandwidth  -k 100 -trace-out t.json  # Chrome trace-event JSON
 //	partition -list                                   # list registered solvers
 //
+// With -server the solve runs remotely as a partitiond async job instead of
+// in-process — the road for solves longer than the daemon's synchronous
+// deadline:
+//
+//	partition -server http://localhost:8080 -algo treecut-exact -k 900 -submit -in tree.txt
+//	partition -server http://localhost:8080 -algo treecut-exact -k 900 -submit -wait -in tree.txt
+//	partition -server http://localhost:8080 -wait -job j1b2c3…   # attach to a submitted job
+//
+// -submit prints the job ID and its events URL; -wait follows the job's SSE
+// stream (progress on stderr) and prints the solve report once it lands,
+// exiting non-zero when the job failed or was canceled.
+//
 // -algo accepts any solver name from the engine registry (see -list);
 // "pipeline" is kept as an alias for "partition-tree". The input is read
 // from stdin when -in is omitted and its encoding is auto-detected: a PGB1
@@ -55,6 +67,11 @@ func run() error {
 	traceOut := flag.String("trace-out", "", "write the trace as Chrome trace-event JSON to this file (implies -trace; load via chrome://tracing or ui.perfetto.dev)")
 	verifyFlag := flag.Bool("verify", false, "re-check the result against the solver-independent optimality certificate")
 	list := flag.Bool("list", false, "list registered solver names and exit")
+	serverURL := flag.String("server", "", "partitiond base URL: solve remotely through the async jobs API instead of in-process")
+	submit := flag.Bool("submit", false, "with -server: submit the solve as a job and print its ID")
+	wait := flag.Bool("wait", false, "with -server: follow the job's SSE stream and print the result when it lands")
+	jobID := flag.String("job", "", "with -server -wait: attach to an existing job instead of submitting")
+	priority := flag.Int("priority", 0, "with -server: job queue priority (higher runs first)")
 	in := flag.String("in", "", "input graph file (default stdin)")
 	dot := flag.String("dot", "", "write a Graphviz rendering of the partition to this file")
 	procs := flag.Int("procs", 0, "processors for the metrics report (default: number of components)")
@@ -66,6 +83,17 @@ func run() error {
 			fmt.Println(name)
 		}
 		return nil
+	}
+	if *serverURL == "" && (*submit || *wait || *jobID != "" || *priority != 0) {
+		return fmt.Errorf("-submit, -wait, -job and -priority need -server")
+	}
+	if *serverURL != "" {
+		return runRemote(remoteArgs{
+			server: *serverURL, algo: *algo, k: *k, maxProcs: *maxProcs,
+			timeout: *timeout, verify: *verifyFlag, in: *in,
+			submit: *submit, wait: *wait, jobID: *jobID, priority: *priority,
+			localOnly: *sweep != "" || *dot != "" || *traceFlag || *traceOut != "" || *stats,
+		})
 	}
 	if *sweep == "" && !(*k > 0) {
 		return fmt.Errorf("-k must be positive (got %v)", *k)

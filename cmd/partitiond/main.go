@@ -15,12 +15,19 @@
 //
 //	POST /v1/solve    one solve: {"solver","k","graph",...}
 //	POST /v1/batch    many solves on a bounded worker pool
-//	GET  /v1/solvers  registry names and graph kinds
+//	POST /v1/jobs     async solve job (202 + job ID); same bodies as /v1/solve
+//	GET  /v1/jobs     retained jobs, newest first
+//	GET  /v1/jobs/{id}         job status (+ result once succeeded)
+//	GET  /v1/jobs/{id}/events  Server-Sent Events progress stream
+//	DELETE /v1/jobs/{id}       cancel
+//	GET  /v1/solvers  registry names, graph kinds and server limits
 //	GET  /healthz     liveness (503 while draining)
 //	GET  /metrics     Prometheus text format
 //
-// On SIGINT/SIGTERM the server drains: new requests get 503, in-flight
-// solves run to completion (bounded by -drain), then the process exits.
+// On SIGINT/SIGTERM the server drains: new requests and job submissions get
+// 503, queued jobs turn terminal canceled, in-flight solves and running jobs
+// get -drain to finish (then running jobs are force-canceled), and the
+// process exits.
 package main
 
 import (
@@ -57,7 +64,11 @@ func run() error {
 	maxTimeout := flag.Duration("max-timeout", time.Minute, "cap on client-requested solve deadlines")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429/503 responses")
 	batchWorkers := flag.Int("batch-workers", 0, "worker pool size per /v1/batch call (0 = max-concurrent)")
-	drain := flag.Duration("drain", 15*time.Second, "how long to wait for in-flight solves on shutdown")
+	jobWorkers := flag.Int("job-workers", 0, "async job worker pool size (0 = max-concurrent)")
+	jobQueue := flag.Int("job-queue", 64, "max jobs waiting for a worker; beyond it submissions are shed with 429")
+	jobRetention := flag.Duration("job-retention", 15*time.Minute, "how long finished jobs (and their results) stay fetchable")
+	maxJobTimeout := flag.Duration("max-job-timeout", 15*time.Minute, "cap on a job's total lifetime (queue wait included); also the default when the submission names none")
+	drain := flag.Duration("drain", 15*time.Second, "how long to wait for in-flight solves and running jobs on shutdown")
 	logFormat := flag.String("log", "text", "log format: text | json")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty disables); keep it off public interfaces")
 	flag.Parse()
@@ -80,6 +91,8 @@ func run() error {
 		{"-timeout", *timeout},
 		{"-max-timeout", *maxTimeout},
 		{"-retry-after", *retryAfter},
+		{"-job-retention", *jobRetention},
+		{"-max-job-timeout", *maxJobTimeout},
 		{"-drain", *drain},
 	} {
 		if d.val <= 0 {
@@ -91,6 +104,12 @@ func run() error {
 	}
 	if *batchWorkers < 0 {
 		return fmt.Errorf("-batch-workers must be non-negative (got %d)", *batchWorkers)
+	}
+	if *jobWorkers < 0 {
+		return fmt.Errorf("-job-workers must be non-negative (got %d)", *jobWorkers)
+	}
+	if *jobQueue <= 0 {
+		return fmt.Errorf("-job-queue must be positive (got %d)", *jobQueue)
 	}
 
 	var handler slog.Handler
@@ -115,6 +134,10 @@ func run() error {
 		MaxTimeout:     *maxTimeout,
 		RetryAfter:     *retryAfter,
 		BatchWorkers:   *batchWorkers,
+		JobWorkers:     *jobWorkers,
+		JobQueue:       *jobQueue,
+		JobRetention:   *jobRetention,
+		MaxJobTimeout:  *maxJobTimeout,
 		Logger:         logger,
 	}
 	if *cacheSize == 0 {

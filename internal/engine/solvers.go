@@ -8,9 +8,10 @@ import (
 	"repro/internal/graph"
 )
 
-// This file registers every partitioner of the repository. Registry names
-// are part of the public surface (the CLI accepts them, README documents
-// them); keep them stable.
+// This file registers the polynomial-time partitioners of the repository
+// (treecut.go registers the NP-hard tree-cut tier). Registry names are part
+// of the public surface (the CLI accepts them, README documents them); keep
+// them stable.
 //
 //	bandwidth          — paper §2.3 O(n + p log q) TEMP_S algorithm
 //	bandwidth-heap     — O(n log n) lazy-deletion heap baseline

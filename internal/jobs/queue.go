@@ -1,0 +1,53 @@
+package jobs
+
+import "container/heap"
+
+// jobQueue is the pending-job priority queue: higher Priority first, then
+// earlier deadline (jobs without a deadline sort after those with one), then
+// submission order. It maintains each job's heapIdx so Cancel can remove a
+// queued job in O(log n). Callers synchronize through the Manager's mutex.
+type jobQueue []*Job
+
+var _ heap.Interface = (*jobQueue)(nil)
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if !a.deadline.Equal(b.deadline) {
+		switch {
+		case a.deadline.IsZero():
+			return false
+		case b.deadline.IsZero():
+			return true
+		default:
+			return a.deadline.Before(b.deadline)
+		}
+	}
+	return a.submitSeq < b.submitSeq
+}
+
+func (q jobQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].heapIdx = i
+	q[j].heapIdx = j
+}
+
+func (q *jobQueue) Push(x any) {
+	j := x.(*Job)
+	j.heapIdx = len(*q)
+	*q = append(*q, j)
+}
+
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	j.heapIdx = -1
+	*q = old[:n-1]
+	return j
+}

@@ -1,0 +1,52 @@
+package jobs
+
+// eventRing is a bounded circular buffer of a job's most recent events.
+// Sequence numbers are contiguous, so the ring's contents are always the
+// range [lastSeq-n+1, lastSeq] and a resume point addresses it directly.
+// Callers synchronize through the owning Job's mutex.
+type eventRing struct {
+	buf   []Event
+	start int // index of the oldest event
+	n     int // number of live events
+}
+
+func newEventRing(capacity int) *eventRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &eventRing{buf: make([]Event, capacity)}
+}
+
+// append adds ev, evicting the oldest event when full.
+func (r *eventRing) append(ev Event) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = ev
+		r.n++
+		return
+	}
+	r.buf[r.start] = ev
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// since returns copies of the retained events with Seq > after, oldest
+// first. Events evicted before `after` are simply gone: the caller resumes
+// from the oldest retained event.
+func (r *eventRing) since(after uint64) []Event {
+	if r.n == 0 {
+		return nil
+	}
+	last := r.buf[(r.start+r.n-1)%len(r.buf)].Seq
+	if after >= last {
+		return nil
+	}
+	oldest := last - uint64(r.n) + 1
+	skip := 0
+	if after >= oldest {
+		skip = int(after - oldest + 1)
+	}
+	out := make([]Event, 0, r.n-skip)
+	for i := skip; i < r.n; i++ {
+		out = append(out, r.buf[(r.start+i)%len(r.buf)])
+	}
+	return out
+}

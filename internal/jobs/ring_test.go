@@ -1,0 +1,130 @@
+package jobs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func ringEvent(seq uint64) Event {
+	return Event{Seq: seq, Type: "state", Data: []byte(fmt.Sprintf(`{"n":%d}`, seq))}
+}
+
+func seqs(evs []Event) []uint64 {
+	out := make([]uint64, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Seq
+	}
+	return out
+}
+
+func TestRingSince(t *testing.T) {
+	r := newEventRing(4)
+	if got := r.since(0); got != nil {
+		t.Fatalf("empty ring since(0) = %v", got)
+	}
+	for s := uint64(1); s <= 3; s++ {
+		r.append(ringEvent(s))
+	}
+	if got := seqs(r.since(0)); fmt.Sprint(got) != "[1 2 3]" {
+		t.Errorf("since(0) = %v", got)
+	}
+	if got := seqs(r.since(2)); fmt.Sprint(got) != "[3]" {
+		t.Errorf("since(2) = %v", got)
+	}
+	if got := r.since(3); got != nil {
+		t.Errorf("since(3) = %v, want nil", got)
+	}
+	if got := r.since(99); got != nil {
+		t.Errorf("since(99) = %v, want nil", got)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := newEventRing(3)
+	for s := uint64(1); s <= 5; s++ {
+		r.append(ringEvent(s))
+	}
+	// Events 1-2 evicted; the ring holds 3-5.
+	if got := seqs(r.since(0)); fmt.Sprint(got) != "[3 4 5]" {
+		t.Errorf("since(0) after eviction = %v", got)
+	}
+	if got := seqs(r.since(3)); fmt.Sprint(got) != "[4 5]" {
+		t.Errorf("since(3) = %v", got)
+	}
+	if got := r.since(5); got != nil {
+		t.Errorf("since(5) = %v", got)
+	}
+}
+
+func TestWriteEventFraming(t *testing.T) {
+	var b strings.Builder
+	ev := Event{Seq: 7, Type: "phase", Data: []byte(`{"phase":"dp"}`)}
+	if err := WriteEvent(&b, ev); err != nil {
+		t.Fatal(err)
+	}
+	want := "id: 7\nevent: phase\ndata: {\"phase\":\"dp\"}\n\n"
+	if b.String() != want {
+		t.Errorf("frame = %q, want %q", b.String(), want)
+	}
+}
+
+func TestWriteEventMultilineData(t *testing.T) {
+	var b strings.Builder
+	ev := Event{Seq: 1, Type: "state", Data: []byte("a\nb")}
+	if err := WriteEvent(&b, ev); err != nil {
+		t.Fatal(err)
+	}
+	want := "id: 1\nevent: state\ndata: a\ndata: b\n\n"
+	if b.String() != want {
+		t.Errorf("frame = %q, want %q", b.String(), want)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, io.ErrClosedPipe }
+
+func TestWriteEventError(t *testing.T) {
+	if err := WriteEvent(failWriter{}, Event{Seq: 1, Type: "state"}); err == nil {
+		t.Fatal("want error from failed write")
+	}
+}
+
+// TestPublishSpan checks the obs bridge emits phase events with durations on
+// span end, and that publishing stops at the terminal state.
+func TestPublishSpan(t *testing.T) {
+	j := &Job{ID: "jtest", ring: newEventRing(8), notifyCh: make(chan struct{}), doneCh: make(chan struct{})}
+	j.mu.Lock()
+	j.setStateLocked(StateRunning, "")
+	j.mu.Unlock()
+
+	j.PublishSpan(obs.SpanEvent{Name: "exact-dp"})
+	j.PublishSpan(obs.SpanEvent{Name: "exact-dp", End: true, Duration: 1500 * time.Microsecond})
+	evs, _, _ := j.EventsSince(1) // skip the running event
+	if len(evs) != 2 {
+		t.Fatalf("got %d events", len(evs))
+	}
+	if string(evs[0].Data) != `{"phase":"exact-dp"}` {
+		t.Errorf("start payload = %s", evs[0].Data)
+	}
+	if string(evs[1].Data) != `{"phase":"exact-dp","end":true,"duration_ms":1.5}` {
+		t.Errorf("end payload = %s", evs[1].Data)
+	}
+
+	j.mu.Lock()
+	j.setStateLocked(StateSucceeded, "")
+	j.mu.Unlock()
+	j.PublishSpan(obs.SpanEvent{Name: "late"})
+	after, _, terminal := j.EventsSince(evs[1].Seq)
+	if !terminal {
+		t.Error("not terminal after succeeded")
+	}
+	if len(after) != 1 || after[0].Type != "state" {
+		t.Errorf("events after terminal = %+v, want only the terminal state", after)
+	}
+}

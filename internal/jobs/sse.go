@@ -1,0 +1,64 @@
+package jobs
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// phasePayload is the Data of "phase" events: one solve-phase span opening
+// (End false) or closing (End true, with its duration).
+type phasePayload struct {
+	Phase      string  `json:"phase"`
+	End        bool    `json:"end,omitempty"`
+	Root       bool    `json:"root,omitempty"`
+	DurationMS float64 `json:"duration_ms,omitempty"`
+}
+
+// PublishSpan bridges one live trace span notification into the job's event
+// stream as a "phase" event. Wire it as the obs.Trace OnSpan hook of the
+// trace the solve runs under:
+//
+//	tr := obs.New("job " + solver)
+//	tr.OnSpan = job.PublishSpan
+//
+// It is safe for concurrent use, as OnSpan requires.
+func (j *Job) PublishSpan(ev obs.SpanEvent) {
+	p := phasePayload{Phase: ev.Name, End: ev.End, Root: ev.Root}
+	if ev.End {
+		p.DurationMS = float64(ev.Duration.Microseconds()) / 1e3
+	}
+	j.publish("phase", p)
+}
+
+// WriteEvent writes ev as one Server-Sent Events frame:
+//
+//	id: <seq>
+//	event: <type>
+//	data: <json>
+//	<blank line>
+//
+// The id line carries the sequence number a client echoes back in
+// Last-Event-ID to resume; because Data was serialized at publish time, a
+// replayed frame is byte-identical to its first delivery.
+func WriteEvent(w io.Writer, ev Event) error {
+	var b bytes.Buffer
+	b.WriteString("id: ")
+	b.WriteString(strconv.FormatUint(ev.Seq, 10))
+	b.WriteString("\nevent: ")
+	b.WriteString(ev.Type)
+	b.WriteByte('\n')
+	// JSON marshaling never emits raw newlines, but guard the framing
+	// anyway: each line of the payload gets its own data: field per the SSE
+	// grammar.
+	for _, line := range bytes.Split(ev.Data, []byte{'\n'}) {
+		b.WriteString("data: ")
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	_, err := w.Write(b.Bytes())
+	return err
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestOnSpanHook checks the live span-event subscription: every child span
+// delivers a start and an end event in order, the root delivers only its end,
+// and durations/starts match the recorded spans.
+func TestOnSpanHook(t *testing.T) {
+	tr := New("root")
+	var mu sync.Mutex
+	var got []SpanEvent
+	tr.OnSpan = func(ev SpanEvent) {
+		mu.Lock()
+		got = append(got, ev)
+		mu.Unlock()
+	}
+	ctx := NewContext(context.Background(), tr)
+
+	sp := Phase(ctx, "alpha")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	sctx, sp2 := StartSpan(ctx, "beta")
+	inner := Phase(sctx, "beta-inner")
+	inner.End()
+	sp2.End()
+	tr.Finish()
+
+	mu.Lock()
+	defer mu.Unlock()
+	want := []struct {
+		name string
+		end  bool
+		root bool
+	}{
+		{"alpha", false, false},
+		{"alpha", true, false},
+		{"beta", false, false},
+		{"beta-inner", false, false},
+		{"beta-inner", true, false},
+		{"beta", true, false},
+		{"root", true, true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		ev := got[i]
+		if ev.Name != w.name || ev.End != w.end || ev.Root != w.root {
+			t.Errorf("event %d = {%s end=%v root=%v}, want {%s end=%v root=%v}",
+				i, ev.Name, ev.End, ev.Root, w.name, w.end, w.root)
+		}
+		if ev.Start.IsZero() {
+			t.Errorf("event %d has zero Start", i)
+		}
+		if ev.End && ev.Duration <= 0 {
+			t.Errorf("event %d End with non-positive duration %v", i, ev.Duration)
+		}
+		if !ev.End && ev.Duration != 0 {
+			t.Errorf("event %d start with duration %v, want 0", i, ev.Duration)
+		}
+	}
+	if got[1].Duration < time.Millisecond {
+		t.Errorf("alpha duration %v, want >= 1ms", got[1].Duration)
+	}
+}
+
+// TestOnSpanDoubleEnd checks a second End delivers no duplicate event.
+func TestOnSpanDoubleEnd(t *testing.T) {
+	tr := New("root")
+	var n int
+	tr.OnSpan = func(SpanEvent) { n++ }
+	ctx := NewContext(context.Background(), tr)
+	sp := Phase(ctx, "p")
+	sp.End()
+	sp.End()
+	if n != 2 { // start + one end
+		t.Fatalf("events = %d, want 2", n)
+	}
+}
+
+// TestOnSpanNilSafe checks the hook is optional: traces without one behave
+// exactly as before.
+func TestOnSpanNilSafe(t *testing.T) {
+	tr := New("root")
+	ctx := NewContext(context.Background(), tr)
+	sp := Phase(ctx, "p")
+	sp.End()
+	tr.Finish()
+	if tot := tr.PhaseTotals(); tot["p"].Count != 1 {
+		t.Fatalf("PhaseTotals = %+v", tot)
+	}
+}

@@ -56,6 +56,24 @@ type Span struct {
 	childBuf [4]*Span
 }
 
+// SpanEvent is a live notification that a span started or ended, delivered
+// to a Trace's OnSpan hook while the traced operation is still running. It is
+// the bridge between phase tracing and streaming progress surfaces (the jobs
+// subsystem turns these into Server-Sent Events).
+type SpanEvent struct {
+	// Name is the span's phase name.
+	Name string
+	// Start is the span's wall-clock start.
+	Start time.Time
+	// Duration is the span's wall time; zero in start notifications.
+	Duration time.Duration
+	// End is false when the span just started, true when it ended.
+	End bool
+	// Root marks events of the trace's root span (only its end is ever
+	// delivered — the root starts before any hook can be installed).
+	Root bool
+}
+
 // Trace is one request's span tree. Construct with New, attach to a context
 // with NewContext, and close with Finish once the traced operation is done.
 // All mutation goes through one per-trace mutex, so concurrent solves (a
@@ -64,6 +82,14 @@ type Trace struct {
 	// RequestID tags the trace with the originating request's correlation
 	// ID; empty when the caller has none.
 	RequestID string
+
+	// OnSpan, when non-nil, receives a SpanEvent as each span starts and
+	// ends — the live subscription hook progress streams attach to. Set it
+	// after New and before the trace's context is used; it is read without
+	// synchronization afterwards, from whichever goroutines open spans, so
+	// the hook itself must be safe for concurrent calls. The hook runs
+	// outside the trace mutex and must not call back into the trace.
+	OnSpan func(SpanEvent)
 
 	mu   sync.Mutex
 	root *Span
@@ -179,14 +205,18 @@ func Phase(ctx context.Context, name string) *Span {
 // child appends a started span under s.
 func (s *Span) child(name string) *Span {
 	now := time.Now()
-	s.tr.mu.Lock()
-	sp := s.tr.newSpan()
-	sp.Name, sp.Start, sp.tr = name, now, s.tr
+	tr := s.tr
+	tr.mu.Lock()
+	sp := tr.newSpan()
+	sp.Name, sp.Start, sp.tr = name, now, tr
 	if s.children == nil {
 		s.children = s.childBuf[:0]
 	}
 	s.children = append(s.children, sp)
-	s.tr.mu.Unlock()
+	tr.mu.Unlock()
+	if tr.OnSpan != nil {
+		tr.OnSpan(SpanEvent{Name: name, Start: now})
+	}
 	return sp
 }
 
@@ -197,11 +227,17 @@ func (s *Span) End() {
 		return
 	}
 	d := time.Since(s.Start)
-	s.tr.mu.Lock()
-	if s.Duration == 0 {
+	tr := s.tr
+	tr.mu.Lock()
+	first := s.Duration == 0
+	if first {
 		s.Duration = d
 	}
-	s.tr.mu.Unlock()
+	root := s == tr.root
+	tr.mu.Unlock()
+	if first && tr.OnSpan != nil {
+		tr.OnSpan(SpanEvent{Name: s.Name, Start: s.Start, Duration: d, End: true, Root: root})
+	}
 }
 
 // SetAttr annotates the span. Safe on a nil span.

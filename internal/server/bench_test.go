@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
@@ -10,9 +11,11 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/codec"
 	"repro/internal/graph"
+	"repro/internal/jobs"
 	"repro/internal/workload"
 )
 
@@ -225,5 +228,93 @@ func BenchmarkServerAtConcurrencyLimit(b *testing.B) {
 	st := s.CacheStats()
 	if st.Hits+st.Misses > 0 {
 		b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses)*100, "cache_hit_%")
+	}
+}
+
+// benchShutdownJobs stops the benchmark server's job workers so the next
+// benchmark's goroutine counts start clean.
+func benchShutdownJobs(b *testing.B, s *Server) {
+	b.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.jobs.Shutdown(ctx); err != nil {
+		b.Fatalf("jobs shutdown: %v", err)
+	}
+}
+
+// BenchmarkDirectSolveBaseline is the comparison point for the jobs
+// overhead benchmark: the same uncached solve through the synchronous
+// route, one request per iteration.
+func BenchmarkDirectSolveBaseline(b *testing.B) {
+	s := benchServer(b, Config{MaxConcurrent: 1, MaxQueue: 4})
+	defer benchShutdownJobs(b, s)
+	body := benchBody(b, 512, func(p *graph.Path) float64 { return 4 * p.MaxNodeWeight() }, "bandwidth", true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rec := post(s.Handler(), body); rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkJobSubmitToResult measures the full async round trip for the
+// solve in BenchmarkDirectSolveBaseline: POST /v1/jobs, follow the SSE
+// stream to the terminal event, GET the result. The delta against the
+// baseline is the price of durability — queue hop, worker hand-off, event
+// ring, SSE rendering, result fetch.
+func BenchmarkJobSubmitToResult(b *testing.B) {
+	s := benchServer(b, Config{MaxConcurrent: 1, MaxQueue: 4})
+	defer benchShutdownJobs(b, s)
+	// The same graph and K the baseline solves, wrapped in a job submission.
+	r := workload.NewRNG(11)
+	p := workload.RandomPath(r, 512, workload.UniformWeights(1, 100), workload.UniformWeights(1, 100))
+	var gbuf bytes.Buffer
+	if err := graph.WriteJSON(&gbuf, p); err != nil {
+		b.Fatal(err)
+	}
+	body, err := json.Marshal(jobSubmitRequest{solveRequest: solveRequest{
+		Solver:  "bandwidth",
+		K:       4 * p.MaxNodeWeight(),
+		Graph:   gbuf.Bytes(),
+		NoCache: true,
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := s.Handler()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest("POST", "/v1/jobs", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusAccepted {
+			b.Fatalf("submit status %d: %s", rec.Code, rec.Body.String())
+		}
+		var sub jobSubmitResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &sub); err != nil {
+			b.Fatal(err)
+		}
+		// The events handler returns only after the terminal state event, so
+		// one synchronous request doubles as the wait.
+		erec := httptest.NewRecorder()
+		h.ServeHTTP(erec, httptest.NewRequest("GET", "/v1/jobs/"+sub.ID+"/events", nil))
+		if erec.Code != http.StatusOK {
+			b.Fatalf("events status %d", erec.Code)
+		}
+		grec := httptest.NewRecorder()
+		h.ServeHTTP(grec, httptest.NewRequest("GET", "/v1/jobs/"+sub.ID, nil))
+		if grec.Code != http.StatusOK {
+			b.Fatalf("get status %d", grec.Code)
+		}
+		var st jobStatusResponse
+		if err := json.Unmarshal(grec.Body.Bytes(), &st); err != nil {
+			b.Fatal(err)
+		}
+		if st.State != jobs.StateSucceeded || st.Result == nil {
+			b.Fatalf("job landed as %s (%s)", st.State, st.Error)
+		}
 	}
 }

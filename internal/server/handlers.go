@@ -683,6 +683,29 @@ type solverInfo struct {
 	Objective string `json:"objective"`
 }
 
+// limitsInfo publishes the server's operational limits so clients can size
+// requests (and pick the sync vs jobs route) without trial and error.
+type limitsInfo struct {
+	MaxNodes         int   `json:"maxNodes"`
+	MaxBodyBytes     int64 `json:"maxBodyBytes"`
+	MaxBatchRequests int   `json:"maxBatchRequests"`
+	MaxConcurrent    int   `json:"maxConcurrent"`
+	MaxQueue         int   `json:"maxQueue"`
+	DefaultTimeoutMs int64 `json:"defaultTimeoutMs"`
+	MaxTimeoutMs     int64 `json:"maxTimeoutMs"`
+	JobWorkers       int   `json:"jobWorkers"`
+	JobQueue         int   `json:"jobQueue"`
+	JobRetentionMs   int64 `json:"jobRetentionMs"`
+	MaxJobTimeoutMs  int64 `json:"maxJobTimeoutMs"`
+}
+
+// solversResponse is the body of GET /v1/solvers: the registry plus the
+// server's limits.
+type solversResponse struct {
+	Solvers []solverInfo `json:"solvers"`
+	Limits  limitsInfo   `json:"limits"`
+}
+
 func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 	names := engine.Names()
 	out := make([]solverInfo, 0, len(names))
@@ -697,7 +720,22 @@ func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 			Objective: engine.ObjectiveOf(sol).String(),
 		})
 	}
-	body, _ := json.Marshal(out)
+	body, _ := json.Marshal(solversResponse{
+		Solvers: out,
+		Limits: limitsInfo{
+			MaxNodes:         s.cfg.MaxNodes,
+			MaxBodyBytes:     s.cfg.MaxBodyBytes,
+			MaxBatchRequests: s.cfg.MaxBatchRequests,
+			MaxConcurrent:    s.cfg.MaxConcurrent,
+			MaxQueue:         s.cfg.MaxQueue,
+			DefaultTimeoutMs: s.cfg.DefaultTimeout.Milliseconds(),
+			MaxTimeoutMs:     s.cfg.MaxTimeout.Milliseconds(),
+			JobWorkers:       s.cfg.JobWorkers,
+			JobQueue:         s.cfg.JobQueue,
+			JobRetentionMs:   s.cfg.JobRetention.Milliseconds(),
+			MaxJobTimeoutMs:  s.cfg.MaxJobTimeout.Milliseconds(),
+		},
+	})
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -731,5 +769,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		verifyUncertified: s.verifyUncertified.Load(),
 		uptime:            time.Since(s.started),
 	})
+	writeJobsMetrics(w, s.jobs.Stats())
 	s.solvem.writeTo(w)
 }

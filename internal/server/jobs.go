@@ -1,0 +1,372 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/jobs"
+	"repro/internal/obs"
+)
+
+// The async jobs API. A solve submitted as a job outlives its HTTP request:
+// POST /v1/jobs answers 202 immediately with a job ID, the solve runs on the
+// job worker pool (sharing admission slots with the synchronous routes), and
+// the client follows along over GET /v1/jobs/{id}/events — a Server-Sent
+// Events stream of state transitions and live solve-phase spans — or polls
+// GET /v1/jobs/{id}. DELETE /v1/jobs/{id} cancels; the engine's context
+// plumbing aborts the solver mid-loop. Results are retained for
+// Config.JobRetention and flow through the same fingerprint-keyed cache as
+// /v1/solve, and a submission identical to a queued or running job
+// (fingerprint, solver, K, options) joins it instead of solving twice.
+
+// jobSubmitRequest is the JSON body of POST /v1/jobs: a solve request plus
+// queue placement. Binary (PSV1) bodies carry the same solve fields and take
+// the priority from the "priority" query parameter.
+type jobSubmitRequest struct {
+	solveRequest
+	// Priority orders the job queue; higher runs first (default 0).
+	Priority int `json:"priority,omitempty"`
+}
+
+// jobSubmitResponse is the 202 body of POST /v1/jobs.
+type jobSubmitResponse struct {
+	jobs.Snapshot
+	// Joined is true when the submission deduplicated onto an existing
+	// queued or running job — Snapshot describes that job.
+	Joined bool `json:"joined,omitempty"`
+	// EventsURL is the job's SSE stream path.
+	EventsURL string `json:"eventsUrl"`
+}
+
+// jobStatusResponse is the body of GET /v1/jobs/{id}: the snapshot, plus the
+// solve result once the job succeeded.
+type jobStatusResponse struct {
+	jobs.Snapshot
+	// Result is the same JSON object a synchronous /v1/solve would have
+	// returned, present only in state "succeeded".
+	Result json.RawMessage `json:"result,omitempty"`
+	// Cached marks a result served from the result cache without a solve.
+	Cached bool `json:"cached,omitempty"`
+}
+
+// jobResult is what a job's run closure returns: the rendered solve
+// response.
+type jobResult struct {
+	body   []byte
+	cached bool
+}
+
+// jobDedupKey identifies a solve for job deduplication: every parameter
+// that changes the answer (the response-format flag excluded — job results
+// are always rendered as JSON).
+func jobDedupKey(p parsedSolve) string {
+	return fmt.Sprintf("%016x|%s|%016x|%d|%t|%t",
+		p.fp, p.req.Solver, math.Float64bits(p.req.K), p.req.MaxComponents, p.req.Verify, p.req.Trace)
+}
+
+// jobAcquire is the manager's admission hook: job workers borrow solve slots
+// from the same limiter as the synchronous routes, but only ever take free
+// ones — polling TryAcquire instead of joining the bounded HTTP wait queue,
+// whose occupancy and shed counters describe interactive traffic.
+func (s *Server) jobAcquire(ctx context.Context) (func(), error) {
+	if release, ok := s.limiter.TryAcquire(); ok {
+		return release, nil
+	}
+	t := time.NewTicker(10 * time.Millisecond)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-t.C:
+			if release, ok := s.limiter.TryAcquire(); ok {
+				return release, nil
+			}
+		}
+	}
+}
+
+// jobRun builds the closure the worker pool executes for a submitted solve:
+// cache lookup, then an engine solve under a fresh trace whose live span
+// events feed the job's SSE stream, then cache fill. rid is the submitting
+// request's ID, carried into solver logs and engine events for correlation.
+func (s *Server) jobRun(p parsedSolve, rid string) jobs.RunFunc {
+	key := newCacheKey(p.fp, p.req.Solver, p.req.K, p.req.MaxComponents, p.req.Verify, p.req.Trace, false)
+	return func(ctx context.Context, j *jobs.Job) (any, error) {
+		if !p.req.NoCache {
+			if body, ok := s.cache.Get(key); ok {
+				return jobResult{body: body, cached: true}, nil
+			}
+		}
+		tr := obs.New("job " + p.req.Solver)
+		tr.RequestID = rid
+		tr.OnSpan = j.PublishSpan
+		ctx = obs.WithRequestID(ctx, rid)
+		ctx = engine.WithJobID(ctx, j.ID)
+		ereq := engine.Request{
+			Solver: p.req.Solver,
+			K:      p.req.K,
+			Options: engine.Options{
+				MaxComponents: p.req.MaxComponents,
+				// No Options.Timeout: the job's own deadline rides ctx.
+				Observer: s.observer,
+			},
+		}
+		switch g := p.g.(type) {
+		case *graph.Path:
+			ereq.Path = g
+		case *graph.Tree:
+			ereq.Tree = g
+		}
+		res, err := engine.Solve(obs.NewContext(ctx, tr), ereq)
+		tr.Finish()
+		if err != nil {
+			return nil, err
+		}
+		var cert *verifyInfo
+		if p.req.Verify {
+			cert = s.certifyResult(ereq, res)
+		}
+		var spans *obs.SpanNode
+		if p.req.Trace {
+			spans = tr.Tree()
+		}
+		body, err := marshalResult(p.fp, res, cert, spans)
+		if err != nil {
+			return nil, err
+		}
+		if !p.req.NoCache {
+			s.cache.Put(key, body)
+		}
+		return jobResult{body: body}, nil
+	}
+}
+
+// handleJobSubmit is POST /v1/jobs. The body is the same JSON or PSV1
+// binary solve request /v1/solve takes; the response is a 202 with the job
+// snapshot. TimeoutMs bounds the job's total lifetime (queue wait included)
+// up to Config.MaxJobTimeout, which also serves as the default — jobs exist
+// for solves too long for the synchronous deadline.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var (
+		p        parsedSolve
+		priority int
+	)
+	if isBinaryMedia(r.Header.Get("Content-Type")) {
+		if pv := r.URL.Query().Get("priority"); pv != "" {
+			var err error
+			priority, err = strconv.Atoi(pv)
+			if err != nil {
+				s.writeError(w, http.StatusBadRequest, `bad "priority" query parameter: `+err.Error())
+				return
+			}
+		}
+		buf, err := s.readBody(r)
+		if err != nil {
+			s.writeError(w, requestErrStatus(err), "bad request body: "+err.Error())
+			return
+		}
+		var rest []byte
+		// Jobs outlive the request, so the graph decodes into plain arrays:
+		// the codec pool's recycling discipline is tied to request lifetime.
+		p, rest, err = s.parseBinarySolveInto(buf.Bytes(), nil)
+		s.bufPool.Put(buf)
+		if err != nil {
+			s.writeError(w, requestErrStatus(err), err.Error())
+			return
+		}
+		if len(rest) != 0 {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("%d trailing bytes after the solve frame", len(rest)))
+			return
+		}
+	} else {
+		var req jobSubmitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.writeError(w, requestErrStatus(err), "bad request body: "+err.Error())
+			return
+		}
+		priority = req.Priority
+		var err error
+		p, err = s.parseSolve(req.solveRequest)
+		if err != nil {
+			s.writeError(w, requestErrStatus(err), err.Error())
+			return
+		}
+	}
+	timeout := s.cfg.MaxJobTimeout
+	if ms := p.req.TimeoutMs; ms > 0 {
+		timeout = time.Duration(ms) * time.Millisecond
+		if timeout > s.cfg.MaxJobTimeout {
+			timeout = s.cfg.MaxJobTimeout
+		}
+	}
+	j, joined, err := s.jobs.Submit(jobs.Spec{
+		Key:      jobDedupKey(p),
+		Priority: priority,
+		Timeout:  timeout,
+		Run:      s.jobRun(p, obs.RequestIDFrom(r.Context())),
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, jobs.ErrQueueFull):
+			w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(s.cfg.RetryAfter.Seconds()))))
+			s.writeError(w, http.StatusTooManyRequests, "job queue full")
+		case errors.Is(err, jobs.ErrShuttingDown):
+			s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		default:
+			s.writeError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	body, _ := json.Marshal(jobSubmitResponse{
+		Snapshot:  j.Snapshot(),
+		Joined:    joined,
+		EventsURL: "/v1/jobs/" + j.ID + "/events",
+	})
+	writeJSON(w, http.StatusAccepted, body)
+}
+
+// jobOr404 resolves the {id} path value, answering the 404 itself when the
+// job is unknown (never submitted, or already swept by retention).
+func (s *Server) jobOr404(w http.ResponseWriter, r *http.Request) *jobs.Job {
+	j := s.jobs.Get(r.PathValue("id"))
+	if j == nil {
+		s.writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+	}
+	return j
+}
+
+// handleJobGet is GET /v1/jobs/{id}.
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j := s.jobOr404(w, r)
+	if j == nil {
+		return
+	}
+	resp := jobStatusResponse{Snapshot: j.Snapshot()}
+	if res, ok := j.Result(); ok {
+		if jr, ok := res.(jobResult); ok {
+			resp.Result = jr.body
+			resp.Cached = jr.cached
+		}
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleJobList is GET /v1/jobs: every retained job, newest first.
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	type listResponse struct {
+		Jobs []jobs.Snapshot `json:"jobs"`
+	}
+	snaps := s.jobs.List()
+	if snaps == nil {
+		snaps = []jobs.Snapshot{}
+	}
+	body, _ := json.Marshal(listResponse{Jobs: snaps})
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: request cancellation and answer
+// 202 with the job's snapshot. A queued job is terminal in the response; a
+// running one transitions once the solver notices its context.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, found := s.jobs.Cancel(id); !found {
+		s.writeError(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	var resp jobStatusResponse
+	if j := s.jobs.Get(id); j != nil {
+		resp.Snapshot = j.Snapshot()
+	}
+	body, _ := json.Marshal(resp)
+	writeJSON(w, http.StatusAccepted, body)
+}
+
+// jobsKeepAlive is the SSE comment-ping cadence; it keeps idle streams from
+// tripping proxy and LB idle timeouts between solve phases.
+const jobsKeepAlive = 15 * time.Second
+
+// handleJobEvents is GET /v1/jobs/{id}/events: the job's progress as
+// Server-Sent Events. Replay is cursor-based — the stream starts after the
+// sequence number in Last-Event-ID (or the "after" query parameter), so a
+// reconnecting client resumes exactly where it left off, with frames byte-
+// identical to their first delivery while they remain in the job's event
+// ring. The stream ends after the terminal state event.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.jobOr404(w, r)
+	if j == nil {
+		return
+	}
+	after := uint64(0)
+	cursor := r.Header.Get("Last-Event-ID")
+	if cursor == "" {
+		cursor = r.URL.Query().Get("after")
+	}
+	if cursor != "" {
+		v, err := strconv.ParseUint(cursor, 10, 64)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, "bad event cursor: "+err.Error())
+			return
+		}
+		after = v
+	}
+	rc := http.NewResponseController(w)
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	if err := rc.Flush(); err != nil {
+		return // streaming unsupported by the underlying writer
+	}
+	keepAlive := time.NewTicker(jobsKeepAlive)
+	defer keepAlive.Stop()
+	for {
+		evs, notify, terminal := j.EventsSince(after)
+		for _, ev := range evs {
+			if err := jobs.WriteEvent(w, ev); err != nil {
+				return
+			}
+			after = ev.Seq
+		}
+		if len(evs) > 0 {
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		case <-keepAlive.C:
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			if err := rc.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}

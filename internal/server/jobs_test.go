@@ -1,0 +1,567 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// submitJob posts a job submission and decodes the 202 response.
+func submitJob(t *testing.T, ts *httptest.Server, body any) jobSubmitResponse {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status = %d, body = %s", resp.StatusCode, raw)
+	}
+	var out jobSubmitResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatalf("bad submit response: %v (%s)", err, raw)
+	}
+	if out.ID == "" || out.EventsURL == "" {
+		t.Fatalf("submit response incomplete: %+v", out)
+	}
+	return out
+}
+
+// getJob fetches GET /v1/jobs/{id}.
+func getJob(t *testing.T, ts *httptest.Server, id string) jobStatusResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get job status = %d, body = %s", resp.StatusCode, raw)
+	}
+	var out jobStatusResponse
+	if err := json.Unmarshal(raw, &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// waitJobState polls GET /v1/jobs/{id} until the state matches.
+func waitJobState(t *testing.T, ts *httptest.Server, id string, want jobs.State) jobStatusResponse {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := getJob(t, ts, id)
+		if st.State == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s state = %s, want %s", id, st.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// sseFrame is one parsed SSE frame plus its raw bytes.
+type sseFrame struct {
+	id    string
+	event string
+	data  string
+	raw   string
+}
+
+// openSSE connects to a job's event stream; lastEventID "" omits the header.
+func openSSE(t *testing.T, ts *httptest.Server, id, lastEventID string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest("GET", ts.URL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("events status = %d, body = %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	return resp
+}
+
+// readFrames reads SSE frames until stop returns true or the stream ends.
+// Keepalive comments are skipped (they never appear inside a frame's raw
+// bytes here: tests run far under the keepalive cadence).
+func readFrames(t *testing.T, r *bufio.Reader, stop func(sseFrame) bool) []sseFrame {
+	t.Helper()
+	var frames []sseFrame
+	var cur sseFrame
+	var raw strings.Builder
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return frames // disconnect or stream end
+		}
+		if strings.HasPrefix(line, ":") {
+			continue // keepalive comment
+		}
+		raw.WriteString(line)
+		switch {
+		case line == "\n":
+			cur.raw = raw.String()
+			frames = append(frames, cur)
+			done := stop(cur)
+			cur, raw = sseFrame{}, strings.Builder{}
+			if done {
+				return frames
+			}
+		case strings.HasPrefix(line, "id: "):
+			cur.id = strings.TrimSuffix(strings.TrimPrefix(line, "id: "), "\n")
+		case strings.HasPrefix(line, "event: "):
+			cur.event = strings.TrimSuffix(strings.TrimPrefix(line, "event: "), "\n")
+		case strings.HasPrefix(line, "data: "):
+			cur.data += strings.TrimSuffix(strings.TrimPrefix(line, "data: "), "\n")
+		}
+	}
+}
+
+func isTerminalFrame(f sseFrame) bool {
+	return f.event == "state" && (strings.Contains(f.data, "succeeded") ||
+		strings.Contains(f.data, "failed") || strings.Contains(f.data, "canceled"))
+}
+
+// TestJobLifecycle drives submit → SSE stream → result fetch end to end.
+func TestJobLifecycle(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	g := pathGraphJSON(t, 64, 3)
+
+	sub := submitJob(t, ts, jobSubmitRequest{solveRequest: solveRequest{Solver: "bandwidth", K: 500, Graph: g}})
+	if sub.State != jobs.StateQueued {
+		t.Errorf("submit state = %s, want queued", sub.State)
+	}
+
+	resp := openSSE(t, ts, sub.ID, "")
+	defer resp.Body.Close()
+	frames := readFrames(t, bufio.NewReader(resp.Body), isTerminalFrame)
+	if len(frames) < 3 {
+		t.Fatalf("got %d frames, want >= 3 (queued, running, succeeded): %+v", len(frames), frames)
+	}
+	last := frames[len(frames)-1]
+	if last.data != `{"state":"succeeded"}` {
+		t.Fatalf("terminal frame = %+v", last)
+	}
+	// Phase events from the solver's spans ride the same stream.
+	var phases int
+	for _, f := range frames {
+		if f.event == "phase" {
+			phases++
+		}
+	}
+	if phases == 0 {
+		t.Error("no phase events in the stream")
+	}
+
+	st := getJob(t, ts, sub.ID)
+	if st.State != jobs.StateSucceeded || st.Result == nil {
+		t.Fatalf("final status = %+v", st)
+	}
+	var res solveResponse
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Solver != "bandwidth" || res.K != 500 || res.NumComponents == 0 {
+		t.Errorf("job result = %+v", res)
+	}
+}
+
+// TestJobSSEDisconnectResume is the replay acceptance test: a client that
+// drops mid-stream and reconnects with Last-Event-ID receives the remaining
+// frames byte-identical to what an uninterrupted stream delivered.
+func TestJobSSEDisconnectResume(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	started, release := armGate(t)
+	g := pathGraphJSON(t, 32, 4)
+
+	sub := submitJob(t, ts, jobSubmitRequest{solveRequest: solveRequest{Solver: "test-gate", K: 100, Graph: g}})
+	<-started
+
+	// Connection A: read two frames (queued, running), then drop.
+	respA := openSSE(t, ts, sub.ID, "")
+	var n int
+	framesA := readFrames(t, bufio.NewReader(respA.Body), func(sseFrame) bool { n++; return n == 2 })
+	respA.Body.Close()
+	if len(framesA) != 2 || framesA[1].data != `{"state":"running"}` {
+		t.Fatalf("frames before disconnect: %+v", framesA)
+	}
+
+	release()
+	waitJobState(t, ts, sub.ID, jobs.StateSucceeded)
+
+	// Connection B resumes from the dropped cursor; connection C replays the
+	// whole stream. B's bytes must equal C's minus the frames B skipped.
+	respB := openSSE(t, ts, sub.ID, framesA[1].id)
+	framesB := readFrames(t, bufio.NewReader(respB.Body), isTerminalFrame)
+	respB.Body.Close()
+	respC := openSSE(t, ts, sub.ID, "")
+	framesC := readFrames(t, bufio.NewReader(respC.Body), isTerminalFrame)
+	respC.Body.Close()
+
+	if len(framesC) != len(framesA)+len(framesB) {
+		t.Fatalf("frame counts: A=%d B=%d C=%d", len(framesA), len(framesB), len(framesC))
+	}
+	var gotB, wantB bytes.Buffer
+	for _, f := range framesB {
+		gotB.WriteString(f.raw)
+	}
+	for _, f := range framesC[len(framesA):] {
+		wantB.WriteString(f.raw)
+	}
+	if !bytes.Equal(gotB.Bytes(), wantB.Bytes()) {
+		t.Errorf("resumed stream not byte-identical:\ngot:\n%s\nwant:\n%s", gotB.String(), wantB.String())
+	}
+	// And the full replay's head matches what connection A saw live.
+	for i, f := range framesA {
+		if framesC[i].raw != f.raw {
+			t.Errorf("replayed frame %d = %q, want %q", i, framesC[i].raw, f.raw)
+		}
+	}
+}
+
+// TestJobCancelRunning is the cancellation acceptance test: DELETE on a
+// running job cancels the solve through the engine's context, the SSE
+// stream ends with a terminal canceled state, and no goroutines leak.
+func TestJobCancelRunning(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	started, release := armGate(t)
+	defer release()
+	g := pathGraphJSON(t, 32, 5)
+
+	sub := submitJob(t, ts, jobSubmitRequest{solveRequest: solveRequest{Solver: "test-gate", K: 100, Graph: g}})
+	<-started
+	resp := openSSE(t, ts, sub.ID, "")
+
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/jobs/"+sub.ID, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status = %d", dresp.StatusCode)
+	}
+
+	frames := readFrames(t, bufio.NewReader(resp.Body), isTerminalFrame)
+	resp.Body.Close()
+	last := frames[len(frames)-1]
+	if !strings.Contains(last.data, `"state":"canceled"`) {
+		t.Fatalf("terminal frame after cancel = %+v", last)
+	}
+	if st := getJob(t, ts, sub.ID); st.State != jobs.StateCanceled {
+		t.Errorf("job state = %s, want canceled", st.State)
+	}
+
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.jobs.Shutdown(ctx); err != nil {
+		t.Fatalf("jobs shutdown: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	t.Fatalf("goroutines: %d before, %d after:\n%s", before, runtime.NumGoroutine(), buf[:runtime.Stack(buf, true)])
+}
+
+// TestJobDedup is the single-flight acceptance test: two submissions of the
+// identical request while the first is in flight perform exactly one solve.
+func TestJobDedup(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	started, release := armGate(t)
+	g := pathGraphJSON(t, 32, 6)
+
+	req := jobSubmitRequest{solveRequest: solveRequest{Solver: "test-gate", K: 100, Graph: g}}
+	first := submitJob(t, ts, req)
+	<-started
+	second := submitJob(t, ts, req)
+	if !second.Joined || second.ID != first.ID {
+		t.Fatalf("second submission: joined=%v id=%s, want join of %s", second.Joined, second.ID, first.ID)
+	}
+	// A different K is a different job.
+	other := submitJob(t, ts, jobSubmitRequest{solveRequest: solveRequest{Solver: "test-gate", K: 200, Graph: g}})
+	if other.Joined || other.ID == first.ID {
+		t.Fatalf("different-K submission joined: %+v", other)
+	}
+
+	release()
+	waitJobState(t, ts, first.ID, jobs.StateSucceeded)
+	waitJobState(t, ts, other.ID, jobs.StateSucceeded)
+	// The gate solver signals once per solve; first's signal was consumed
+	// above, so exactly other's should remain — the join added none.
+	if got := len(started); got != 1 {
+		t.Errorf("%d gate starts pending, want 1 (one solve per distinct job)", got)
+	}
+	if st := s.JobStats(); st.DedupJoined != 1 || st.Submitted != 2 {
+		t.Errorf("job stats = %+v", st)
+	}
+}
+
+// TestJobDeadline submits a job with a timeout too small for its solve; the
+// job must fail terminally with a deadline message.
+func TestJobDeadline(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	started, release := armGate(t)
+	defer release()
+	g := pathGraphJSON(t, 32, 7)
+
+	sub := submitJob(t, ts, jobSubmitRequest{solveRequest: solveRequest{
+		Solver: "test-gate", K: 100, Graph: g, TimeoutMs: 30}})
+	<-started
+	st := waitJobState(t, ts, sub.ID, jobs.StateFailed)
+	if !strings.Contains(st.Error, "deadline") {
+		t.Errorf("error = %q, want deadline message", st.Error)
+	}
+}
+
+// TestJobBinarySubmit submits a PSV1 binary body with a priority query
+// parameter and checks the job solves like its JSON twin.
+func TestJobBinarySubmit(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	p := testPath(t, 64, 11)
+	frame, err := AppendSolveRequest(nil, SolveParams{Solver: "bandwidth", K: 500}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs?priority=3", "application/x-partition-bin", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("binary submit = %d, body = %s", resp.StatusCode, raw)
+	}
+	var sub jobSubmitResponse
+	if err := json.Unmarshal(raw, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Priority != 3 {
+		t.Errorf("priority = %d, want 3", sub.Priority)
+	}
+	st := waitJobState(t, ts, sub.ID, jobs.StateSucceeded)
+	var res solveResponse
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Solver != "bandwidth" || res.NumComponents == 0 {
+		t.Errorf("result = %+v", res)
+	}
+}
+
+// TestJobErrors covers the 4xx surface: unknown IDs, bad cursors, bad
+// bodies.
+func TestJobErrors(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, c := range []struct {
+		method, path string
+		want         int
+	}{
+		{"GET", "/v1/jobs/nope", http.StatusNotFound},
+		{"DELETE", "/v1/jobs/nope", http.StatusNotFound},
+		{"GET", "/v1/jobs/nope/events", http.StatusNotFound},
+	} {
+		req, _ := http.NewRequest(c.method, ts.URL+c.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+
+	// Bad submission: unknown fields are tolerated but a missing solver is a
+	// 400 before any job is created.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader(`{"k":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing solver = %d, want 400", resp.StatusCode)
+	}
+	if st := s.JobStats(); st.Submitted != 0 {
+		t.Errorf("bad submission created a job: %+v", st)
+	}
+
+	// Bad resume cursor on a real job.
+	g := pathGraphJSON(t, 16, 8)
+	sub := submitJob(t, ts, jobSubmitRequest{solveRequest: solveRequest{Solver: "bandwidth", K: 500, Graph: g}})
+	waitJobState(t, ts, sub.ID, jobs.StateSucceeded)
+	req, _ := http.NewRequest("GET", ts.URL+"/v1/jobs/"+sub.ID+"/events", nil)
+	req.Header.Set("Last-Event-ID", "not-a-number")
+	bresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, bresp.Body)
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad cursor = %d, want 400", bresp.StatusCode)
+	}
+}
+
+// TestJobQueueFullShed fills the job queue and checks the 429 + Retry-After
+// shed path.
+func TestJobQueueFullShed(t *testing.T) {
+	s := newTestServer(t, Config{JobWorkers: 1, JobQueue: 1, MaxConcurrent: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	started, release := armGate(t)
+	defer release()
+	g := pathGraphJSON(t, 16, 9)
+
+	submitJob(t, ts, jobSubmitRequest{solveRequest: solveRequest{Solver: "test-gate", K: 100, Graph: g}})
+	<-started
+	submitJob(t, ts, jobSubmitRequest{solveRequest: solveRequest{Solver: "test-gate", K: 101, Graph: g}})
+	b, _ := json.Marshal(jobSubmitRequest{solveRequest: solveRequest{Solver: "test-gate", K: 102, Graph: g}})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+// TestJobDrain checks the graceful-drain contract at the server level:
+// during Shutdown queued jobs turn terminal canceled, new submissions are
+// shed with 503, the running job is force-canceled at the drain deadline,
+// and open SSE streams end.
+func TestJobDrain(t *testing.T) {
+	s := newTestServer(t, Config{JobWorkers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	started, release := armGate(t)
+	defer release()
+	g := pathGraphJSON(t, 16, 10)
+
+	running := submitJob(t, ts, jobSubmitRequest{solveRequest: solveRequest{Solver: "test-gate", K: 100, Graph: g}})
+	<-started
+	queued := submitJob(t, ts, jobSubmitRequest{solveRequest: solveRequest{Solver: "test-gate", K: 101, Graph: g}})
+	stream := openSSE(t, ts, running.ID, "")
+
+	drainDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+		defer cancel()
+		drainDone <- s.Shutdown(ctx)
+	}()
+
+	// The queued job cancels immediately; submissions shed while draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := getJob(t, ts, queued.ID); st.State == jobs.StateCanceled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queued job not canceled during drain")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	b, _ := json.Marshal(jobSubmitRequest{solveRequest: solveRequest{Solver: "test-gate", K: 102, Graph: g}})
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err == nil {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("submit during drain = %d, want 503", resp.StatusCode)
+		}
+	}
+
+	// The gate solver ignores the drain window; the deadline force-cancels
+	// it, the SSE stream delivers the terminal state and ends.
+	frames := readFrames(t, bufio.NewReader(stream.Body), isTerminalFrame)
+	stream.Body.Close()
+	if len(frames) == 0 || !strings.Contains(frames[len(frames)-1].data, `"state":"canceled"`) {
+		t.Fatalf("drain stream frames: %+v", frames)
+	}
+	if err := <-drainDone; err != context.DeadlineExceeded {
+		t.Errorf("Shutdown err = %v, want DeadlineExceeded", err)
+	}
+	if st := getJob(t, ts, running.ID); st.State != jobs.StateCanceled {
+		t.Errorf("running job after forced drain = %s, want canceled", st.State)
+	}
+}
+
+// TestJobResultCached checks a job for an already-cached solve returns the
+// cached bytes without occupying a solver, marked cached in the status.
+func TestJobResultCached(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	g := pathGraphJSON(t, 64, 12)
+
+	// Prime the cache via the synchronous route.
+	rec := doJSON(t, s.Handler(), "POST", "/v1/solve", solveRequest{Solver: "bandwidth", K: 500, Graph: g})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("prime solve = %d", rec.Code)
+	}
+	sub := submitJob(t, ts, jobSubmitRequest{solveRequest: solveRequest{Solver: "bandwidth", K: 500, Graph: g}})
+	st := waitJobState(t, ts, sub.ID, jobs.StateSucceeded)
+	if !st.Cached {
+		t.Error("job result not marked cached")
+	}
+	if !bytes.Equal(bytes.TrimRight(rec.Body.Bytes(), "\n"), []byte(st.Result)) {
+		t.Errorf("cached job result differs from the synchronous response:\n%s\nvs\n%s", st.Result, rec.Body.Bytes())
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 )
 
@@ -207,5 +208,44 @@ func writeMetrics(w io.Writer, snap metricsSnapshot) {
 	})
 	series("partitiond_uptime_seconds", "gauge", "Seconds since the server started.", func() {
 		fmt.Fprintf(w, "partitiond_uptime_seconds %g\n", uptime.Seconds())
+	})
+}
+
+// writeJobsMetrics renders the async job subsystem's series. The
+// partitiond_jobs_total family is labeled by state: the terminal states are
+// cumulative counters, while "queued" and "running" are the current
+// occupancy (which is why the family is declared a gauge).
+func writeJobsMetrics(w io.Writer, st jobs.Stats) {
+	series := func(metric, typ, help string, emit func()) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ)
+		emit()
+	}
+	series("partitiond_jobs_total", "gauge", "Async jobs by state: current occupancy for queued/running, cumulative for terminal states.", func() {
+		fmt.Fprintf(w, "partitiond_jobs_total{state=\"queued\"} %d\n", st.Queued)
+		fmt.Fprintf(w, "partitiond_jobs_total{state=\"running\"} %d\n", st.Running)
+		fmt.Fprintf(w, "partitiond_jobs_total{state=\"succeeded\"} %d\n", st.Succeeded)
+		fmt.Fprintf(w, "partitiond_jobs_total{state=\"failed\"} %d\n", st.Failed)
+		fmt.Fprintf(w, "partitiond_jobs_total{state=\"canceled\"} %d\n", st.Canceled)
+	})
+	series("partitiond_jobs_submitted_total", "counter", "Accepted job submissions (dedup joins excluded).", func() {
+		fmt.Fprintf(w, "partitiond_jobs_submitted_total %d\n", st.Submitted)
+	})
+	series("partitiond_jobs_dedup_joined_total", "counter", "Job submissions answered by an existing identical job.", func() {
+		fmt.Fprintf(w, "partitiond_jobs_dedup_joined_total %d\n", st.DedupJoined)
+	})
+	series("partitiond_jobs_queue_depth", "gauge", "Jobs waiting for a worker.", func() {
+		fmt.Fprintf(w, "partitiond_jobs_queue_depth %d\n", st.Queued)
+	})
+	series("partitiond_jobs_queue_capacity", "gauge", "Job queue capacity.", func() {
+		fmt.Fprintf(w, "partitiond_jobs_queue_capacity %d\n", st.QueueCap)
+	})
+	series("partitiond_jobs_workers", "gauge", "Job worker pool size.", func() {
+		fmt.Fprintf(w, "partitiond_jobs_workers %d\n", st.Workers)
+	})
+	series("partitiond_jobs_workers_busy", "gauge", "Job workers currently running a solve.", func() {
+		fmt.Fprintf(w, "partitiond_jobs_workers_busy %d\n", st.Running)
+	})
+	series("partitiond_jobs_retained", "gauge", "Jobs currently retained (all states).", func() {
+		fmt.Fprintf(w, "partitiond_jobs_retained %d\n", st.Retained)
 	})
 }

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/codec"
 	"repro/internal/engine"
+	"repro/internal/jobs"
 	"repro/internal/obs"
 )
 
@@ -57,6 +58,24 @@ type Config struct {
 	// MaxBatchRequests bounds the request count of one batch call
 	// (default 1024).
 	MaxBatchRequests int
+	// JobWorkers bounds concurrently running async jobs (default
+	// MaxConcurrent). Job workers borrow solve slots from the same
+	// admission limiter as the synchronous routes, so total solve
+	// concurrency stays bounded by MaxConcurrent either way.
+	JobWorkers int
+	// JobQueue bounds pending async jobs; beyond it submissions are shed
+	// with 429 (default 64).
+	JobQueue int
+	// JobRetention is how long finished jobs stay fetchable before the
+	// janitor reclaims them (default 15m).
+	JobRetention time.Duration
+	// JobEventBuffer is the per-job event-ring capacity — the SSE replay
+	// window for reconnecting clients (default 256).
+	JobEventBuffer int
+	// MaxJobTimeout caps (and defaults) an async job's total lifetime,
+	// queue wait included (default 15m). This is the deadline that lets
+	// jobs run solves far past MaxTimeout, the synchronous cap.
+	MaxJobTimeout time.Duration
 	// Logger receives structured request and lifecycle logs; nil means
 	// slog.Default().
 	Logger *slog.Logger
@@ -112,6 +131,21 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MaxBatchRequests <= 0 {
 		cfg.MaxBatchRequests = 1024
 	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = cfg.MaxConcurrent
+	}
+	if cfg.JobQueue <= 0 {
+		cfg.JobQueue = 64
+	}
+	if cfg.JobRetention <= 0 {
+		cfg.JobRetention = 15 * time.Minute
+	}
+	if cfg.JobEventBuffer <= 0 {
+		cfg.JobEventBuffer = 256
+	}
+	if cfg.MaxJobTimeout <= 0 {
+		cfg.MaxJobTimeout = 15 * time.Minute
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
@@ -129,6 +163,7 @@ type Server struct {
 	collector *engine.Collector
 	solvem    *solveMetrics   // latency histograms + phase accounting
 	observer  engine.Observer // collector + solvem (+ cfg.Observer), attached to every solve
+	jobs      *jobs.Manager   // async job queue + worker pool
 	httpm     *httpMetrics
 	handler   http.Handler
 	hs        *http.Server
@@ -167,6 +202,14 @@ func New(cfg Config) *Server {
 		s.cache = NewCache(cfg.CacheSize, cfg.CacheShards)
 	}
 	s.observer = engine.Observers(s.collector, s.solvem, cfg.Observer)
+	s.jobs = jobs.New(jobs.Config{
+		Workers:     cfg.JobWorkers,
+		QueueCap:    cfg.JobQueue,
+		Retention:   cfg.JobRetention,
+		EventBuffer: cfg.JobEventBuffer,
+		Acquire:     s.jobAcquire,
+		Logger:      cfg.Logger,
+	})
 	s.handler = s.routes()
 	s.hs = &http.Server{
 		Addr:              cfg.Addr,
@@ -186,6 +229,11 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("POST /v1/solve", s.instrument("/v1/solve", s.handleSolve))
 	mux.Handle("POST /v1/batch", s.instrument("/v1/batch", s.handleBatch))
 	mux.Handle("GET /v1/solvers", s.instrument("/v1/solvers", s.handleSolvers))
+	mux.Handle("POST /v1/jobs", s.instrument("/v1/jobs", s.handleJobSubmit))
+	mux.Handle("GET /v1/jobs", s.instrument("/v1/jobs", s.handleJobList))
+	mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
+	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
+	mux.Handle("GET /v1/jobs/{id}/events", s.instrument("/v1/jobs/{id}/events", s.handleJobEvents))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux
@@ -213,6 +261,10 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	w.bytes += n
 	return n, err
 }
+
+// Unwrap exposes the underlying writer to http.ResponseController, so the
+// SSE handler can flush through the instrumentation wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // sanitizeRequestID keeps a client-supplied request ID only when it is
 // printable ASCII of reasonable length, so IDs are safe to echo in headers
@@ -287,14 +339,23 @@ func (s *Server) Serve(l net.Listener) error {
 	return s.hs.Serve(l)
 }
 
-// Shutdown drains the server: new work is refused with 503 while requests
-// already admitted — including solves mid-flight — run to completion, then
-// the listener closes. The context bounds the drain; when it expires,
-// remaining connections are abandoned and its error returned.
+// Shutdown drains the server: new work — requests and job submissions — is
+// refused with 503, queued jobs become terminal canceled, and running jobs
+// get until ctx's deadline to finish before their solve contexts are
+// force-canceled with a terminal "canceled" state. Requests already admitted
+// run to completion, then the listener closes. The jobs drain runs first on
+// purpose: a job's terminal event ends its open SSE streams, which is what
+// lets the HTTP drain close those connections. The context bounds the whole
+// drain; when it expires, remaining connections are abandoned and its error
+// returned.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	s.cfg.Logger.Info("draining", "inFlight", s.limiter.Stats().InFlight)
+	s.cfg.Logger.Info("draining", "inFlight", s.limiter.Stats().InFlight, "jobs", s.jobs.Stats().Running)
+	jerr := s.jobs.Shutdown(ctx)
 	err := s.hs.Shutdown(ctx)
+	if err == nil {
+		err = jerr
+	}
 	s.cfg.Logger.Info("drained", "err", err)
 	return err
 }
@@ -310,3 +371,6 @@ func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
 // LimiterStats snapshots the admission counters.
 func (s *Server) LimiterStats() LimiterStats { return s.limiter.Stats() }
+
+// JobStats snapshots the async job subsystem's counters and occupancy.
+func (s *Server) JobStats() jobs.Stats { return s.jobs.Stats() }

@@ -31,7 +31,15 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = quietLogger()
 	}
-	return New(cfg)
+	s := New(cfg)
+	// New starts the job worker pool; stop it when the test ends so
+	// goroutine-leak checks elsewhere see a quiet baseline.
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.jobs.Shutdown(ctx)
+	})
+	return s
 }
 
 // pathGraphJSON renders a random n-node path in the graph-JSON envelope,
@@ -449,22 +457,31 @@ func TestSolversHealthzMetrics(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("solvers status = %d", rec.Code)
 	}
-	var solvers []solverInfo
-	if err := json.Unmarshal(rec.Body.Bytes(), &solvers); err != nil {
+	var sresp solversResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &sresp); err != nil {
 		t.Fatal(err)
 	}
 	found := map[string]string{}
 	objectives := map[string]string{}
-	for _, si := range solvers {
+	for _, si := range sresp.Solvers {
 		found[si.Name] = si.Kind
 		objectives[si.Name] = si.Objective
 	}
 	if found["bandwidth"] != "path" || found["partition-tree"] != "tree" {
 		t.Errorf("solver listing incomplete: %v", found)
 	}
+	if found["treecut-exact"] != "tree" {
+		t.Errorf("treecut solvers missing from listing: %v", found)
+	}
 	if objectives["bandwidth"] != "bandwidth" || objectives["minproc"] != "minprocs" ||
 		objectives["partition-tree"] != "bottleneck" {
 		t.Errorf("solver objectives wrong: %v", objectives)
+	}
+	// The envelope publishes the server's limits.
+	lim := sresp.Limits
+	if lim.MaxNodes != 4<<20 || lim.MaxBodyBytes != 32<<20 || lim.JobQueue != 64 ||
+		lim.JobWorkers <= 0 || lim.MaxTimeoutMs != 60_000 || lim.MaxJobTimeoutMs != 900_000 {
+		t.Errorf("limits = %+v", lim)
 	}
 
 	health := doJSON(t, s.Handler(), "GET", "/healthz", nil)
@@ -492,6 +509,9 @@ func TestSolversHealthzMetrics(t *testing.T) {
 		`partitiond_http_requests_total{route="/v1/solve",code="200"} 2`,
 		"# TYPE partitiond_solver_latency_seconds_total counter",
 		"partitiond_http_in_flight 1", // the /metrics request itself
+		`partitiond_jobs_total{state="succeeded"} 0`,
+		"partitiond_jobs_queue_capacity 64",
+		"partitiond_jobs_workers_busy 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q\n%s", want, text)

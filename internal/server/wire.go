@@ -258,6 +258,13 @@ func AppendBatchRequest(dst []byte, timeoutMs int64, items []SolveParams, graphs
 // the next frame (a per-item error in a batch); rest == b means the framing
 // is broken and the item boundary is lost.
 func (s *Server) parseBinarySolve(b []byte) (parsedSolve, []byte, error) {
+	return s.parseBinarySolveInto(b, s.graphPool)
+}
+
+// parseBinarySolveInto is parseBinarySolve with an explicit destination
+// pool. The jobs path passes nil: a job outlives its submitting request, so
+// its graph must live in plain arrays rather than the request-scoped pool.
+func (s *Server) parseBinarySolveInto(b []byte, pool *codec.Pool) (parsedSolve, []byte, error) {
 	rd := wireReader{b: b}
 	rd.magic(solveReqMagic)
 	flags := rd.u8()
@@ -271,7 +278,7 @@ func (s *Server) parseBinarySolve(b []byte) (parsedSolve, []byte, error) {
 	if maxComp > math.MaxInt32 || timeoutMs > math.MaxInt32 {
 		return parsedSolve{}, b, errBadFrame
 	}
-	g, fp, rest, err := codec.Decode(rd.b, codec.Options{MaxNodes: s.cfg.MaxNodes, Pool: s.graphPool})
+	g, fp, rest, err := codec.Decode(rd.b, codec.Options{MaxNodes: s.cfg.MaxNodes, Pool: pool})
 	if err != nil {
 		return parsedSolve{}, b, fmt.Errorf("bad graph: %w", err)
 	}
@@ -285,16 +292,16 @@ func (s *Server) parseBinarySolve(b []byte) (parsedSolve, []byte, error) {
 		Trace:         flags&wireFlagTrace != 0,
 	}
 	if err := checkSolveParams(req); err != nil {
-		s.graphPool.Release(g)
+		pool.Release(g)
 		return parsedSolve{}, rest, err
 	}
 	switch g.(type) {
 	case *graph.Path, *graph.Tree:
 	default:
-		s.graphPool.Release(g)
+		pool.Release(g)
 		return parsedSolve{}, rest, fmt.Errorf(`graph kind %T is not solvable; send "path" or "tree"`, g)
 	}
-	return parsedSolve{req: req, g: g, fp: fp, pooled: true}, rest, nil
+	return parsedSolve{req: req, g: g, fp: fp, pooled: pool != nil}, rest, nil
 }
 
 // parseBinaryBatch decodes a PBT1 frame into per-item parsed solves. The

@@ -1,11 +1,13 @@
 package treecut
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // This file holds exact and heuristic solvers for the NP-complete general
@@ -20,6 +22,16 @@ import (
 //   - TreeBandwidthGreedy: post-order accumulate-and-cut heuristic with a
 //     redundancy-elimination pass; no optimality guarantee (Theorem 1 says
 //     none is cheap), evaluated against the exact DP in tests and benches.
+//
+// Each solver has a Ctx variant that polls the context inside its main loop
+// (so a cancelled context aborts a long solve promptly), reports main-loop
+// iterations, and opens obs phase spans — the shape the engine registry and
+// the async jobs subsystem consume. The plain functions remain as
+// context-free wrappers.
+
+// pollEvery is the iteration stride between context checks; a power of two
+// so the check compiles to a mask.
+const pollEvery = 4096
 
 // rootOrder returns a BFS order from vertex 0 plus parent and parent-edge
 // arrays; reversing the order gives a post-order.
@@ -51,24 +63,33 @@ func rootOrder(t *graph.Tree) (order, parent, parentEdge []int) {
 // integral vertex weights and integral bound k. It refuses instances whose
 // n·k product would be excessive.
 func TreeBandwidthExact(t *graph.Tree, k int) (*CutResult, error) {
+	res, _, err := TreeBandwidthExactCtx(context.Background(), t, k)
+	return res, err
+}
+
+// TreeBandwidthExactCtx is TreeBandwidthExact with context cancellation
+// polled inside the DP sweep, iteration accounting, and phase spans
+// ("exact-dp", "dp-reconstruct") when the context carries a trace.
+func TreeBandwidthExactCtx(ctx context.Context, t *graph.Tree, k int) (*CutResult, int64, error) {
 	if err := t.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if k <= 0 {
-		return nil, fmt.Errorf("bound %d: %w", k, ErrBadInput)
+		return nil, 0, fmt.Errorf("bound %d: %w", k, ErrBadInput)
 	}
 	n := t.Len()
 	if n*k > 50_000_000 {
-		return nil, fmt.Errorf("n*K = %d: %w", n*k, ErrTooLarge)
+		return nil, 0, fmt.Errorf("n*K = %d: %w", n*k, ErrTooLarge)
 	}
+	var iters int64
 	wInt := make([]int, n)
 	for v, w := range t.NodeW {
 		if w != math.Trunc(w) || w < 0 {
-			return nil, fmt.Errorf("vertex %d weight %v not a non-negative integer: %w", v, w, ErrBadInput)
+			return nil, 0, fmt.Errorf("vertex %d weight %v not a non-negative integer: %w", v, w, ErrBadInput)
 		}
 		wInt[v] = int(w)
 		if wInt[v] > k {
-			return nil, fmt.Errorf("vertex %d weight %d > K=%d: %w", v, wInt[v], k, ErrInfeasible)
+			return nil, 0, fmt.Errorf("vertex %d weight %d > K=%d: %w", v, wInt[v], k, ErrInfeasible)
 		}
 	}
 	order, parent, parentEdge := rootOrder(t)
@@ -91,6 +112,9 @@ func TreeBandwidthExact(t *graph.Tree, k int) (*CutResult, error) {
 	// the value.
 	bestW := make([]int, n)
 	bestVal := make([]float64, n)
+	sweep := obs.Phase(ctx, "exact-dp")
+	sweep.SetAttr("n", n)
+	sweep.SetAttr("k", k)
 	for i := n - 1; i >= 0; i-- {
 		v := order[i]
 		cur := make([]float64, k+1)
@@ -107,6 +131,16 @@ func TreeBandwidthExact(t *graph.Tree, k int) (*CutResult, error) {
 			next := make([]float64, k+1)
 			dec := childDecision{child: c, cutAt: make([]bool, k+1), childW: make([]int, k+1)}
 			for w := 0; w <= k; w++ {
+				// One iteration per DP row keeps the poll cadence
+				// size-independent; the row itself is O(w) work.
+				if iters++; iters&(pollEvery-1) == 0 {
+					select {
+					case <-ctx.Done():
+						sweep.End()
+						return nil, iters, ctx.Err()
+					default:
+					}
+				}
 				next[w] = math.Inf(1)
 				if !math.IsInf(cur[w], 1) {
 					// Cut the child edge: pay edge weight plus the child's
@@ -142,11 +176,15 @@ func TreeBandwidthExact(t *graph.Tree, k int) (*CutResult, error) {
 			}
 		}
 		if math.IsInf(bestVal[v], 1) {
-			return nil, ErrInfeasible
+			sweep.End()
+			return nil, iters, ErrInfeasible
 		}
 	}
+	sweep.End()
 	// Reconstruct: walk down from the root, tracking each vertex's chosen
 	// component weight and unwinding the per-child decisions in reverse.
+	rec := obs.Phase(ctx, "dp-reconstruct")
+	defer rec.End()
 	res := &CutResult{}
 	type frame struct {
 		v, w int
@@ -173,57 +211,85 @@ func TreeBandwidthExact(t *graph.Tree, k int) (*CutResult, error) {
 	for _, e := range res.Cut {
 		res.Weight += t.Edges[e].W
 	}
-	return res, nil
+	return res, iters, nil
 }
 
 // TreeBandwidthBB computes a minimum-weight feasible cut for real-weighted
 // trees by branch and bound over edges in decreasing weight order, pruning
 // with the running best. Exact; exponential; refuses more than 24 edges.
 func TreeBandwidthBB(t *graph.Tree, k float64) (*CutResult, error) {
+	res, _, err := TreeBandwidthBBCtx(context.Background(), t, k)
+	return res, err
+}
+
+// errCancelled distinguishes a context abort from an exhausted search inside
+// the branch-and-bound recursion.
+var errCancelled = fmt.Errorf("treecut: cancelled")
+
+// TreeBandwidthBBCtx is TreeBandwidthBB with context cancellation polled at
+// every pollEvery-th search node, iteration accounting, and a
+// "branch-and-bound" phase span.
+func TreeBandwidthBBCtx(ctx context.Context, t *graph.Tree, k float64) (*CutResult, int64, error) {
 	if err := t.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if !(k > 0) || math.IsNaN(k) || math.IsInf(k, 0) {
-		return nil, fmt.Errorf("bound %v: %w", k, ErrBadInput)
+		return nil, 0, fmt.Errorf("bound %v: %w", k, ErrBadInput)
 	}
 	if t.MaxNodeWeight() > k {
-		return nil, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
+		return nil, 0, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
 	}
 	m := t.NumEdges()
 	if m > 24 {
-		return nil, fmt.Errorf("%d edges: %w", m, ErrTooLarge)
+		return nil, 0, fmt.Errorf("%d edges: %w", m, ErrTooLarge)
 	}
+	span := obs.Phase(ctx, "branch-and-bound")
+	span.SetAttr("edges", m)
+	defer span.End()
 	best := math.Inf(1)
 	var bestCut []int
 	var cur []int
+	var iters int64
 	feasible := func(cut []int) bool {
 		maxW, err := t.MaxComponentWeight(cut)
 		return err == nil && maxW <= k
 	}
-	var rec func(pos int, weight float64)
-	rec = func(pos int, weight float64) {
+	var rec func(pos int, weight float64) error
+	rec = func(pos int, weight float64) error {
+		if iters++; iters&(pollEvery-1) == 0 {
+			select {
+			case <-ctx.Done():
+				return errCancelled
+			default:
+			}
+		}
 		if weight >= best {
-			return
+			return nil
 		}
 		if pos == m {
 			if feasible(append([]int(nil), cur...)) {
 				best = weight
 				bestCut = append(bestCut[:0], cur...)
 			}
-			return
+			return nil
 		}
 		// Branch: skip edge pos first (prefer cheaper cuts), then cut it.
-		rec(pos+1, weight)
+		if err := rec(pos+1, weight); err != nil {
+			return err
+		}
 		cur = append(cur, pos)
-		rec(pos+1, weight+t.Edges[pos].W)
+		err := rec(pos+1, weight+t.Edges[pos].W)
 		cur = cur[:len(cur)-1]
+		return err
 	}
-	rec(0, 0)
+	if err := rec(0, 0); err != nil {
+		return nil, iters, ctx.Err()
+	}
 	if math.IsInf(best, 1) {
-		return nil, ErrInfeasible
+		return nil, iters, ErrInfeasible
 	}
 	sort.Ints(bestCut)
-	return &CutResult{Cut: bestCut, Weight: best}, nil
+	return &CutResult{Cut: bestCut, Weight: best}, iters, nil
 }
 
 // TreeBandwidthGreedy computes a feasible cut heuristically: a post-order
@@ -232,15 +298,24 @@ func TreeBandwidthBB(t *graph.Tree, k float64) (*CutResult, error) {
 // fits; then a redundancy pass re-admits cut edges (heaviest first) whose
 // return keeps the partition feasible.
 func TreeBandwidthGreedy(t *graph.Tree, k float64) (*CutResult, error) {
+	res, _, err := TreeBandwidthGreedyCtx(context.Background(), t, k)
+	return res, err
+}
+
+// TreeBandwidthGreedyCtx is TreeBandwidthGreedy with context cancellation
+// polled per swept vertex, iteration accounting, and phase spans
+// ("greedy-sweep", "redundancy-pass").
+func TreeBandwidthGreedyCtx(ctx context.Context, t *graph.Tree, k float64) (*CutResult, int64, error) {
 	if err := t.Validate(); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if !(k > 0) || math.IsNaN(k) || math.IsInf(k, 0) {
-		return nil, fmt.Errorf("bound %v: %w", k, ErrBadInput)
+		return nil, 0, fmt.Errorf("bound %v: %w", k, ErrBadInput)
 	}
 	if t.MaxNodeWeight() > k {
-		return nil, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
+		return nil, 0, fmt.Errorf("max vertex weight %v > K=%v: %w", t.MaxNodeWeight(), k, ErrInfeasible)
 	}
+	var iters int64
 	n := t.Len()
 	order, parent, _ := rootOrder(t)
 	adj := t.Adjacency()
@@ -251,7 +326,16 @@ func TreeBandwidthGreedy(t *graph.Tree, k float64) (*CutResult, error) {
 		res  float64
 		edge int
 	}
+	sweep := obs.Phase(ctx, "greedy-sweep")
 	for i := n - 1; i >= 0; i-- {
+		if iters++; iters&(pollEvery-1) == 0 {
+			select {
+			case <-ctx.Done():
+				sweep.End()
+				return nil, iters, ctx.Err()
+			default:
+			}
+		}
 		v := order[i]
 		var children []cand
 		total := t.NodeW[v]
@@ -282,13 +366,23 @@ func TreeBandwidthGreedy(t *graph.Tree, k float64) (*CutResult, error) {
 		}
 		res[v] = total
 	}
+	sweep.End()
 	// Redundancy elimination: try to restore the heaviest cut edges first.
+	redo := obs.Phase(ctx, "redundancy-pass")
+	defer redo.End()
 	cut := make([]int, 0, len(cutSet))
 	for e := range cutSet {
 		cut = append(cut, e)
 	}
 	sort.Slice(cut, func(a, b int) bool { return t.Edges[cut[a]].W > t.Edges[cut[b]].W })
 	for _, e := range cut {
+		if iters++; iters&(pollEvery-1) == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, iters, ctx.Err()
+			default:
+			}
+		}
 		delete(cutSet, e)
 		trial := make([]int, 0, len(cutSet))
 		for x := range cutSet {
@@ -306,5 +400,5 @@ func TreeBandwidthGreedy(t *graph.Tree, k float64) (*CutResult, error) {
 		out.Weight += t.Edges[e].W
 	}
 	sort.Ints(out.Cut)
-	return out, nil
+	return out, iters, nil
 }
