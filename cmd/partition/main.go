@@ -10,6 +10,8 @@
 //	partition -algo pipeline   -k 100 -in tree.txt   # bottleneck→contract→minproc
 //	partition -algo bandwidth  -k 100 -trace          # print the phase-span tree
 //	partition -algo bandwidth  -k 100 -trace-out t.json  # Chrome trace-event JSON
+//	partition -algo maxmin-tree -k 4 -verify -in tree.txt  # 4 parts, max–min
+//	partition -algo summax-tree -k 4 -verify -in tree.txt  # 4 parts, sum-of-max
 //	partition -list                                   # list registered solvers
 //
 // With -server the solve runs remotely as a partitiond async job instead of
@@ -30,7 +32,9 @@
 // binary frame (gengraph -format bin, internal/codec) by its magic bytes,
 // anything else as the line-oriented text codec or JSON envelope of
 // internal/graph (see README). Path solvers expect a "path" graph; the tree
-// solvers accept "path" or "tree".
+// solvers accept "path" or "tree". For the part-count solvers (maxmin-path,
+// maxmin-tree, summax-tree) -k carries the integral number of components
+// instead of an execution-time bound.
 package main
 
 import (
@@ -58,7 +62,7 @@ func main() {
 
 func run() error {
 	algo := flag.String("algo", "bandwidth", "solver name from the engine registry (see -list); pipeline = partition-tree")
-	k := flag.Float64("k", 0, "execution-time bound K (required unless -sweep or -list is given, > 0)")
+	k := flag.Float64("k", 0, "execution-time bound K, or the part count for maxmin-*/summax-* solvers (required unless -sweep or -list is given, > 0)")
 	sweep := flag.String("sweep", "", "comma-separated K values: print the K ↔ bandwidth ↔ processors trade-off curve for a path and exit")
 	maxProcs := flag.Int("m", 0, "limit the number of components (0 = unlimited)")
 	timeout := flag.Duration("timeout", 0, "abort the solve after this duration (0 = none)")

@@ -54,6 +54,69 @@ func TestGoldenBandwidthPath(t *testing.T) {
 	approx(t, "tree Bottleneck", pt.Bottleneck, 54.205500)
 }
 
+// TestGoldenPartCountObjectives pins the part-count objective family on its
+// own seed fixtures: max–min (parametric search over the Perl–Schach greedy)
+// on a path and a tree, and sum-of-max (Pareto-pruned tree DP) on the same
+// tree.
+func TestGoldenPartCountObjectives(t *testing.T) {
+	r := workload.NewRNG(20260808)
+	p := workload.RandomPath(r, 300, workload.UniformWeights(1, 100), workload.UniformWeights(1, 50))
+	pp, err := repro.MaxMinPath(p, 40)
+	if err != nil {
+		t.Fatalf("MaxMinPath: %v", err)
+	}
+	if len(pp.Cut) != 39 || pp.NumComponents() != 40 {
+		t.Errorf("path cut len %d comps %d, want 39/40", len(pp.Cut), pp.NumComponents())
+	}
+	pws, err := p.ComponentWeights(pp.Cut)
+	if err != nil {
+		t.Fatalf("ComponentWeights: %v", err)
+	}
+	approx(t, "maxmin path min", minOf(pws), 339.834866)
+
+	// Same RNG stream: the tree drawn after the path is part of the pin.
+	tr := workload.RandomTree(r, 200, workload.UniformWeights(1, 50), workload.UniformWeights(1, 80))
+	tp, err := repro.MaxMinTree(tr, 25)
+	if err != nil {
+		t.Fatalf("MaxMinTree: %v", err)
+	}
+	if len(tp.Cut) != 24 || tp.NumComponents() != 25 {
+		t.Errorf("tree cut len %d comps %d, want 24/25", len(tp.Cut), tp.NumComponents())
+	}
+	tws, err := tr.ComponentWeights(tp.Cut)
+	if err != nil {
+		t.Fatalf("ComponentWeights: %v", err)
+	}
+	approx(t, "maxmin tree min", minOf(tws), 126.699907)
+
+	sp, err := repro.SumOfMaxTree(tr, 12)
+	if err != nil {
+		t.Fatalf("SumOfMaxTree: %v", err)
+	}
+	if len(sp.Cut) != 11 || sp.NumComponents() != 12 {
+		t.Errorf("summax cut len %d comps %d, want 11/12", len(sp.Cut), sp.NumComponents())
+	}
+	ms, err := tr.ComponentMaxNodeWeights(sp.Cut)
+	if err != nil {
+		t.Fatalf("ComponentMaxNodeWeights: %v", err)
+	}
+	sum := 0.0
+	for _, m := range ms {
+		sum += m
+	}
+	approx(t, "summax tree sum", sum, 108.890643)
+}
+
+func minOf(ws []float64) float64 {
+	min := math.Inf(1)
+	for _, w := range ws {
+		if w < min {
+			min = w
+		}
+	}
+	return min
+}
+
 func TestGoldenDESFlow(t *testing.T) {
 	c, err := logicsim.JohnsonCounter(16)
 	if err != nil {

@@ -61,8 +61,9 @@ func TestRegistryLookup(t *testing.T) {
 func TestNamesContainsAllPaperAlgorithms(t *testing.T) {
 	want := []string{
 		"bandwidth", "bandwidth-deque", "bandwidth-heap", "bandwidth-limited",
-		"bandwidth-naive", "bottleneck", "bottleneck-greedy", "minproc",
-		"minproc-path", "partition-tree",
+		"bandwidth-naive", "bottleneck", "bottleneck-greedy", "maxmin-path",
+		"maxmin-tree", "minproc", "minproc-path", "partition-tree",
+		"summax-tree",
 	}
 	names := Names()
 	got := make(map[string]bool, len(names))

@@ -9,6 +9,11 @@ package engine
 type Objective int
 
 const (
+	// ObjectiveNone marks solvers that deliberately declare no certifiable
+	// objective (the NP-hard treecut tier): verification skips them by
+	// policy. It is distinct from ObjectiveUnknown — the accidental
+	// zero value of solvers that simply never declared one.
+	ObjectiveNone Objective = -1
 	// ObjectiveUnknown is reported for solvers that do not declare an
 	// objective; such solvers cannot be certified or cross-checked.
 	ObjectiveUnknown Objective = iota
@@ -18,17 +23,31 @@ const (
 	ObjectiveBottleneck
 	// ObjectiveMinProcs minimizes the number of components (§2.2).
 	ObjectiveMinProcs
+	// ObjectiveMaxMin maximizes the minimum component weight of an
+	// exactly-K-component partition (Frederickson–Zhou, arXiv 1711.00599).
+	// Requests carry the part count in K rather than a weight bound.
+	ObjectiveMaxMin
+	// ObjectiveSumOfMax minimizes the sum over components of the maximum
+	// node weight of an exactly-K-component partition (arXiv 2503.11526).
+	// Requests carry the part count in K rather than a weight bound.
+	ObjectiveSumOfMax
 )
 
 // String returns the stable objective label used in listings and logs.
 func (o Objective) String() string {
 	switch o {
+	case ObjectiveNone:
+		return "none"
 	case ObjectiveBandwidth:
 		return "bandwidth"
 	case ObjectiveBottleneck:
 		return "bottleneck"
 	case ObjectiveMinProcs:
 		return "minprocs"
+	case ObjectiveMaxMin:
+		return "maxmin"
+	case ObjectiveSumOfMax:
+		return "summax"
 	default:
 		return "unknown"
 	}

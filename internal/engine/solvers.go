@@ -3,6 +3,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -23,6 +24,13 @@ import (
 //	minproc            — §2.2 Algorithm 2.2 on trees
 //	minproc-path       — first-fit processor minimization on paths
 //	partition-tree     — §2.2 full pipeline (bottleneck→contract→minproc)
+//	maxmin-path        — parametric-search max–min partition of a path
+//	maxmin-tree        — parametric-search max–min partition of a tree
+//	summax-tree        — exact sum-of-max DP partition of a tree
+//
+// The maxmin-*/summax-* solvers interpret Request.K as the target component
+// count (an integer), not a weight bound — their objectives fix the number
+// of parts and optimize the component weights instead.
 
 // pathSolver adapts a context-aware core path algorithm to the Solver
 // interface.
@@ -92,6 +100,28 @@ func (s *treeSolver) Solve(ctx context.Context, req Request) (Result, error) {
 	})
 }
 
+// partsOf validates the request K of a part-count solver: the target
+// component count must be integral (it still travels in the float64 K slot
+// of every request shape — CLI flag, JSON, PSV1 frame).
+func partsOf(name string, k float64) (int, error) {
+	if k != math.Trunc(k) || k > math.MaxInt32 || k < math.MinInt32 {
+		return 0, fmt.Errorf("solver %q needs an integral part count K (got %v): %w", name, k, ErrBadRequest)
+	}
+	return int(k), nil
+}
+
+// partsTree lifts a (ctx, tree, parts) algorithm into a treeSolver solve
+// function with the integral-K validation applied.
+func partsTree(name string, f func(context.Context, *graph.Tree, int) (*core.TreePartition, int64, error)) func(context.Context, *graph.Tree, float64) (*core.TreePartition, int64, error) {
+	return func(ctx context.Context, t *graph.Tree, k float64) (*core.TreePartition, int64, error) {
+		parts, err := partsOf(name, k)
+		if err != nil {
+			return nil, 0, err
+		}
+		return f(ctx, t, parts)
+	}
+}
+
 // plainPath lifts a (ctx, path, k) algorithm into a request solve function.
 func plainPath(f func(context.Context, *graph.Path, float64) (*core.PathPartition, int64, error)) func(context.Context, Request) (*core.PathPartition, int64, error) {
 	return func(ctx context.Context, req Request) (*core.PathPartition, int64, error) {
@@ -117,6 +147,13 @@ func init() {
 		return core.BandwidthLimitedCtx(ctx, req.Path, req.K, req.Options.MaxComponents)
 	}})
 	Register(&pathSolver{name: "minproc-path", objective: ObjectiveMinProcs, solve: plainPath(core.MinProcessorsPathCtx)})
+	Register(&pathSolver{name: "maxmin-path", objective: ObjectiveMaxMin, solve: func(ctx context.Context, req Request) (*core.PathPartition, int64, error) {
+		parts, err := partsOf("maxmin-path", req.K)
+		if err != nil {
+			return nil, 0, err
+		}
+		return core.MaxMinPathCtx(ctx, req.Path, parts)
+	}})
 
 	Register(&treeSolver{name: "bottleneck", objective: ObjectiveBottleneck, solve: core.BottleneckCtx})
 	Register(&treeSolver{name: "bottleneck-greedy", objective: ObjectiveBottleneck, solve: core.BottleneckGreedyCtx})
@@ -124,4 +161,6 @@ func init() {
 	// partition-tree minimizes processors *subject to* the optimal
 	// bottleneck; its certified objective is the bottleneck value.
 	Register(&treeSolver{name: "partition-tree", objective: ObjectiveBottleneck, solve: core.PartitionTreeCtx})
+	Register(&treeSolver{name: "maxmin-tree", objective: ObjectiveMaxMin, solve: partsTree("maxmin-tree", core.MaxMinTreeCtx)})
+	Register(&treeSolver{name: "summax-tree", objective: ObjectiveSumOfMax, solve: partsTree("summax-tree", core.SumOfMaxTreeCtx)})
 }

@@ -119,8 +119,9 @@ func TestSolveUntracedEvent(t *testing.T) {
 func TestRegisteredSolversEmitPhaseSpans(t *testing.T) {
 	solvers := []string{
 		"bandwidth", "bandwidth-deque", "bandwidth-heap", "bandwidth-limited",
-		"bandwidth-naive", "bottleneck", "bottleneck-greedy", "minproc",
-		"minproc-path", "partition-tree",
+		"bandwidth-naive", "bottleneck", "bottleneck-greedy", "maxmin-path",
+		"maxmin-tree", "minproc", "minproc-path", "partition-tree",
+		"summax-tree",
 	}
 	p := testPath(t, 96)
 	tree := testTree(t, 96)
@@ -138,6 +139,11 @@ func TestRegisteredSolversEmitPhaseSpans(t *testing.T) {
 			}
 			if name == "bandwidth-limited" {
 				req.Options.MaxComponents = 96
+			}
+			switch ObjectiveOf(s) {
+			case ObjectiveMaxMin, ObjectiveSumOfMax:
+				// Part-count solvers read K as the component count.
+				req.K = 8
 			}
 			rec := &eventRecorder{}
 			req.Options.Observer = rec

@@ -13,11 +13,13 @@ import (
 
 // This file registers the NP-hard tier: internal/treecut's exact and
 // heuristic minimum-weight tree cutters. Theorem 1 puts the general problem
-// on the knapsack tier, so these solvers declare no Objective — there is no
+// on the knapsack tier, so these solvers declare ObjectiveNone — there is no
 // polynomial certificate or oracle for the verification harness to check
 // them against at scale (the brute-force oracle covers them in treecut's own
-// tests). They exist in the registry primarily for the async jobs API, where
-// a solve may legitimately run past any request/response deadline.
+// tests), and the explicit sentinel makes /v1/solvers and the differential
+// harness skip them by policy rather than by zero-value accident. They exist
+// in the registry primarily for the async jobs API, where a solve may
+// legitimately run past any request/response deadline.
 //
 //	treecut-exact  — pseudo-polynomial DP, integral weights and integral K
 //	treecut-bb     — branch and bound, real weights, ≤ 24 edges
@@ -75,13 +77,13 @@ func liftTreecut(f func(context.Context, *graph.Tree, float64) (*treecut.CutResu
 }
 
 func init() {
-	Register(&treeSolver{name: "treecut-exact", solve: liftTreecut(
+	Register(&treeSolver{name: "treecut-exact", objective: ObjectiveNone, solve: liftTreecut(
 		func(ctx context.Context, t *graph.Tree, k float64) (*treecut.CutResult, int64, error) {
 			if k != math.Trunc(k) || k > math.MaxInt32 {
 				return nil, 0, fmt.Errorf("treecut-exact needs an integral K (got %v): %w", k, ErrBadRequest)
 			}
 			return treecut.TreeBandwidthExactCtx(ctx, t, int(k))
 		})})
-	Register(&treeSolver{name: "treecut-bb", solve: liftTreecut(treecut.TreeBandwidthBBCtx)})
-	Register(&treeSolver{name: "treecut-greedy", solve: liftTreecut(treecut.TreeBandwidthGreedyCtx)})
+	Register(&treeSolver{name: "treecut-bb", objective: ObjectiveNone, solve: liftTreecut(treecut.TreeBandwidthBBCtx)})
+	Register(&treeSolver{name: "treecut-greedy", objective: ObjectiveNone, solve: liftTreecut(treecut.TreeBandwidthGreedyCtx)})
 }

@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Path is a linear task graph: vertices v_0..v_{n-1} in pipeline order, with
 // edge e_i joining v_i and v_{i+1}. This models the chain-like workloads of
@@ -140,6 +143,27 @@ func (p *Path) ComponentWeights(cut []int) ([]float64, error) {
 		ws[i] = run - start
 	}
 	return ws, nil
+}
+
+// ComponentMaxNodeWeights returns, per component of P − cut left to right,
+// the heaviest single node weight. It is the per-processor cost vector of
+// the sum-of-max criterion.
+func (p *Path) ComponentMaxNodeWeights(cut []int) ([]float64, error) {
+	comps, err := p.Components(cut)
+	if err != nil {
+		return nil, err
+	}
+	ms := make([]float64, len(comps))
+	for i, c := range comps {
+		m := math.Inf(-1)
+		for v := c[0]; v <= c[1]; v++ {
+			if p.NodeW[v] > m {
+				m = p.NodeW[v]
+			}
+		}
+		ms[i] = m
+	}
+	return ms, nil
 }
 
 // MaxComponentWeight returns the heaviest component weight of P − cut.

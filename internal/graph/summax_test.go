@@ -1,0 +1,67 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestTreeComponentMaxNodeWeights(t *testing.T) {
+	// Star: centre 0 (w=2) with leaves 1..3 (w=5,1,4).
+	tr, err := NewTree(
+		[]float64{2, 5, 1, 4},
+		[]Edge{{U: 0, V: 1, W: 1}, {U: 0, V: 2, W: 1}, {U: 0, V: 3, W: 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		cut  []int
+		want []float64
+	}{
+		{name: "no cut", cut: nil, want: []float64{5}},
+		{name: "sever heavy leaf", cut: []int{0}, want: []float64{4, 5}},
+		{name: "sever all leaves", cut: []int{0, 1, 2}, want: []float64{2, 5, 1, 4}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := tr.ComponentMaxNodeWeights(tt.cut)
+			if err != nil {
+				t.Fatalf("ComponentMaxNodeWeights: %v", err)
+			}
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("maxes = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	if _, err := tr.ComponentMaxNodeWeights([]int{9}); err == nil {
+		t.Error("out-of-range cut accepted")
+	}
+}
+
+func TestPathComponentMaxNodeWeights(t *testing.T) {
+	p := &Path{NodeW: []float64{3, 1, 4, 1, 5}, EdgeW: []float64{1, 1, 1, 1}}
+	got, err := p.ComponentMaxNodeWeights([]int{1, 3})
+	if err != nil {
+		t.Fatalf("ComponentMaxNodeWeights: %v", err)
+	}
+	want := []float64{3, 4, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("maxes = %v, want %v", got, want)
+	}
+	// Must agree with the tree view on every split point.
+	tr := p.AsTree()
+	for c := 0; c < p.NumEdges(); c++ {
+		pm, err := p.ComponentMaxNodeWeights([]int{c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm, err := tr.ComponentMaxNodeWeights([]int{c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(pm, tm) {
+			t.Errorf("cut %d: path %v != tree %v", c, pm, tm)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -176,6 +177,26 @@ func (t *Tree) ComponentWeights(cut []int) ([]float64, error) {
 		ws[l] += t.NodeW[v]
 	}
 	return ws, nil
+}
+
+// ComponentMaxNodeWeights returns, per component of T − cut, the heaviest
+// single node weight, ordered like ComponentWeights. It is the per-processor
+// cost vector of the sum-of-max criterion.
+func (t *Tree) ComponentMaxNodeWeights(cut []int) ([]float64, error) {
+	label, k, err := t.componentLabels(cut)
+	if err != nil {
+		return nil, err
+	}
+	ms := make([]float64, k)
+	for i := range ms {
+		ms[i] = math.Inf(-1)
+	}
+	for v, l := range label {
+		if t.NodeW[v] > ms[l] {
+			ms[l] = t.NodeW[v]
+		}
+	}
+	return ms, nil
 }
 
 // MaxComponentWeight returns the heaviest component weight of T − cut.

@@ -1,0 +1,42 @@
+package hitting
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrBadParts is returned by SumOfMaxPackingBound when the part count does
+// not fit the weight vector.
+var ErrBadParts = errors.New("hitting: parts must satisfy 1 ≤ parts ≤ len(weights)")
+
+// SumOfMaxPackingBound computes a combinatorial lower bound on the sum-of-max
+// objective of any partition of n tasks into exactly parts connected
+// components, in the packing style of Träff and Wimmer's bipartition bound
+// (arXiv 1410.0462): instead of relaxing the objective, pack a witness task
+// into every component.
+//
+// Each of the parts components pays its heaviest task, and those payments are
+// attained by parts distinct tasks. One of them is the component holding the
+// globally heaviest task, which pays exactly max(weights); the remaining
+// parts−1 payments are weights of parts−1 other distinct tasks, so they sum
+// to at least the total of the parts−1 smallest weights. Hence
+//
+//	OPT ≥ max(weights) + Σ (parts−1 smallest weights)
+//
+// independent of the tree topology. The bound is tight on stars and on any
+// instance where the parts−1 lightest tasks can each be severed alone.
+// O(n log n) for the sort; the weight slice is not modified.
+func SumOfMaxPackingBound(weights []float64, parts int) (float64, error) {
+	n := len(weights)
+	if parts < 1 || parts > n {
+		return 0, fmt.Errorf("parts = %d, n = %d: %w", parts, n, ErrBadParts)
+	}
+	sorted := append([]float64(nil), weights...)
+	sort.Float64s(sorted)
+	bound := sorted[n-1]
+	for i := 0; i < parts-1; i++ {
+		bound += sorted[i]
+	}
+	return bound, nil
+}

@@ -1,0 +1,51 @@
+package hitting
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSumOfMaxPackingBoundHandCases(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []float64
+		parts   int
+		want    float64
+	}{
+		{name: "one part pays only the max", weights: []float64{3, 9, 2}, parts: 1, want: 9},
+		{name: "all singletons pay everything", weights: []float64{3, 9, 2}, parts: 3, want: 14},
+		{name: "two parts pay max plus lightest", weights: []float64{3, 9, 2}, parts: 2, want: 11},
+		{name: "all equal", weights: []float64{4, 4, 4}, parts: 2, want: 8},
+		{name: "zeros are free witnesses", weights: []float64{0, 0, 7}, parts: 3, want: 7},
+		{name: "single task", weights: []float64{5}, parts: 1, want: 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := SumOfMaxPackingBound(tt.weights, tt.parts)
+			if err != nil {
+				t.Fatalf("SumOfMaxPackingBound: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("bound = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestSumOfMaxPackingBoundRejectsBadParts(t *testing.T) {
+	for _, parts := range []int{0, -1, 4} {
+		if _, err := SumOfMaxPackingBound([]float64{1, 2, 3}, parts); !errors.Is(err, ErrBadParts) {
+			t.Errorf("parts=%d: error = %v, want ErrBadParts", parts, err)
+		}
+	}
+}
+
+func TestSumOfMaxPackingBoundDoesNotMutate(t *testing.T) {
+	w := []float64{5, 1, 3}
+	if _, err := SumOfMaxPackingBound(w, 2); err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 5 || w[1] != 1 || w[2] != 3 {
+		t.Errorf("weights mutated: %v", w)
+	}
+}

@@ -2,6 +2,7 @@ package verify
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"testing"
 
@@ -12,13 +13,15 @@ import (
 	"repro/internal/workload"
 )
 
-// registrySolvers are the ten production solvers the harness must cover;
-// the registry may hold extra test-local registrations (skipped because they
-// declare no objective).
+// registrySolvers are the thirteen certifiable production solvers the
+// harness must cover; the registry may hold extra test-local registrations
+// (skipped because they declare no objective) and the NP-hard treecut tier
+// (skipped by its declared ObjectiveNone policy).
 var registrySolvers = []string{
 	"bandwidth", "bandwidth-deque", "bandwidth-heap", "bandwidth-limited",
-	"bandwidth-naive", "bottleneck", "bottleneck-greedy", "minproc",
-	"minproc-path", "partition-tree",
+	"bandwidth-naive", "bottleneck", "bottleneck-greedy", "maxmin-path",
+	"maxmin-tree", "minproc", "minproc-path", "partition-tree",
+	"summax-tree",
 }
 
 func TestRegistryCoverage(t *testing.T) {
@@ -35,8 +38,22 @@ func TestRegistryCoverage(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Get(%q): %v", want, err)
 		}
-		if engine.ObjectiveOf(s) == engine.ObjectiveUnknown {
+		switch engine.ObjectiveOf(s) {
+		case engine.ObjectiveUnknown:
 			t.Errorf("solver %q declares no objective; the harness cannot check it", want)
+		case engine.ObjectiveNone:
+			t.Errorf("solver %q opted out with ObjectiveNone but is listed as certifiable", want)
+		}
+	}
+	// Regression for the ObjectiveNone policy: the treecut tier must be
+	// skipped deliberately, not because it forgot to declare.
+	for _, name := range []string{"treecut-exact", "treecut-bb", "treecut-greedy"} {
+		s, err := engine.Get(name)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", name, err)
+		}
+		if engine.ObjectiveOf(s) != engine.ObjectiveNone {
+			t.Errorf("solver %q must declare ObjectiveNone to opt out of the harness", name)
 		}
 	}
 }
@@ -46,6 +63,8 @@ func feq(a, b float64) bool {
 }
 
 // objectiveValue extracts the result's value under the solver's objective.
+// The sum-of-max value needs the input graph (component maxima are not part
+// of the result shape); use sumOfMaxValue for it.
 func objectiveValue(obj engine.Objective, res *engine.Result) float64 {
 	switch obj {
 	case engine.ObjectiveBandwidth:
@@ -54,9 +73,31 @@ func objectiveValue(obj engine.Objective, res *engine.Result) float64 {
 		return res.Bottleneck
 	case engine.ObjectiveMinProcs:
 		return float64(len(res.ComponentWeights))
+	case engine.ObjectiveMaxMin:
+		v := math.Inf(1)
+		for _, w := range res.ComponentWeights {
+			if w < v {
+				v = w
+			}
+		}
+		return v
 	default:
 		return math.NaN()
 	}
+}
+
+// sumOfMaxValue computes the sum-of-max objective of a cut on a tree.
+func sumOfMaxValue(t *testing.T, tr *graph.Tree, cut []int) float64 {
+	t.Helper()
+	ms, err := tr.ComponentMaxNodeWeights(graph.NormalizeCut(cut))
+	if err != nil {
+		t.Fatalf("ComponentMaxNodeWeights: %v", err)
+	}
+	var s float64
+	for _, m := range ms {
+		s += m
+	}
+	return s
 }
 
 // differentialRound runs every registry solver on one random path and one
@@ -94,6 +135,27 @@ func differentialRound(t *testing.T, seed uint64, maxN int) {
 		t.Fatalf("seed %d: K above max task weight must be feasible", seed)
 	}
 
+	// Part counts for the exactly-K-component objectives, and their
+	// exhaustive optima on both inputs.
+	pP := 1 + r.Intn(nP)
+	pT := 1 + r.Intn(nT)
+	mmPath, err := oracle.MaxMinBrute(p.AsTree(), pP)
+	if err != nil {
+		t.Fatalf("seed %d: MaxMinBrute(path): %v", seed, err)
+	}
+	mmTree, err := oracle.MaxMinBrute(tr, pT)
+	if err != nil {
+		t.Fatalf("seed %d: MaxMinBrute(tree): %v", seed, err)
+	}
+	smPath, err := oracle.SumOfMaxBrute(p.AsTree(), pP)
+	if err != nil {
+		t.Fatalf("seed %d: SumOfMaxBrute(path): %v", seed, err)
+	}
+	smTree, err := oracle.SumOfMaxBrute(tr, pT)
+	if err != nil {
+		t.Fatalf("seed %d: SumOfMaxBrute(tree): %v", seed, err)
+	}
+
 	// oracleValue returns ground truth for (objective, input).
 	oracleValue := func(obj engine.Objective, input string) float64 {
 		switch input {
@@ -103,6 +165,10 @@ func differentialRound(t *testing.T, seed uint64, maxN int) {
 				return pd.MinCutWeight
 			case engine.ObjectiveBottleneck:
 				return pd.MinBottleneck
+			case engine.ObjectiveMaxMin:
+				return mmPath.Value
+			case engine.ObjectiveSumOfMax:
+				return smPath.Value
 			default:
 				return float64(pd.MinComponents)
 			}
@@ -112,6 +178,10 @@ func differentialRound(t *testing.T, seed uint64, maxN int) {
 				return tb.Bandwidth
 			case engine.ObjectiveBottleneck:
 				return tb.Bottleneck
+			case engine.ObjectiveMaxMin:
+				return mmTree.Value
+			case engine.ObjectiveSumOfMax:
+				return smTree.Value
 			default:
 				return float64(tb.Components)
 			}
@@ -131,9 +201,13 @@ func differentialRound(t *testing.T, seed uint64, maxN int) {
 			t.Fatalf("Get(%q): %v", name, err)
 		}
 		obj := engine.ObjectiveOf(s)
-		if obj == engine.ObjectiveUnknown {
+		switch obj {
+		case engine.ObjectiveUnknown:
 			continue // test-local registration from another test file
+		case engine.ObjectiveNone:
+			continue // NP-hard treecut tier: opted out by declared policy
 		}
+		partCount := obj == engine.ObjectiveMaxMin || obj == engine.ObjectiveSumOfMax
 		inputs := []string{"path"}
 		if s.Kind() == engine.KindTree {
 			inputs = []string{"tree", "path"}
@@ -147,6 +221,22 @@ func differentialRound(t *testing.T, seed uint64, maxN int) {
 			} else {
 				req.Path = p
 				checkFeasible = func(cut []int) error { return core.CheckPathFeasible(p, cut, kP) }
+			}
+			if partCount {
+				// Part-count objectives read K as the target component count;
+				// feasibility means exactly parts components, not a weight
+				// bound.
+				parts := pP
+				if input == "tree" {
+					parts = pT
+				}
+				req.K = float64(parts)
+				checkFeasible = func(cut []int) error {
+					if got := len(graph.NormalizeCut(cut)) + 1; got != parts {
+						return fmt.Errorf("%d components, want exactly %d", got, parts)
+					}
+					return nil
+				}
 			}
 			if name == "bandwidth-limited" {
 				// A cap equal to the vertex count never binds, keeping the
@@ -163,6 +253,13 @@ func differentialRound(t *testing.T, seed uint64, maxN int) {
 				continue
 			}
 			got := objectiveValue(obj, &res)
+			if obj == engine.ObjectiveSumOfMax {
+				in := tr
+				if input == "path" {
+					in = p.AsTree()
+				}
+				got = sumOfMaxValue(t, in, res.Cut)
+			}
 			if want := oracleValue(obj, input); !feq(got, want) {
 				t.Errorf("seed %d: %s/%s: %v objective = %v, oracle = %v (cut %v)",
 					seed, name, input, obj, got, want, res.Cut)

@@ -18,6 +18,15 @@ func FuzzDifferential(f *testing.F) {
 	for seed := uint64(100); seed < 110; seed++ {
 		f.Add(seed)
 	}
+	// Seeds added with the part-count objectives (maxmin, summax): the round
+	// now draws a part target per graph and runs the new solvers against
+	// MaxMinBrute/SumOfMaxBrute too, so widen the deterministic slice.
+	for seed := uint64(1711); seed < 1716; seed++ {
+		f.Add(seed)
+	}
+	for seed := uint64(2503); seed < 2508; seed++ {
+		f.Add(seed)
+	}
 	f.Fuzz(func(t *testing.T, seed uint64) {
 		differentialRound(t, seed, 10)
 	})
@@ -79,6 +88,39 @@ func FuzzCertificates(f *testing.F) {
 		} else if cert.Certified {
 			if int(cert.Objective) != tb.Components {
 				t.Errorf("seed %d cut %v: certified %v components, optimum %d", seed, cut, cert.Objective, tb.Components)
+			}
+		}
+
+		// Part-count certificates: the arbitrary cut rarely has the right
+		// component count, but when it does and Certified comes back true,
+		// the objective value must equal the exhaustive oracle optimum.
+		parts := 1 + r.Intn(n)
+		mm, err := oracle.MaxMinBrute(tr, parts)
+		if err != nil {
+			t.Fatalf("seed %d: MaxMinBrute: %v", seed, err)
+		}
+		sm, err := oracle.SumOfMaxBrute(tr, parts)
+		if err != nil {
+			t.Fatalf("seed %d: SumOfMaxBrute: %v", seed, err)
+		}
+		if cert, err := CertifyMaxMin(tr, parts, cut); err != nil {
+			t.Fatalf("seed %d cut %v: CertifyMaxMin: %v", seed, cut, err)
+		} else if cert.Certified {
+			if len(graph.NormalizeCut(cut))+1 != parts {
+				t.Errorf("seed %d cut %v: certified wrong component count for parts=%d", seed, cut, parts)
+			}
+			if math.Abs(cert.Objective-mm.Value) > 1e-9*math.Max(1, mm.Value) {
+				t.Errorf("seed %d cut %v: certified maxmin %v, optimum %v", seed, cut, cert.Objective, mm.Value)
+			}
+		}
+		if cert, err := CertifySumOfMax(tr, parts, cut); err != nil {
+			t.Fatalf("seed %d cut %v: CertifySumOfMax: %v", seed, cut, err)
+		} else if cert.Certified {
+			if len(graph.NormalizeCut(cut))+1 != parts {
+				t.Errorf("seed %d cut %v: certified wrong component count for parts=%d", seed, cut, parts)
+			}
+			if math.Abs(cert.Objective-sm.Value) > 1e-9*math.Max(1, sm.Value) {
+				t.Errorf("seed %d cut %v: certified summax %v, optimum %v", seed, cut, cert.Objective, sm.Value)
 			}
 		}
 	})

@@ -1,0 +1,205 @@
+package oracle
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func TestMaxMinBruteHandCases(t *testing.T) {
+	chain := mustTree(t, []float64{1, 5, 2, 4}, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1},
+	})
+	for _, tt := range []struct {
+		parts int
+		value float64
+		cut   []int
+	}{
+		{1, 12, []int{}},
+		{2, 6, []int{1}},
+		{4, 1, []int{0, 1, 2}},
+	} {
+		res, err := MaxMinBrute(chain, tt.parts)
+		if err != nil {
+			t.Fatalf("MaxMinBrute(parts=%d): %v", tt.parts, err)
+		}
+		if res.Value != tt.value {
+			t.Errorf("parts=%d: Value = %v, want %v", tt.parts, res.Value, tt.value)
+		}
+		if len(res.Cut) != tt.parts-1 {
+			t.Errorf("parts=%d: Cut = %v, want %d edges", tt.parts, res.Cut, tt.parts-1)
+		}
+		if tt.parts == 2 && !reflect.DeepEqual(res.Cut, tt.cut) {
+			t.Errorf("parts=2: Cut = %v, want %v", res.Cut, tt.cut)
+		}
+	}
+}
+
+func TestSumOfMaxBruteHandCases(t *testing.T) {
+	chain := mustTree(t, []float64{1, 5, 2, 4}, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1},
+	})
+	for _, tt := range []struct {
+		parts int
+		value float64
+	}{
+		{1, 5},
+		{2, 6},  // {1} | {5,2,4}
+		{4, 12}, // every node alone
+	} {
+		res, err := SumOfMaxBrute(chain, tt.parts)
+		if err != nil {
+			t.Fatalf("SumOfMaxBrute(parts=%d): %v", tt.parts, err)
+		}
+		if res.Value != tt.value {
+			t.Errorf("parts=%d: Value = %v, want %v", tt.parts, res.Value, tt.value)
+		}
+		if len(res.Cut) != tt.parts-1 {
+			t.Errorf("parts=%d: Cut = %v, want %d edges", tt.parts, res.Cut, tt.parts-1)
+		}
+	}
+}
+
+func TestPartsBruteErrors(t *testing.T) {
+	chain := mustTree(t, []float64{1, 2, 3}, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1},
+	})
+	for _, parts := range []int{0, -1, 4} {
+		if _, err := MaxMinBrute(chain, parts); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("MaxMinBrute(parts=%d) = %v, want ErrInfeasible", parts, err)
+		}
+		if _, err := SumOfMaxBrute(chain, parts); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("SumOfMaxBrute(parts=%d) = %v, want ErrInfeasible", parts, err)
+		}
+		if _, err := SumOfMaxDP(chain, parts); !errors.Is(err, ErrInfeasible) {
+			t.Errorf("SumOfMaxDP(parts=%d) = %v, want ErrInfeasible", parts, err)
+		}
+	}
+	r := workload.NewRNG(7)
+	big := workload.RandomTree(r, MaxBruteEdges+2, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+	if _, err := MaxMinBrute(big, 2); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("MaxMinBrute(big) = %v, want ErrTooLarge", err)
+	}
+	if _, err := SumOfMaxBrute(big, 2); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("SumOfMaxBrute(big) = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestMaxPartsOverHandCases(t *testing.T) {
+	chain := mustTree(t, []float64{1, 5, 2, 4}, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1},
+	})
+	for _, tt := range []struct {
+		b    float64
+		want int
+	}{
+		{0, 4},  // every subtree severs immediately
+		{4, 2},  // {1,5} | {2,4}; no 3-way split keeps every piece >= 4
+		{6, 2},  // {1,5} | {2,4}
+		{12, 1}, // whole tree
+		{13, 0}, // unreachable
+	} {
+		got, err := MaxPartsOver(chain, tt.b)
+		if err != nil {
+			t.Fatalf("MaxPartsOver(b=%v): %v", tt.b, err)
+		}
+		if got != tt.want {
+			t.Errorf("MaxPartsOver(b=%v) = %d, want %d", tt.b, got, tt.want)
+		}
+	}
+	single := mustTree(t, []float64{3}, nil)
+	if got, _ := MaxPartsOver(single, 3); got != 1 {
+		t.Errorf("single node b=3: got %d, want 1", got)
+	}
+	if got, _ := MaxPartsOver(single, 4); got != 0 {
+		t.Errorf("single node b=4: got %d, want 0", got)
+	}
+}
+
+// maxPartsBrute is the mask-enumeration reference for MaxPartsOver: the most
+// components any cut can induce with every component weighing at least b.
+func maxPartsBrute(t *graph.Tree, b float64) int {
+	m := t.NumEdges()
+	parent := make([]int, t.Len())
+	compW := make([]float64, t.Len())
+	compM := make([]float64, t.Len())
+	best := 0
+	for mask := 0; mask < 1<<m; mask++ {
+		minW, _ := componentStats(t, mask, parent, compW, compM)
+		if cnt := bits.OnesCount(uint(mask)) + 1; minW >= b && cnt > best {
+			best = cnt
+		}
+	}
+	return best
+}
+
+func TestMaxPartsOverMatchesBrute(t *testing.T) {
+	r := workload.NewRNG(17110)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(9)
+		tr := workload.RandomTree(r, n, workload.UniformWeights(1, 8), workload.UniformWeights(1, 8))
+		// Probe thresholds around actual node weights and sums so the greedy
+		// faces ties and near-misses, not just easy separations.
+		b := tr.NodeW[r.Intn(n)] * (0.5 + 1.5*r.Float64())
+		got, err := MaxPartsOver(tr, b)
+		if err != nil {
+			t.Fatalf("seed %d trial %d: MaxPartsOver: %v", r.Seed(), trial, err)
+		}
+		if want := maxPartsBrute(tr, b); got != want {
+			t.Errorf("seed %d trial %d: MaxPartsOver(b=%v) = %d, brute = %d (n=%d)",
+				r.Seed(), trial, b, got, want, n)
+		}
+	}
+}
+
+func TestSumOfMaxDPMatchesBrute(t *testing.T) {
+	r := workload.NewRNG(25030)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(9)
+		tr := workload.RandomTree(r, n, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+		for parts := 1; parts <= n; parts++ {
+			got, err := SumOfMaxDP(tr, parts)
+			if err != nil {
+				t.Fatalf("seed %d trial %d: SumOfMaxDP(parts=%d): %v", r.Seed(), trial, parts, err)
+			}
+			want, err := SumOfMaxBrute(tr, parts)
+			if err != nil {
+				t.Fatalf("seed %d trial %d: SumOfMaxBrute(parts=%d): %v", r.Seed(), trial, parts, err)
+			}
+			if math.Abs(got-want.Value) > 1e-9*math.Max(1, want.Value) {
+				t.Errorf("seed %d trial %d: SumOfMaxDP(parts=%d) = %v, brute = %v",
+					r.Seed(), trial, parts, got, want.Value)
+			}
+		}
+	}
+}
+
+// The brute cuts must induce exactly the requested number of components and
+// attain the value they report — a self-check of the enumeration plumbing.
+func TestPartsBruteCutsAreConsistent(t *testing.T) {
+	r := workload.NewRNG(31415)
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + r.Intn(8)
+		tr := workload.RandomTree(r, n, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+		parts := 1 + r.Intn(n)
+		for _, oracle := range []func(*graph.Tree, int) (*PartsResult, error){MaxMinBrute, SumOfMaxBrute} {
+			res, err := oracle(tr, parts)
+			if err != nil {
+				t.Fatalf("seed %d trial %d: %v", r.Seed(), trial, err)
+			}
+			ws, err := tr.ComponentWeights(res.Cut)
+			if err != nil {
+				t.Fatalf("seed %d trial %d: ComponentWeights(%v): %v", r.Seed(), trial, res.Cut, err)
+			}
+			if len(ws) != parts {
+				t.Errorf("seed %d trial %d: cut %v induces %d components, want %d",
+					r.Seed(), trial, res.Cut, len(ws), parts)
+			}
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package verify
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// partsFixtureTree is a 4-chain with tasks 1,5,2,4. With parts=2 the optimal
+// max–min cut is edge 1 ({1,5}|{2,4}, minimum 6) and the optimal sum-of-max
+// cut is edge 0 ({1}|{5,2,4}, paying 1+5=6).
+func partsFixtureTree(t *testing.T) *graph.Tree {
+	return mustTree(t, []float64{1, 5, 2, 4}, []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 1}, {U: 2, V: 3, W: 1},
+	})
+}
+
+func TestCertifyMaxMin(t *testing.T) {
+	tr := partsFixtureTree(t)
+	cert, err := CertifyMaxMin(tr, 2, []int{1})
+	if err != nil {
+		t.Fatalf("CertifyMaxMin: %v", err)
+	}
+	if !cert.Certified || cert.Objective != 6 {
+		t.Errorf("optimal cut not certified: %+v", cert)
+	}
+	if cert.Criterion != "maxmin" {
+		t.Errorf("Criterion = %q, want maxmin", cert.Criterion)
+	}
+	// Mutation: cutting edge 2 instead leaves minimum 4 < 6; the greedy
+	// packing finds a better partition and the certificate must reject.
+	cert, err = CertifyMaxMin(tr, 2, []int{2})
+	if err != nil {
+		t.Fatalf("CertifyMaxMin(corrupt): %v", err)
+	}
+	if cert.Certified {
+		t.Errorf("suboptimal minimum 4 must not certify: %+v", cert)
+	}
+	if cert.Objective != 4 || !strings.Contains(cert.Detail, "exists") {
+		t.Errorf("unexpected evidence: %+v", cert)
+	}
+	// Mutation: wrong component count for the claimed part target.
+	cert, err = CertifyMaxMin(tr, 2, []int{0, 1})
+	if err != nil {
+		t.Fatalf("CertifyMaxMin(wrong parts): %v", err)
+	}
+	if cert.Certified || !strings.Contains(cert.Detail, "exactly") {
+		t.Errorf("3 components against parts=2 must not certify: %+v", cert)
+	}
+	// Malformed cut index: error, not a false certificate.
+	if _, err := CertifyMaxMin(tr, 2, []int{99}); !errors.Is(err, graph.ErrBadCut) {
+		t.Errorf("out-of-range cut = %v, want ErrBadCut", err)
+	}
+}
+
+func TestCertifySumOfMax(t *testing.T) {
+	tr := partsFixtureTree(t)
+	cert, err := CertifySumOfMax(tr, 2, []int{0})
+	if err != nil {
+		t.Fatalf("CertifySumOfMax: %v", err)
+	}
+	if !cert.Certified || cert.Objective != 6 || cert.Bound != 6 {
+		t.Errorf("optimal cut not certified: %+v", cert)
+	}
+	if cert.Criterion != "summax" {
+		t.Errorf("Criterion = %q, want summax", cert.Criterion)
+	}
+	// Mutation: cutting edge 1 pays 5+4=9 > 6; the oracle DP must reject.
+	cert, err = CertifySumOfMax(tr, 2, []int{1})
+	if err != nil {
+		t.Fatalf("CertifySumOfMax(corrupt): %v", err)
+	}
+	if cert.Certified {
+		t.Errorf("suboptimal sum 9 must not certify: %+v", cert)
+	}
+	if cert.Objective != 9 || !strings.Contains(cert.Detail, "optimum") {
+		t.Errorf("unexpected evidence: %+v", cert)
+	}
+	// Mutation: wrong component count.
+	cert, err = CertifySumOfMax(tr, 3, []int{0})
+	if err != nil {
+		t.Fatalf("CertifySumOfMax(wrong parts): %v", err)
+	}
+	if cert.Certified || !strings.Contains(cert.Detail, "exactly") {
+		t.Errorf("2 components against parts=3 must not certify: %+v", cert)
+	}
+	// Malformed cut index: error, not a false certificate.
+	if _, err := CertifySumOfMax(tr, 2, []int{99}); !errors.Is(err, graph.ErrBadCut) {
+		t.Errorf("out-of-range cut = %v, want ErrBadCut", err)
+	}
+}
+
+// The engine-facing dispatch: part-count solvers route to their certificates
+// through CertifyResult on both tree and path-lifted inputs.
+func TestCertifyResultPartCountDispatch(t *testing.T) {
+	p := mustPath(t, []float64{1, 5, 2, 4}, []float64{1, 1, 1})
+	tr := partsFixtureTree(t)
+	for _, tt := range []struct {
+		solver string
+		req    engine.Request
+		want   string
+	}{
+		{"maxmin-path", engine.Request{Solver: "maxmin-path", Path: p, K: 2}, "maxmin"},
+		{"maxmin-tree", engine.Request{Solver: "maxmin-tree", Tree: tr, K: 2}, "maxmin"},
+		{"maxmin-tree/path", engine.Request{Solver: "maxmin-tree", Path: p, K: 2}, "maxmin"},
+		{"summax-tree", engine.Request{Solver: "summax-tree", Tree: tr, K: 2}, "summax"},
+		{"summax-tree/path", engine.Request{Solver: "summax-tree", Path: p, K: 2}, "summax"},
+	} {
+		res, err := engine.Solve(context.Background(), tt.req)
+		if err != nil {
+			t.Fatalf("%s: Solve: %v", tt.solver, err)
+		}
+		cert, err := CertifyResult(tt.req, &res)
+		if err != nil {
+			t.Fatalf("%s: CertifyResult: %v", tt.solver, err)
+		}
+		if !cert.Certified {
+			t.Errorf("%s: result not certified: %+v (cut %v)", tt.solver, cert, res.Cut)
+		}
+		if cert.Criterion != tt.want {
+			t.Errorf("%s: criterion %q, want %q", tt.solver, cert.Criterion, tt.want)
+		}
+	}
+	// Fractional part counts cannot be certified (nor solved).
+	req := engine.Request{Solver: "maxmin-tree", Tree: tr, K: 2.5}
+	if _, err := CertifyResult(req, &engine.Result{}); !errors.Is(err, ErrNotCertifiable) {
+		t.Errorf("fractional K: error = %v, want ErrNotCertifiable", err)
+	}
+}
+
+// Metamorphic property: scaling every node weight by a power of two (exact
+// in float64) with the part count fixed scales both part-count objectives by
+// the same factor.
+func TestMetamorphicPartCountScaling(t *testing.T) {
+	const factor = 4
+	r := workload.NewRNG(44)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(11)
+		tr := workload.RandomTree(r, n, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+		parts := 1 + r.Intn(n)
+		scaled := tr.Clone()
+		for i := range scaled.NodeW {
+			scaled.NodeW[i] *= factor
+		}
+		for _, name := range []string{"maxmin-tree", "summax-tree"} {
+			s, err := engine.Get(name)
+			if err != nil {
+				t.Fatalf("Get(%q): %v", name, err)
+			}
+			obj := engine.ObjectiveOf(s)
+			base, err := engine.Solve(context.Background(), engine.Request{Solver: name, Tree: tr, K: float64(parts)})
+			if err != nil {
+				t.Fatalf("seed %d trial %d: %s: %v", r.Seed(), trial, name, err)
+			}
+			big, err := engine.Solve(context.Background(), engine.Request{Solver: name, Tree: scaled, K: float64(parts)})
+			if err != nil {
+				t.Fatalf("seed %d trial %d: %s scaled: %v", r.Seed(), trial, name, err)
+			}
+			var got, want float64
+			if obj == engine.ObjectiveSumOfMax {
+				got, want = sumOfMaxValue(t, scaled, big.Cut), sumOfMaxValue(t, tr, base.Cut)
+			} else {
+				got, want = objectiveValue(obj, &big), objectiveValue(obj, &base)
+			}
+			if !feq(got, factor*want) {
+				t.Errorf("seed %d trial %d: %s: scaled objective %v, want %v",
+					r.Seed(), trial, name, got, factor*want)
+			}
+		}
+	}
+}
+
+// Metamorphic property: relabeling tree vertices leaves both part-count
+// objective values unchanged.
+func TestMetamorphicPartCountRelabeling(t *testing.T) {
+	r := workload.NewRNG(55)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(11)
+		tr := workload.RandomTree(r, n, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+		parts := 1 + r.Intn(n)
+		perm := r.Perm(n)
+		nodeW := make([]float64, n)
+		for v, w := range tr.NodeW {
+			nodeW[perm[v]] = w
+		}
+		edges := make([]graph.Edge, len(tr.Edges))
+		for i, e := range tr.Edges {
+			edges[i] = graph.Edge{U: perm[e.U], V: perm[e.V], W: e.W}
+		}
+		relabeled, err := graph.NewTree(nodeW, edges)
+		if err != nil {
+			t.Fatalf("seed %d trial %d: NewTree: %v", r.Seed(), trial, err)
+		}
+		for _, name := range []string{"maxmin-tree", "summax-tree"} {
+			s, err := engine.Get(name)
+			if err != nil {
+				t.Fatalf("Get(%q): %v", name, err)
+			}
+			obj := engine.ObjectiveOf(s)
+			base, err := engine.Solve(context.Background(), engine.Request{Solver: name, Tree: tr, K: float64(parts)})
+			if err != nil {
+				t.Fatalf("seed %d trial %d: %s: %v", r.Seed(), trial, name, err)
+			}
+			rel, err := engine.Solve(context.Background(), engine.Request{Solver: name, Tree: relabeled, K: float64(parts)})
+			if err != nil {
+				t.Fatalf("seed %d trial %d: %s relabeled: %v", r.Seed(), trial, name, err)
+			}
+			var got, want float64
+			if obj == engine.ObjectiveSumOfMax {
+				got, want = sumOfMaxValue(t, relabeled, rel.Cut), sumOfMaxValue(t, tr, base.Cut)
+			} else {
+				got, want = objectiveValue(obj, &rel), objectiveValue(obj, &base)
+			}
+			if !feq(got, want) {
+				t.Errorf("seed %d trial %d: %s: relabeled objective %v, want %v",
+					r.Seed(), trial, name, got, want)
+			}
+		}
+	}
+}
+
+// Metamorphic property: reversing a path leaves the max–min objective value
+// unchanged.
+func TestMetamorphicPartCountReversal(t *testing.T) {
+	r := workload.NewRNG(66)
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(11)
+		p := workload.RandomPath(r, n, workload.UniformWeights(1, 10), workload.UniformWeights(1, 10))
+		parts := 1 + r.Intn(n)
+		rev := p.Clone()
+		for i, j := 0, len(rev.NodeW)-1; i < j; i, j = i+1, j-1 {
+			rev.NodeW[i], rev.NodeW[j] = rev.NodeW[j], rev.NodeW[i]
+		}
+		for i, j := 0, len(rev.EdgeW)-1; i < j; i, j = i+1, j-1 {
+			rev.EdgeW[i], rev.EdgeW[j] = rev.EdgeW[j], rev.EdgeW[i]
+		}
+		base, err := engine.Solve(context.Background(), engine.Request{Solver: "maxmin-path", Path: p, K: float64(parts)})
+		if err != nil {
+			t.Fatalf("seed %d trial %d: maxmin-path: %v", r.Seed(), trial, err)
+		}
+		back, err := engine.Solve(context.Background(), engine.Request{Solver: "maxmin-path", Path: rev, K: float64(parts)})
+		if err != nil {
+			t.Fatalf("seed %d trial %d: maxmin-path reversed: %v", r.Seed(), trial, err)
+		}
+		got := objectiveValue(engine.ObjectiveMaxMin, &back)
+		want := objectiveValue(engine.ObjectiveMaxMin, &base)
+		if !feq(got, want) {
+			t.Errorf("seed %d trial %d: maxmin-path: reversed objective %v, want %v",
+				r.Seed(), trial, got, want)
+		}
+	}
+}

@@ -13,6 +13,17 @@
 //     the optimal hitting weight (the interval constraint matrix is totally
 //     unimodular), giving a tight lower bound on the cut weight.
 //
+// The part-count successors of the paper's criteria certify the same way:
+//
+//   - max–min (arXiv 1711.00599): a partition into exactly p components with
+//     minimum weight V is optimal iff no partition fits p components each
+//     weighing > V, which the independent Perl–Schach greedy
+//     (oracle.MaxPartsOver) decides exactly at threshold V + ε;
+//   - sum-of-max (arXiv 2503.11526): the independent map-backed oracle DP
+//     (oracle.SumOfMaxDP) recomputes the optimum, sanity-checked from below
+//     by the packing-style dual hitting.SumOfMaxPackingBound
+//     (arXiv 1410.0462).
+//
 // A Certificate therefore proves a result right without re-running the
 // solver under test: the evidence comes from different code paths
 // (internal/prime + internal/hitting for bandwidth, internal/verify/oracle
@@ -40,7 +51,7 @@ var ErrNotCertifiable = errors.New("verify: result not certifiable")
 // Certificate records the outcome of checking one solver answer.
 type Certificate struct {
 	// Criterion is the certified objective ("bottleneck", "minprocs",
-	// "bandwidth").
+	// "bandwidth", "maxmin", "summax").
 	Criterion string
 	// Certified reports whether the cut is feasible AND its objective value
 	// matches the independent evidence. False means the certificate could
@@ -178,6 +189,93 @@ func CertifyBandwidth(p *graph.Path, k float64, cut []int) (*Certificate, error)
 	return cert, nil
 }
 
+// CertifyMaxMin checks that cut splits t into exactly parts components and
+// that its minimum component weight V is maximal over all exactly-parts
+// partitions. Evidence: the independent Perl–Schach greedy counts the
+// maximum number of components a partition can produce with every component
+// weighing ≥ V + ε; if even that maximal packing falls short of parts, no
+// exactly-parts partition beats V. O(n).
+func CertifyMaxMin(t *graph.Tree, parts int, cut []int) (*Certificate, error) {
+	cut = graph.NormalizeCut(cut)
+	cert := &Certificate{Criterion: "maxmin"}
+	ws, err := t.ComponentWeights(cut)
+	if err != nil {
+		return nil, err
+	}
+	v := math.Inf(1)
+	for _, w := range ws {
+		if w < v {
+			v = w
+		}
+	}
+	cert.Objective = v
+	cert.Bound = v
+	if len(ws) != parts {
+		cert.Detail = fmt.Sprintf("cut uses %d components, want exactly %d", len(ws), parts)
+		return cert, nil
+	}
+	over, err := oracle.MaxPartsOver(t, v+eps(v))
+	if err != nil {
+		return nil, err
+	}
+	if over >= parts {
+		cert.Detail = fmt.Sprintf("a %d-component partition with every component > %v exists", parts, v)
+		return cert, nil
+	}
+	cert.Certified = true
+	return cert, nil
+}
+
+// CertifySumOfMax checks that cut splits t into exactly parts components and
+// that the sum of per-component maximum node weights is minimal. Evidence:
+// the independent map-backed oracle DP recomputes the optimum, itself
+// sanity-checked against the packing-style lower bound (max weight plus the
+// parts−1 smallest weights).
+func CertifySumOfMax(t *graph.Tree, parts int, cut []int) (*Certificate, error) {
+	cut = graph.NormalizeCut(cut)
+	cert := &Certificate{Criterion: "summax"}
+	ms, err := t.ComponentMaxNodeWeights(cut)
+	if err != nil {
+		return nil, err
+	}
+	var s float64
+	for _, m := range ms {
+		s += m
+	}
+	cert.Objective = s
+	if len(ms) != parts {
+		cert.Detail = fmt.Sprintf("cut uses %d components, want exactly %d", len(ms), parts)
+		return cert, nil
+	}
+	opt, err := oracle.SumOfMaxDP(t, parts)
+	if err != nil {
+		return nil, err
+	}
+	cert.Bound = opt
+	packing, err := hitting.SumOfMaxPackingBound(t.NodeW, parts)
+	if err != nil {
+		return nil, err
+	}
+	if opt < packing-eps(packing) {
+		return nil, fmt.Errorf("verify: internal error: DP optimum %v below packing bound %v", opt, packing)
+	}
+	if s > opt+eps(s) {
+		cert.Detail = fmt.Sprintf("sum of maxes %v exceeds the DP optimum %v", s, opt)
+		return cert, nil
+	}
+	cert.Certified = true
+	return cert, nil
+}
+
+// partsOfRequest reads the target component count of a part-count objective
+// out of the request's K slot.
+func partsOfRequest(req engine.Request) (int, error) {
+	if req.K != math.Trunc(req.K) || req.K > math.MaxInt32 || req.K < math.MinInt32 {
+		return 0, fmt.Errorf("verify: part count K = %v is not integral: %w", req.K, ErrNotCertifiable)
+	}
+	return int(req.K), nil
+}
+
 // CertifyResult certifies an engine result against its request: the solver's
 // declared objective (engine.ObjectiveOf) picks the certificate checker, and
 // path inputs are lifted to trees for the tree-criterion checkers exactly as
@@ -225,6 +323,26 @@ func CertifyResult(req engine.Request, res *engine.Result) (*Certificate, error)
 			return nil, err
 		}
 		return CertifyProcMin(t, req.K, res.Cut)
+	case engine.ObjectiveMaxMin:
+		t, err := asTree()
+		if err != nil {
+			return nil, err
+		}
+		parts, err := partsOfRequest(req)
+		if err != nil {
+			return nil, err
+		}
+		return CertifyMaxMin(t, parts, res.Cut)
+	case engine.ObjectiveSumOfMax:
+		t, err := asTree()
+		if err != nil {
+			return nil, err
+		}
+		parts, err := partsOfRequest(req)
+		if err != nil {
+			return nil, err
+		}
+		return CertifySumOfMax(t, parts, res.Cut)
 	default:
 		return nil, fmt.Errorf("verify: solver %q declares objective %v: %w", req.Solver, obj, ErrNotCertifiable)
 	}

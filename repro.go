@@ -17,6 +17,16 @@
 //   - PartitionTree: the §2.2 pipeline — bottleneck minimization, super-node
 //     contraction, then processor minimization.
 //
+// Beyond the paper's bound-K objectives, the package carries two part-count
+// objective families from the follow-up literature, both asking for exactly p
+// components:
+//
+//   - MaxMinPath / MaxMinTree: maximize the minimum component weight
+//     (parametric search over the Perl–Schach greedy; Frederickson & Zhou,
+//     arXiv 1711.00599).
+//   - SumOfMaxTree: minimize the sum over components of the maximum task
+//     weight (Pareto-pruned tree DP; arXiv 2503.11526).
+//
 // The shared-memory machine model, the component→processor mapping, and the
 // partition quality metrics of §1/§3 are exposed through Machine,
 // MapComponents, EvaluatePath and EvaluateTree.
@@ -291,6 +301,25 @@ func MinProcessorsPath(p *Path, k float64) (*PathPartition, error) {
 // contraction, processor minimization (§2.2).
 func PartitionTree(t *Tree, k float64) (*TreePartition, error) {
 	return solveTree("partition-tree", t, k)
+}
+
+// MaxMinPath partitions a linear task graph into exactly parts components
+// maximizing the minimum component weight (arXiv 1711.00599).
+func MaxMinPath(p *Path, parts int) (*PathPartition, error) {
+	return solvePath("maxmin-path", p, float64(parts), SolveOptions{})
+}
+
+// MaxMinTree partitions a tree task graph into exactly parts components
+// maximizing the minimum component weight (arXiv 1711.00599).
+func MaxMinTree(t *Tree, parts int) (*TreePartition, error) {
+	return solveTree("maxmin-tree", t, float64(parts))
+}
+
+// SumOfMaxTree partitions a tree task graph into exactly parts components
+// minimizing the sum of per-component maximum task weights (arXiv
+// 2503.11526).
+func SumOfMaxTree(t *Tree, parts int) (*TreePartition, error) {
+	return solveTree("summax-tree", t, float64(parts))
 }
 
 // CheckPathFeasible verifies the execution-time bound for a path cut.
