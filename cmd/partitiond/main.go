@@ -21,8 +21,15 @@
 //	GET  /v1/jobs/{id}/events  Server-Sent Events progress stream
 //	DELETE /v1/jobs/{id}       cancel
 //	GET  /v1/solvers  registry names, graph kinds and server limits
+//	GET  /v1/cluster  cluster membership, forward and single-flight counters
 //	GET  /healthz     liveness (503 while draining)
 //	GET  /metrics     Prometheus text format
+//
+// Clustering: -peers lists every node (self included) and -self names this
+// node's own address from that list. Each graph fingerprint hashes to one
+// owning node; cache misses on non-owners forward the solve to the owner so
+// the cluster behaves as one logical cache with cluster-wide solve
+// deduplication. See the README "Clustering" section.
 //
 // On SIGINT/SIGTERM the server drains: new requests and job submissions get
 // 503, queued jobs turn terminal canceled, in-flight solves and running jobs
@@ -40,9 +47,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -69,6 +78,10 @@ func run() error {
 	jobRetention := flag.Duration("job-retention", 15*time.Minute, "how long finished jobs (and their results) stay fetchable")
 	maxJobTimeout := flag.Duration("max-job-timeout", 15*time.Minute, "cap on a job's total lifetime (queue wait included); also the default when the submission names none")
 	drain := flag.Duration("drain", 15*time.Second, "how long to wait for in-flight solves and running jobs on shutdown")
+	peers := flag.String("peers", "", "comma-separated cluster peer addresses including this node (empty = standalone)")
+	self := flag.String("self", "", "this node's own address within -peers (required with -peers)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "period of the cluster peer health sweep")
+	healthTimeout := flag.Duration("health-timeout", time.Second, "deadline for one cluster peer health probe")
 	logFormat := flag.String("log", "text", "log format: text | json")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty disables); keep it off public interfaces")
 	flag.Parse()
@@ -111,6 +124,23 @@ func run() error {
 	if *jobQueue <= 0 {
 		return fmt.Errorf("-job-queue must be positive (got %d)", *jobQueue)
 	}
+	if *peers == "" && *self != "" {
+		return errors.New("-self requires -peers")
+	}
+	if *peers != "" && *self == "" {
+		return errors.New("-peers requires -self")
+	}
+	for _, d := range []struct {
+		name string
+		val  time.Duration
+	}{
+		{"-health-interval", *healthInterval},
+		{"-health-timeout", *healthTimeout},
+	} {
+		if d.val <= 0 {
+			return fmt.Errorf("%s must be positive (got %v)", d.name, d.val)
+		}
+	}
 
 	var handler slog.Handler
 	switch *logFormat {
@@ -142,6 +172,23 @@ func run() error {
 	}
 	if *cacheSize == 0 {
 		cfg.CacheSize = -1 // flag semantics: 0 entries means no cache
+	}
+	var clu *cluster.Cluster
+	if *peers != "" {
+		var err error
+		clu, err = cluster.New(cluster.Config{
+			Self:           *self,
+			Peers:          strings.Split(*peers, ","),
+			HealthInterval: *healthInterval,
+			HealthTimeout:  *healthTimeout,
+			Logger:         logger,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Cluster = clu
+		clu.Start()
+		defer clu.Close()
 	}
 	srv := server.New(cfg)
 

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// errFlightPanic is what waiters observe when the leader's function panics:
+// the panic propagates in the leader's goroutine, and everyone who joined
+// the flight gets this error instead of hanging forever.
+var errFlightPanic = errors.New("cluster: singleflight leader panicked")
+
+// flightCall is one in-flight execution; joiners wait on wg and then read
+// val/err, which the leader writes before wg.Done.
+type flightCall[V any] struct {
+	wg  sync.WaitGroup
+	val V
+	err error
+}
+
+// Group is a duplicate-call suppressor (a "single-flight" group): concurrent
+// Do calls with the same key execute fn exactly once and share the one
+// result. It is the dedup layer in front of the solve engine — N identical
+// cache misses perform one solve — and, because forwarded cluster requests
+// land on the owner with the same key as its local misses, the same group
+// also collapses a cluster-wide thundering herd once requests are routed by
+// fingerprint ownership.
+//
+// Unlike a cache, a Group holds no completed results: as soon as the leader
+// finishes, the key is forgotten and the next Do runs fn again (by then the
+// result cache answers). Errors are shared with every waiter of that flight
+// and never retained. The zero value is ready to use.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*flightCall[V]
+
+	leads  atomic.Uint64 // executions of fn
+	shared atomic.Uint64 // results served from another caller's execution
+}
+
+// Do executes fn once per concurrent set of callers with the same key.
+// The leader (the first caller in) runs fn on its own goroutine stack;
+// everyone else blocks until the leader finishes and receives the same
+// value and error, with shared = true.
+//
+// Joining is deliberate: a waiter is not canceled when its own request
+// context ends, because the result is already being computed on the
+// leader's budget and will be shared the moment it lands.
+func (g *Group[K, V]) Do(key K, fn func() (V, error)) (v V, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*flightCall[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		c.wg.Wait()
+		g.shared.Add(1)
+		return c.val, true, c.err
+	}
+	c := new(flightCall[V])
+	c.err = errFlightPanic // overwritten on normal return; seen only on panic
+	c.wg.Add(1)
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	g.leads.Add(1)
+	defer func() {
+		// Runs on normal return and on panic alike: drop the key so later
+		// calls start fresh, then release the waiters. A panic propagates in
+		// the leader; waiters see errFlightPanic.
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		c.wg.Done()
+	}()
+	c.val, c.err = fn()
+	return c.val, false, c.err
+}
+
+// Stats reports how many flights were led (fn executions) and how many
+// callers were served by joining another caller's flight.
+func (g *Group[K, V]) Stats() (leads, shared uint64) {
+	return g.leads.Load(), g.shared.Load()
+}

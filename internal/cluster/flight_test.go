@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// launchFlight starts n concurrent Do("k", fn) callers where fn blocks until
+// release is closed. It returns once every caller goroutine has signalled it
+// is about to enter Do and the leader is inside fn; the short settle sleep
+// then makes "every other caller has joined the leader's flight" reliable
+// (the same handshake golang.org/x/sync's singleflight tests use — sharing is
+// guaranteed by Do's map check once a caller is inside, the sleep only covers
+// the last few instructions before it).
+func launchFlight[V any](t *testing.T, g *Group[string, V], n int, fn func() (V, error), release chan struct{}) (wait func() []flightResult[V]) {
+	t.Helper()
+	entered := make(chan struct{})
+	var once sync.Once
+	wrapped := func() (V, error) {
+		once.Do(func() { close(entered) })
+		<-release
+		return fn()
+	}
+	results := make([]flightResult[V], n)
+	var ready, done sync.WaitGroup
+	for i := 0; i < n; i++ {
+		ready.Add(1)
+		done.Add(1)
+		go func(i int) {
+			defer done.Done()
+			ready.Done()
+			v, shared, err := g.Do("k", wrapped)
+			results[i] = flightResult[V]{v: v, shared: shared, err: err}
+		}(i)
+	}
+	ready.Wait()
+	<-entered
+	time.Sleep(100 * time.Millisecond)
+	return func() []flightResult[V] {
+		done.Wait()
+		return results
+	}
+}
+
+type flightResult[V any] struct {
+	v      V
+	shared bool
+	err    error
+}
+
+func TestFlightDedup(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int32
+	release := make(chan struct{})
+	const n = 16
+	wait := launchFlight(t, &g, n, func() (int, error) {
+		calls.Add(1)
+		return 42, nil
+	}, release)
+	close(release)
+	results := wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	var leaders int
+	for i, r := range results {
+		if r.err != nil {
+			t.Errorf("caller %d: %v", i, r.err)
+		}
+		if r.v != 42 {
+			t.Errorf("caller %d got %d, want 42", i, r.v)
+		}
+		if !r.shared {
+			leaders++
+		}
+	}
+	if leaders != 1 {
+		t.Errorf("%d callers report shared=false, want exactly 1", leaders)
+	}
+	leads, shared := g.Stats()
+	if leads != 1 || shared != n-1 {
+		t.Errorf("Stats() = (%d, %d), want (1, %d)", leads, shared, n-1)
+	}
+}
+
+func TestFlightErrorShared(t *testing.T) {
+	var g Group[string, int]
+	boom := errors.New("boom")
+	release := make(chan struct{})
+	wait := launchFlight(t, &g, 4, func() (int, error) {
+		return 0, boom
+	}, release)
+	close(release)
+	for i, r := range wait() {
+		if !errors.Is(r.err, boom) {
+			t.Errorf("caller %d error = %v, want boom", i, r.err)
+		}
+	}
+}
+
+func TestFlightKeyForgottenAfterCompletion(t *testing.T) {
+	var g Group[string, int]
+	var calls atomic.Int32
+	fn := func() (int, error) { calls.Add(1); return int(calls.Load()), nil }
+	v1, shared1, _ := g.Do("k", fn)
+	v2, shared2, _ := g.Do("k", fn)
+	if shared1 || shared2 {
+		t.Fatal("sequential calls must not share")
+	}
+	if v1 != 1 || v2 != 2 {
+		t.Fatalf("got %d, %d; want 1, 2 (fn re-executed)", v1, v2)
+	}
+}
+
+func TestFlightDistinctKeysConcurrent(t *testing.T) {
+	var g Group[int, int]
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := g.Do(i%5, func() (int, error) { return i % 5, nil })
+			if err != nil {
+				t.Errorf("key %d: %v", i%5, err)
+			}
+			if v != i%5 {
+				t.Errorf("key %d got value %d", i%5, v)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestFlightLeaderPanic(t *testing.T) {
+	var g Group[string, int]
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	joined := make(chan error, 1)
+
+	// The leader runs in its own goroutine so its panic doesn't unwind the
+	// test; the joiner enters after the leader is inside fn.
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the leader")
+			}
+		}()
+		g.Do("k", func() (int, error) {
+			close(entered)
+			<-release
+			panic("leader exploded")
+		})
+	}()
+	<-entered
+	go func() {
+		_, _, err := g.Do("k", func() (int, error) { return 7, nil })
+		joined <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	close(release)
+
+	err := <-joined
+	// The joiner either joined the panicking flight (errFlightPanic) or, in a
+	// rare schedule, entered after the key was dropped and led its own clean
+	// flight — both are sound outcomes; hanging forever is the failure this
+	// test guards against.
+	if err != nil && !errors.Is(err, errFlightPanic) {
+		t.Fatalf("joiner error = %v, want nil or errFlightPanic", err)
+	}
+	// The key must be usable again afterwards.
+	v, shared, err := g.Do("k", func() (int, error) { return 9, nil })
+	if v != 9 || shared || err != nil {
+		t.Fatalf("post-panic Do = (%d, %v, %v), want (9, false, nil)", v, shared, err)
+	}
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return peers
+}
+
+func allMembers(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// testKeys returns a deterministic spread of fingerprint-like keys. The remix
+// in owner() means sequential inputs are fine.
+func testKeys(n int) []uint64 {
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)*0x9e3779b97f4a7c15 + 12345
+	}
+	return keys
+}
+
+func TestRingBalance(t *testing.T) {
+	peers := testPeers(3)
+	r := buildRing(peers, allMembers(3), 128)
+	counts := make([]int, 3)
+	keys := testKeys(30000)
+	for _, k := range keys {
+		counts[r.owner(k)]++
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 {
+		t.Fatalf("a peer owns no keys: %v", counts)
+	}
+	// 128 vnodes keeps the spread tight; 1.5x max/min is a loose bound that
+	// still catches broken hashing (which lands near N:0:0).
+	if ratio := float64(max) / float64(min); ratio > 1.5 {
+		t.Errorf("load imbalance max/min = %.2f (counts %v), want <= 1.5", ratio, counts)
+	}
+}
+
+func TestRingMinimalRemapOnLeave(t *testing.T) {
+	peers := testPeers(5)
+	full := buildRing(peers, allMembers(5), 128)
+	const removed = 2
+	reduced := buildRing(peers, []int{0, 1, 3, 4}, 128)
+
+	keys := testKeys(20000)
+	var moved, owned int
+	for _, k := range keys {
+		before := full.owner(k)
+		after := reduced.owner(k)
+		if before == removed {
+			owned++
+			if after == removed {
+				t.Fatalf("key %#x still owned by removed peer", k)
+			}
+			continue
+		}
+		// Exactness, not a bound: a key not owned by the removed peer must
+		// keep its owner, because no other peer's points moved.
+		if before != after {
+			moved++
+			t.Errorf("key %#x moved %d -> %d though peer %d left", k, before, after, removed)
+			if moved > 5 {
+				t.Fatal("too many spurious moves; stopping")
+			}
+		}
+	}
+	if owned == 0 {
+		t.Fatal("removed peer owned no keys; test is vacuous")
+	}
+	// ~1/5 of keys should have been on the removed peer; allow wide slack.
+	if frac := float64(owned) / float64(len(keys)); frac > 0.35 {
+		t.Errorf("removed peer owned %.0f%% of keys, want ~20%%", frac*100)
+	}
+}
+
+func TestRingMinimalRemapOnJoin(t *testing.T) {
+	peers := testPeers(4)
+	three := buildRing(peers, []int{0, 1, 2}, 128)
+	four := buildRing(peers, allMembers(4), 128)
+
+	keys := testKeys(20000)
+	var stolen int
+	for _, k := range keys {
+		before := three.owner(k)
+		after := four.owner(k)
+		if after == 3 {
+			stolen++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %#x moved %d -> %d on join of peer 3", k, before, after)
+		}
+	}
+	if stolen == 0 {
+		t.Fatal("joining peer stole no keys")
+	}
+	if frac := float64(stolen) / float64(len(keys)); frac > 0.40 {
+		t.Errorf("joining peer took %.0f%% of keys, want ~25%%", frac*100)
+	}
+}
+
+func TestRingDeterministic(t *testing.T) {
+	peers := testPeers(3)
+	a := buildRing(peers, allMembers(3), 128)
+	b := buildRing(peers, []int{2, 0, 1}, 128) // member order must not matter
+	for _, k := range testKeys(5000) {
+		if a.owner(k) != b.owner(k) {
+			t.Fatalf("owner of %#x differs with member order: %d vs %d", k, a.owner(k), b.owner(k))
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := buildRing(nil, nil, 128)
+	if got := r.owner(42); got != -1 {
+		t.Fatalf("owner on empty ring = %d, want -1", got)
+	}
+}

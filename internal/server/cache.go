@@ -138,6 +138,25 @@ func (c *Cache) Get(key cacheKey) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
+// peek returns the cached body for key like Get but without touching the
+// hit/miss counters. The solve path uses it for the secondary canonical-frame
+// probe so the legacy cache counters keep counting one outcome per request;
+// the per-tier lookup metrics record the logical result separately.
+func (c *Cache) peek(key cacheKey) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := c.shards[key.shardIndex(len(c.shards))]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
 // Put stores body under key, evicting the least recently used entry of the
 // key's shard when the shard is full. Storing an existing key refreshes it.
 func (c *Cache) Put(key cacheKey, body []byte) {

@@ -1,0 +1,347 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// The cluster-aware solve path. With a cluster configured, every /v1/solve
+// cache miss on a graph this node does not own is forwarded to the owning
+// peer as a PSV1 binary frame; the owner answers with the PRS1 frame it
+// would serve locally (so binary clients get byte-identical results whether
+// or not their request crossed a node boundary). Forwarding is best-effort:
+// any failure falls back to a local solve, so a dead owner costs dedup and
+// cache locality, never availability.
+//
+// With or without a cluster, misses resolve under a single-flight group. The
+// flight value is the canonical PRS1 frame regardless of what the requester
+// negotiated — JSON waiters render from the frame (the encoding is lossless:
+// floats travel as their exact bits) — so the flight key normalizes the
+// response format away and N identical concurrent misses perform exactly one
+// engine solve no matter how the callers mix JSON and binary. Forwarded
+// internal requests land on the owner with that same normalized key, which is
+// what makes the dedup cluster-wide: a thundering herd on one hot graph,
+// spread across every node, collapses to a single solve on the owner.
+
+// flightBody is a resolved solve miss as shared through the single-flight
+// group: the canonical PRS1 frame, where it came from (for the X-Cluster
+// response header), and — on the direct path only, for traced requests that
+// bypass the flight — the request's own span tree.
+type flightBody struct {
+	body []byte
+	via  string        // forwarding peer URL; empty for a local solve
+	tree *obs.SpanNode // non-nil only for traced (flight-bypassing) requests
+}
+
+// httpError carries an HTTP status through the single-flight group, so shed
+// decisions (429/503) made by a flight leader reach every joined waiter.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// clusterMetrics attributes cache lookups to the requester tier: "local"
+// for external clients of this node, "peer" for forwarded internal requests
+// from other cluster nodes (the owner serving its shard).
+type clusterMetrics struct {
+	localHits, localMisses atomic.Uint64
+	peerHits, peerMisses   atomic.Uint64
+}
+
+func (m *clusterMetrics) observeLookup(internal, hit bool) {
+	switch {
+	case internal && hit:
+		m.peerHits.Add(1)
+	case internal:
+		m.peerMisses.Add(1)
+	case hit:
+		m.localHits.Add(1)
+	default:
+		m.localMisses.Add(1)
+	}
+}
+
+// acquireSlotCtx admits one unit of solve work, queueing under QueueTimeout
+// bounded also by ctx. Shed outcomes come back as *httpError so they can
+// travel through the single-flight group and be written by any waiter.
+func (s *Server) acquireSlotCtx(ctx context.Context) (release func(), err error) {
+	if release, ok := s.limiter.TryAcquire(); ok {
+		return release, nil
+	}
+	qctx, qcancel := context.WithTimeout(ctx, s.cfg.QueueTimeout)
+	release, aerr := s.limiter.Acquire(qctx)
+	qcancel()
+	if aerr != nil {
+		if errors.Is(aerr, ErrQueueFull) {
+			return nil, &httpError{status: http.StatusTooManyRequests, msg: "admission queue full"}
+		}
+		return nil, &httpError{status: http.StatusServiceUnavailable, msg: "timed out waiting for a solve slot"}
+	}
+	return release, nil
+}
+
+// writeSolveError maps a resolve error to its response: explicit HTTP
+// statuses pass through, engine/solve errors map via solveStatus.
+func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
+	var he *httpError
+	if errors.As(err, &he) {
+		s.writeError(w, he.status, he.msg)
+		return
+	}
+	s.writeError(w, solveStatus(err), err.Error())
+}
+
+// solveTimeoutOf resolves the effective engine deadline for a requested
+// timeoutMs: the server default when unset, clamped to the server maximum.
+func (s *Server) solveTimeoutOf(ms int64) time.Duration {
+	timeout := s.cfg.DefaultTimeout
+	if ms > 0 {
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return timeout
+}
+
+// resolveMiss computes the canonical PRS1 frame for a cache miss: forwarded
+// to the owning peer when a cluster is configured and this node does not own
+// the graph, a local engine solve otherwise (and as the fallback for any
+// failed forward). Usually runs as a single-flight leader; internal marks
+// requests that already crossed a node boundary and must not be forwarded
+// again. Rendering into the negotiated response format and the cache fill
+// are the caller's job.
+func (s *Server) resolveMiss(ctx context.Context, p *parsedSolve, internal bool) (flightBody, error) {
+	if s.cluster != nil && !internal && !p.req.NoCache {
+		if peer, local := s.cluster.Route(p.fp); !local {
+			if fb, ok := s.forwardSolve(ctx, p, peer); ok {
+				return fb, nil
+			}
+		}
+	}
+	return s.solveLocal(ctx, p, internal)
+}
+
+// forwardSolve encodes the parsed request as a PSV1 frame and asks the
+// owning peer to solve it, returning the owner's PRS1 frame. Reports
+// ok=false on any failure, leaving the caller to solve locally; the cluster
+// transport has already recorded the outcome and marked the peer dead when
+// the failure was transport-level.
+func (s *Server) forwardSolve(ctx context.Context, p *parsedSolve, peer string) (flightBody, bool) {
+	var tr *obs.Trace
+	fctx := ctx
+	if p.req.Trace {
+		// Traced clients get the hop in their span tree: the root carries a
+		// cluster-forward phase instead of local solver phases.
+		tr = obs.New("solve " + p.req.Solver)
+		tr.RequestID = obs.RequestIDFrom(ctx)
+		fctx = obs.NewContext(ctx, tr)
+	}
+	// Trace and noCache are local concerns and do not cross the hop; the
+	// owner always answers the cacheable untraced binary form.
+	frame, err := AppendSolveRequest(nil, SolveParams{
+		Solver:        p.req.Solver,
+		K:             p.req.K,
+		MaxComponents: p.req.MaxComponents,
+		TimeoutMs:     p.req.TimeoutMs,
+		Verify:        p.req.Verify,
+	}, p.g)
+	if err != nil {
+		return flightBody{}, false
+	}
+	// The forward deadline covers the owner's worst case: its admission
+	// queue wait plus the solve deadline we asked for, with margin.
+	fwdCtx, cancel := context.WithTimeout(ctx, s.solveTimeoutOf(p.req.TimeoutMs)+s.cfg.QueueTimeout+2*time.Second)
+	defer cancel()
+	sp := obs.Phase(fctx, "cluster-forward")
+	sp.SetAttr("peer", peer)
+	body, _, err := s.cluster.ForwardSolve(fwdCtx, peer, frame, obs.RequestIDFrom(ctx))
+	sp.End()
+	if err != nil {
+		s.cfg.Logger.Warn("cluster forward failed, solving locally",
+			"peer", peer, "solver", p.req.Solver, "err", err)
+		return flightBody{}, false
+	}
+	// Validate the frame before sharing it: waiters of every format render
+	// from these bytes, and a corrupt answer must degrade to a local solve,
+	// not surface as a 500.
+	if _, rest, err := DecodeSolveResult(body); err != nil || len(rest) != 0 {
+		s.cfg.Logger.Warn("cluster forward returned a bad frame, solving locally",
+			"peer", peer, "err", err)
+		return flightBody{}, false
+	}
+	tr.Finish()
+	var tree *obs.SpanNode
+	if tr != nil {
+		tree = tr.Tree()
+	}
+	return flightBody{body: body, via: peer, tree: tree}, true
+}
+
+// solveLocal runs the engine for a miss on this node: admission, tracing,
+// solve, certification, and rendering into the canonical PRS1 frame.
+// internal requests (forwarded from a peer) nest the solve under a
+// remote-solve span so traces show which solves served the cluster rather
+// than this node's own clients.
+func (s *Server) solveLocal(ctx context.Context, p *parsedSolve, internal bool) (flightBody, error) {
+	release, err := s.acquireSlotCtx(ctx)
+	if err != nil {
+		return flightBody{}, err
+	}
+	defer release()
+
+	// Every solve runs under a trace: the phase spans feed the per-phase
+	// metrics whether or not the client asked for the tree back. The root
+	// carries the request ID so exported traces correlate with log lines.
+	// The "solve " root-name prefix only matters when the span tree is
+	// rendered into the response; skipping the concat keeps the untraced hot
+	// path one allocation cheaper.
+	name := p.req.Solver
+	if p.req.Trace {
+		name = "solve " + p.req.Solver
+	}
+	tr := obs.New(name)
+	tr.RequestID = obs.RequestIDFrom(ctx)
+	tctx := obs.NewContext(ctx, tr)
+	if internal {
+		var sp *obs.Span
+		tctx, sp = obs.StartSpan(tctx, "remote-solve")
+		defer sp.End()
+	}
+	ereq := s.engineRequest(*p, 0)
+	res, err := engine.Solve(tctx, ereq)
+	tr.Finish()
+	if err != nil {
+		return flightBody{}, err
+	}
+	var cert *verifyInfo
+	if p.req.Verify {
+		cert = s.certifyResult(ereq, res)
+	}
+	var tree *obs.SpanNode
+	if p.req.Trace {
+		tree = tr.Tree()
+	}
+	return flightBody{body: appendSolveResult(nil, p.fp, res, cert), tree: tree}, nil
+}
+
+// renderJSONResult renders the JSON solve response from the canonical PRS1
+// frame — the rendering half of the solve path, shared by local solves,
+// forwarded results, and single-flight waiters alike. Field-for-field it
+// produces the same bytes marshalResult does for the same solve: the frame
+// carries every float as its exact bits.
+func renderJSONResult(frame []byte, trace *obs.SpanNode) ([]byte, error) {
+	sr, rest, err := DecodeSolveResult(frame)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, errBadFrame
+	}
+	var body solveResponse
+	body.Solver = sr.Solver
+	body.K = sr.K
+	body.Cut = sr.Cut
+	if body.Cut == nil {
+		body.Cut = []int{}
+	}
+	body.CutWeight = sr.CutWeight
+	body.Bottleneck = sr.Bottleneck
+	body.ComponentWeights = sr.ComponentWeights
+	body.NumComponents = len(sr.ComponentWeights)
+	body.Fingerprint = fmt.Sprintf("%016x", sr.Fingerprint)
+	body.Verify = sr.Verify
+	body.Trace = trace
+	body.Stats.DurationMs = sr.DurationMs
+	body.Stats.Iterations = sr.Iterations
+	return json.Marshal(&body)
+}
+
+// clusterEnvelope is the cluster summary inside the /v1/solvers envelope.
+type clusterEnvelope struct {
+	Enabled bool   `json:"enabled"`
+	Self    string `json:"self,omitempty"`
+	Size    int    `json:"size,omitempty"`
+	Alive   int    `json:"alive,omitempty"`
+}
+
+// clusterResponse is the body of GET /v1/cluster.
+type clusterResponse struct {
+	Enabled      bool                 `json:"enabled"`
+	Self         string               `json:"self,omitempty"`
+	VirtualNodes int                  `json:"virtualNodes,omitempty"`
+	Peers        []cluster.PeerStatus `json:"peers,omitempty"`
+	Alive        int                  `json:"alive,omitempty"`
+	Forwards     cluster.ForwardStats `json:"forwards"`
+	Singleflight singleflightInfo     `json:"singleflight"`
+}
+
+type singleflightInfo struct {
+	Leads  uint64 `json:"leads"`
+	Shared uint64 `json:"shared"`
+}
+
+// handleCluster is GET /v1/cluster: this node's membership view, forward
+// counters, and single-flight stats. Answers on every node — clustered or
+// not — so operators can probe any address the same way.
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	var resp clusterResponse
+	leads, shared := s.flight.Stats()
+	resp.Singleflight = singleflightInfo{Leads: leads, Shared: shared}
+	if s.cluster != nil {
+		st := s.cluster.Status()
+		resp.Enabled = true
+		resp.Self = st.Self
+		resp.VirtualNodes = st.VirtualNodes
+		resp.Peers = st.Peers
+		resp.Alive = st.Alive
+		resp.Forwards = st.Forwards
+	}
+	body, _ := json.Marshal(&resp)
+	writeJSON(w, http.StatusOK, body)
+}
+
+// writeClusterMetrics renders the cache-tier, single-flight, and cluster
+// series. The first two exist on every node; the cluster families only when
+// clustering is configured.
+func (s *Server) writeClusterMetrics(w io.Writer) {
+	m := &s.clusterm
+	fmt.Fprintf(w, "# HELP partitiond_cache_requests_total Result cache lookups by requester tier (local clients vs forwarded peer requests) and outcome.\n")
+	fmt.Fprintf(w, "# TYPE partitiond_cache_requests_total counter\n")
+	fmt.Fprintf(w, "partitiond_cache_requests_total{tier=\"local\",result=\"hit\"} %d\n", m.localHits.Load())
+	fmt.Fprintf(w, "partitiond_cache_requests_total{tier=\"local\",result=\"miss\"} %d\n", m.localMisses.Load())
+	fmt.Fprintf(w, "partitiond_cache_requests_total{tier=\"peer\",result=\"hit\"} %d\n", m.peerHits.Load())
+	fmt.Fprintf(w, "partitiond_cache_requests_total{tier=\"peer\",result=\"miss\"} %d\n", m.peerMisses.Load())
+
+	leads, shared := s.flight.Stats()
+	fmt.Fprintf(w, "# HELP partitiond_singleflight_total Solve-miss single-flight outcomes: led executions vs results shared from a concurrent identical miss.\n")
+	fmt.Fprintf(w, "# TYPE partitiond_singleflight_total counter\n")
+	fmt.Fprintf(w, "partitiond_singleflight_total{result=\"lead\"} %d\n", leads)
+	fmt.Fprintf(w, "partitiond_singleflight_total{result=\"shared\"} %d\n", shared)
+
+	if s.cluster == nil {
+		return
+	}
+	st := s.cluster.Status()
+	fmt.Fprintf(w, "# HELP partitiond_cluster_forwards_total Solves forwarded to owning peers by outcome (hit/miss = owner's cache answer; error = failed forward, solved locally).\n")
+	fmt.Fprintf(w, "# TYPE partitiond_cluster_forwards_total counter\n")
+	fmt.Fprintf(w, "partitiond_cluster_forwards_total{outcome=\"hit\"} %d\n", st.Forwards.Hit)
+	fmt.Fprintf(w, "partitiond_cluster_forwards_total{outcome=\"miss\"} %d\n", st.Forwards.Miss)
+	fmt.Fprintf(w, "partitiond_cluster_forwards_total{outcome=\"error\"} %d\n", st.Forwards.Errors)
+	fmt.Fprintf(w, "# HELP partitiond_cluster_peers Cluster peers by health state, from this node's view (self counts as alive).\n")
+	fmt.Fprintf(w, "# TYPE partitiond_cluster_peers gauge\n")
+	fmt.Fprintf(w, "partitiond_cluster_peers{state=\"alive\"} %d\n", st.Alive)
+	fmt.Fprintf(w, "partitiond_cluster_peers{state=\"dead\"} %d\n", len(st.Peers)-st.Alive)
+}

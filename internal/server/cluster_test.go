@@ -1,0 +1,501 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/codec"
+	"repro/internal/engine"
+	"repro/internal/graph"
+)
+
+// clusterNode is one member of a test cluster: a real server on a loopback
+// listener, its cluster view, and a counter of engine solves it performed.
+type clusterNode struct {
+	srv    *Server
+	clu    *cluster.Cluster
+	url    string
+	solves atomic.Int64
+}
+
+// newTestCluster boots n partitiond nodes on loopback listeners, each
+// configured with the full peer list. The health sweeper is not started —
+// membership changes flow from passive forward-failure detection, keeping
+// the tests deterministic.
+func newTestCluster(t *testing.T, n int) []*clusterNode {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	urls := make([]string, n)
+	for i := range listeners {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = l
+		urls[i] = "http://" + l.Addr().String()
+	}
+	nodes := make([]*clusterNode, n)
+	for i := range nodes {
+		node := &clusterNode{url: urls[i]}
+		clu, err := cluster.New(cluster.Config{
+			Self:           urls[i],
+			Peers:          urls,
+			HealthInterval: time.Hour,
+			Logger:         quietLogger(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node.clu = clu
+		node.srv = New(Config{
+			Cluster:  clu,
+			Logger:   quietLogger(),
+			Observer: solveCounter(&node.solves),
+		})
+		go node.srv.Serve(listeners[i])
+		nodes[i] = node
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			node.srv.Shutdown(ctx)
+			clu.Close()
+		})
+	}
+	return nodes
+}
+
+// fingerprintedPath builds a deterministic path graph plus its fingerprint.
+func fingerprintedPath(t *testing.T, n int, seed uint64) (g *graph.Path, fp uint64) {
+	t.Helper()
+	g = testPath(t, n, seed)
+	fp, err := graph.Fingerprint(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, fp
+}
+
+// ownerOf maps a fingerprint to the index of its owning node.
+func ownerOf(t *testing.T, nodes []*clusterNode, fp uint64) int {
+	t.Helper()
+	peer, local := nodes[0].clu.Route(fp)
+	if local {
+		peer = nodes[0].url
+	}
+	for i, n := range nodes {
+		if n.url == peer {
+			return i
+		}
+	}
+	t.Fatalf("owner %s is not a cluster node", peer)
+	return -1
+}
+
+// graphOwnedBy searches seeds until it finds a path graph owned by nodes[want].
+func graphOwnedBy(t *testing.T, nodes []*clusterNode, want int) (*graph.Path, uint64) {
+	t.Helper()
+	for seed := uint64(1); seed < 200; seed++ {
+		g, fp := fingerprintedPath(t, 64, seed)
+		if ownerOf(t, nodes, fp) == want {
+			return g, fp
+		}
+	}
+	t.Fatal("no seed produced a graph owned by the requested node")
+	return nil, 0
+}
+
+func postBinarySolve(t *testing.T, url string, frame []byte, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/solve", bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", codec.ContentType)
+	req.Header.Set("Accept", codec.ContentType)
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+func postJSONSolve(url string, sreq solveRequest, headers map[string]string) (*http.Response, []byte, error) {
+	b, err := json.Marshal(sreq)
+	if err != nil {
+		return nil, nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/solve", bytes.NewReader(b))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body, err
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+}
+
+func getText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// graphJSONOf renders a built graph through the canonical writer.
+func graphJSONOf(t *testing.T, g *graph.Path) json.RawMessage {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return json.RawMessage(buf.Bytes())
+}
+
+// TestClusterForwardedBinaryByteIdentical is the wire-fidelity acceptance
+// check: a binary solve forwarded through a non-owner returns exactly the
+// bytes the owner serves locally, and the owner attributes the internal
+// lookup to the peer tier.
+func TestClusterForwardedBinaryByteIdentical(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	g, fp := graphOwnedBy(t, nodes, 0)
+	nonOwner := nodes[1]
+
+	frame, err := AppendSolveRequest(nil, SolveParams{Solver: "bandwidth", K: 500}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, viaPeer := postBinarySolve(t, nonOwner.url, frame, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded solve: %d %s", resp.StatusCode, viaPeer)
+	}
+	if got := resp.Header.Get("X-Cluster"); got != "forwarded "+nodes[0].url {
+		t.Errorf("X-Cluster = %q, want %q", got, "forwarded "+nodes[0].url)
+	}
+	sr, rest, err := DecodeSolveResult(viaPeer)
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("forwarded response is not one PRS1 frame: %v (%d trailing)", err, len(rest))
+	}
+	if sr.Fingerprint != fp {
+		t.Errorf("fingerprint = %x, want %x", sr.Fingerprint, fp)
+	}
+
+	// The owner must now hold the result: same bytes, straight from cache.
+	resp2, local := postBinarySolve(t, nodes[0].url, frame, nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("owner solve: %d", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Errorf("owner X-Cache = %q, want HIT (forward should have filled its cache)", got)
+	}
+	if !bytes.Equal(viaPeer, local) {
+		t.Error("forwarded and owner-local response bytes differ")
+	}
+
+	if got := nodes[0].solves.Load(); got != 1 {
+		t.Errorf("owner performed %d solves, want 1", got)
+	}
+	if got := nonOwner.solves.Load(); got != 0 {
+		t.Errorf("non-owner performed %d solves, want 0", got)
+	}
+	metrics := getText(t, nodes[0].url+"/metrics")
+	if !strings.Contains(metrics, `partitiond_cache_requests_total{tier="peer",result="miss"} 1`) {
+		t.Error("owner metrics missing the peer-tier miss")
+	}
+	fwd := getText(t, nonOwner.url+"/metrics")
+	if !strings.Contains(fwd, `partitiond_cluster_forwards_total{outcome="miss"} 1`) {
+		t.Error("non-owner metrics missing the forward")
+	}
+}
+
+// TestClusterWideSingleSolve is the thundering-herd acceptance check: M
+// concurrent identical requests spread across every node — the owner
+// included — perform exactly one engine solve cluster-wide.
+func TestClusterWideSingleSolve(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	g, _ := graphOwnedBy(t, nodes, 2)
+	sreq := solveRequest{Solver: "bandwidth", K: 700, Graph: graphJSONOf(t, g)}
+
+	const m = 12
+	bodies := make([][]byte, m)
+	errs := make([]error, m)
+	var wg sync.WaitGroup
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body, err := postJSONSolve(nodes[i%len(nodes)].url, sreq, nil)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i := 1; i < m; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+	var total int64
+	for i, n := range nodes {
+		c := n.solves.Load()
+		total += c
+		if c != 0 && i != 2 {
+			t.Errorf("non-owner node %d performed %d solves", i, c)
+		}
+	}
+	if total != 1 {
+		t.Fatalf("cluster performed %d engine solves for %d identical requests, want exactly 1", total, m)
+	}
+}
+
+// TestClusterOwnerDeathFailover: killing the owner degrades requests on the
+// survivors to local solves — no request fails — and the dead peer shows up
+// in /v1/cluster.
+func TestClusterOwnerDeathFailover(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	g, _ := graphOwnedBy(t, nodes, 0)
+	sreq := solveRequest{Solver: "bandwidth", K: 600, Graph: graphJSONOf(t, g)}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := nodes[0].srv.Shutdown(ctx); err != nil {
+		t.Fatalf("owner shutdown: %v", err)
+	}
+
+	survivor := nodes[1]
+	resp, body, err := postJSONSolve(survivor.url, sreq, nil)
+	if err != nil {
+		t.Fatalf("solve against survivor: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve after owner death: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cluster"); got != "local" {
+		t.Errorf("X-Cluster = %q, want local (forward must fall back)", got)
+	}
+	if got := survivor.solves.Load(); got != 1 {
+		t.Errorf("survivor performed %d solves, want 1", got)
+	}
+
+	var cs clusterResponse
+	getJSON(t, survivor.url+"/v1/cluster", &cs)
+	dead := 0
+	for _, p := range cs.Peers {
+		if p.State == "dead" {
+			dead++
+			if p.URL != nodes[0].url {
+				t.Errorf("dead peer = %s, want %s", p.URL, nodes[0].url)
+			}
+		}
+	}
+	if dead != 1 || cs.Alive != 2 {
+		t.Errorf("peers = %+v (alive %d), want exactly the owner dead", cs.Peers, cs.Alive)
+	}
+
+	// The fallback result was cached locally: the retry is a pure hit.
+	resp2, _, err := postJSONSolve(survivor.url, sreq, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "HIT" {
+		t.Errorf("retry X-Cache = %q, want HIT", got)
+	}
+}
+
+// TestClusterHopGuard: a request already marked internal is never forwarded
+// again, even from a non-owner — the loop-prevention invariant.
+func TestClusterHopGuard(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	g, _ := graphOwnedBy(t, nodes, 0)
+	sreq := solveRequest{Solver: "bandwidth", K: 800, Graph: graphJSONOf(t, g)}
+
+	nonOwner := nodes[1]
+	resp, body, err := postJSONSolve(nonOwner.url, sreq, map[string]string{cluster.InternalHeader: "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("internal solve: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cluster"); got != "local" {
+		t.Errorf("X-Cluster = %q, want local (hop guard must prevent re-forwarding)", got)
+	}
+	if got := nonOwner.solves.Load(); got != 1 {
+		t.Errorf("non-owner performed %d solves, want 1 (locally, without forwarding)", got)
+	}
+	st := nonOwner.clu.Status()
+	if st.Forwards.Hit+st.Forwards.Miss+st.Forwards.Errors != 0 {
+		t.Errorf("forwards = %+v, want none", st.Forwards)
+	}
+	metrics := getText(t, nonOwner.url+"/metrics")
+	if !strings.Contains(metrics, `partitiond_cache_requests_total{tier="peer",result="miss"} 1`) {
+		t.Error("internal request not attributed to the peer tier")
+	}
+}
+
+// TestClusterStatusEndpoints: /v1/cluster and the /v1/solvers envelope on
+// clustered and standalone servers.
+func TestClusterStatusEndpoints(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	var cs clusterResponse
+	getJSON(t, nodes[1].url+"/v1/cluster", &cs)
+	if !cs.Enabled || cs.Self != nodes[1].url || len(cs.Peers) != 3 || cs.Alive != 3 {
+		t.Errorf("clusterResponse = %+v", cs)
+	}
+	selfRows := 0
+	for _, p := range cs.Peers {
+		if p.Self {
+			selfRows++
+			if p.URL != nodes[1].url {
+				t.Errorf("self row = %s, want %s", p.URL, nodes[1].url)
+			}
+		}
+	}
+	if selfRows != 1 {
+		t.Errorf("%d self rows, want 1", selfRows)
+	}
+	var sv solversResponse
+	getJSON(t, nodes[0].url+"/v1/solvers", &sv)
+	if sv.Cluster == nil || !sv.Cluster.Enabled || sv.Cluster.Size != 3 || sv.Cluster.Alive != 3 {
+		t.Errorf("solvers cluster envelope = %+v", sv.Cluster)
+	}
+
+	// Standalone: the route answers with enabled=false and no envelope.
+	s := newTestServer(t, Config{})
+	rec := doJSON(t, s.Handler(), "GET", "/v1/cluster", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("standalone /v1/cluster: %d", rec.Code)
+	}
+	var standalone clusterResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &standalone); err != nil {
+		t.Fatal(err)
+	}
+	if standalone.Enabled || len(standalone.Peers) != 0 {
+		t.Errorf("standalone clusterResponse = %+v, want disabled", standalone)
+	}
+	recS := doJSON(t, s.Handler(), "GET", "/v1/solvers", nil)
+	if strings.Contains(recS.Body.String(), `"cluster"`) {
+		t.Error("standalone /v1/solvers should omit the cluster envelope")
+	}
+}
+
+// solveCounter adapts an atomic counter to the engine observer interface.
+func solveCounter(n *atomic.Int64) engine.Observer {
+	return engine.ObserverFunc(func(engine.Event) { n.Add(1) })
+}
+
+// TestSolveSingleFlightLocal: on a single (non-clustered) node, N identical
+// concurrent misses perform one engine solve, with every caller served the
+// same bytes — the sync-path fix for the duplicated-work gap the jobs
+// subsystem already closed for async submissions.
+func TestSolveSingleFlightLocal(t *testing.T) {
+	s := newTestServer(t, Config{})
+	started, release := armGate(t)
+
+	sreq := solveRequest{Solver: "test-gate", K: 42, Graph: pathGraphJSON(t, 50, 7)}
+	const n = 8
+	recs := make([]*httptest.ResponseRecorder, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i] = doJSONRaw(s.Handler(), "POST", "/v1/solve", sreq)
+		}(i)
+	}
+	<-started // the flight leader is inside the solver
+	// Give the other callers time to join the leader's flight before letting
+	// the solve finish; latecomers after this point hit the cache instead,
+	// so the solve count stays 1 regardless of scheduling.
+	time.Sleep(100 * time.Millisecond)
+	release()
+	wg.Wait()
+
+	// The gate solver signals its channel once per invocation; we consumed
+	// the leader's signal, so any leftover signal is a duplicated solve.
+	if extra := len(started); extra != 0 {
+		t.Fatalf("solver ran %d times for %d identical requests, want 1", 1+extra, n)
+	}
+	var sharedHdr int
+	for i, rec := range recs {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+		if !bytes.Equal(recs[0].Body.Bytes(), rec.Body.Bytes()) {
+			t.Errorf("request %d body differs", i)
+		}
+		if rec.Header().Get("X-Singleflight") == "shared" {
+			sharedHdr++
+		}
+	}
+	if sharedHdr == 0 {
+		t.Error("no response carried X-Singleflight: shared")
+	}
+	metrics := doJSON(t, s.Handler(), "GET", "/metrics", nil).Body.String()
+	if !strings.Contains(metrics, `partitiond_singleflight_total{result="lead"} 1`) {
+		t.Error("metrics missing the flight lead")
+	}
+	if !strings.Contains(metrics, `partitiond_cache_requests_total{tier="local",result="miss"}`) {
+		t.Error("metrics missing the local-tier cache series")
+	}
+}

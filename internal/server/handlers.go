@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/codec"
 	"repro/internal/core"
 	"repro/internal/engine"
@@ -201,24 +202,16 @@ func (s *Server) readBody(r *http.Request) (*bytes.Buffer, error) {
 // deadline comes from the item, clamped to the server maximum, falling back
 // to the server default.
 func (s *Server) engineRequest(p parsedSolve, defaultTimeoutMs int64) engine.Request {
-	timeout := s.cfg.DefaultTimeout
-	if ms := p.req.TimeoutMs; ms == 0 {
+	ms := p.req.TimeoutMs
+	if ms == 0 {
 		ms = defaultTimeoutMs
-		if ms > 0 {
-			timeout = time.Duration(ms) * time.Millisecond
-		}
-	} else {
-		timeout = time.Duration(ms) * time.Millisecond
-	}
-	if timeout > s.cfg.MaxTimeout {
-		timeout = s.cfg.MaxTimeout
 	}
 	req := engine.Request{
 		Solver: p.req.Solver,
 		K:      p.req.K,
 		Options: engine.Options{
 			MaxComponents: p.req.MaxComponents,
-			Timeout:       timeout,
+			Timeout:       s.solveTimeoutOf(ms),
 			Observer:      s.observer,
 		},
 	}
@@ -329,19 +322,9 @@ func (s *Server) writeError(w http.ResponseWriter, status int, msg string) {
 // ends on disconnect). On failure it writes the shed response and returns
 // nil.
 func (s *Server) acquireSlot(w http.ResponseWriter, r *http.Request) (release func()) {
-	if release, ok := s.limiter.TryAcquire(); ok {
-		return release
-	}
-	qctx, qcancel := context.WithTimeout(r.Context(), s.cfg.QueueTimeout)
-	release, err := s.limiter.Acquire(qctx)
-	qcancel()
+	release, err := s.acquireSlotCtx(r.Context())
 	if err != nil {
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			s.writeError(w, http.StatusTooManyRequests, "admission queue full")
-		default:
-			s.writeError(w, http.StatusServiceUnavailable, "timed out waiting for a solve slot")
-		}
+		s.writeSolveError(w, err)
 		return nil
 	}
 	return release
@@ -409,65 +392,93 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	defer s.releaseParsed(&p)
+	internal := r.Header.Get(cluster.InternalHeader) != ""
 	wantBin := acceptsBinary(r.Header.Get("Accept")) && !p.req.Trace
 	p.key = newCacheKey(p.fp, p.req.Solver, p.req.K, p.req.MaxComponents, p.req.Verify, p.req.Trace, wantBin)
+	// canonKey names the canonical PRS1 frame for this solve — the format-
+	// and trace-independent artifact every rendering derives from. Solves
+	// fill it alongside the request's own key, and JSON misses fall back to
+	// it, so one solve serves every response format without re-running the
+	// engine (for untraced binary requests it is p.key itself).
+	canonKey := p.key
+	canonKey.trace, canonKey.bin = false, true
 
 	if !p.req.NoCache {
 		if body, ok := s.cache.Get(p.key); ok {
+			s.clusterm.observeLookup(internal, true)
 			w.Header().Set("X-Cache", "HIT")
 			writeBody(w, http.StatusOK, body, wantBin)
 			return
 		}
-	}
-
-	release := s.acquireSlot(w, r)
-	if release == nil {
-		return
-	}
-	defer release()
-
-	// Every solve runs under a trace: the phase spans feed the per-phase
-	// metrics whether or not the client asked for the tree back. The root
-	// carries the request ID so exported traces correlate with log lines.
-	// The "solve " root-name prefix only matters when the span tree is
-	// rendered into the response; skipping the concat keeps the untraced hot
-	// path one allocation cheaper.
-	name := p.req.Solver
-	if p.req.Trace {
-		name = "solve " + p.req.Solver
-	}
-	tr := obs.New(name)
-	tr.RequestID = obs.RequestIDFrom(r.Context())
-	ereq := s.engineRequest(p, 0)
-	res, err := engine.Solve(obs.NewContext(r.Context(), tr), ereq)
-	tr.Finish()
-	if err != nil {
-		s.writeError(w, solveStatus(err), err.Error())
-		return
-	}
-	var cert *verifyInfo
-	if p.req.Verify {
-		cert = s.certifyResult(ereq, res)
-	}
-	var body []byte
-	if wantBin {
-		body = appendSolveResult(nil, p.fp, res, cert)
-	} else {
-		var spans *obs.SpanNode
-		if p.req.Trace {
-			spans = tr.Tree()
+		if !wantBin && !p.req.Trace {
+			// Secondary probe via peek: the Get above already counted this
+			// request's outcome, and a fallback render still answers it.
+			if frame, ok := s.cache.peek(canonKey); ok {
+				if body, err := renderJSONResult(frame, nil); err == nil {
+					s.clusterm.observeLookup(internal, true)
+					s.cache.Put(p.key, body)
+					w.Header().Set("X-Cache", "HIT")
+					writeBody(w, http.StatusOK, body, wantBin)
+					return
+				}
+			}
 		}
-		body, err = marshalResult(p.fp, res, cert, spans)
+		s.clusterm.observeLookup(internal, false)
+	}
+
+	// Misses resolve under the single-flight group: concurrent identical
+	// requests perform one solve (or one forward) and share its frame. The
+	// flight key normalizes the response format away (the value is always
+	// the canonical PRS1 frame; JSON renders from it below), so mixed JSON
+	// and binary callers — and forwarded internal requests, which arrive
+	// binary — all share one solve. Two request shapes bypass the flight:
+	// NoCache (the escape hatch from all result sharing) and Trace (a trace
+	// describes its own solve and cannot be shared from another caller's).
+	var (
+		fb     flightBody
+		shared bool
+		err    error
+	)
+	if p.req.NoCache || p.req.Trace {
+		fb, err = s.resolveMiss(r.Context(), &p, internal)
+	} else {
+		fb, shared, err = s.flight.Do(canonKey, func() (flightBody, error) {
+			// The solve is detached from this request's cancellation: every
+			// waiter that joined depends on it, and the engine deadline
+			// bounds it regardless. Context values (request ID) survive.
+			return s.resolveMiss(context.WithoutCancel(r.Context()), &p, internal)
+		})
+	}
+	if err != nil {
+		s.writeSolveError(w, err)
+		return
+	}
+	out := fb.body
+	if !wantBin {
+		out, err = renderJSONResult(fb.body, fb.tree)
 		if err != nil {
 			s.writeError(w, http.StatusInternalServerError, err.Error())
 			return
 		}
 	}
 	if !p.req.NoCache {
-		s.cache.Put(p.key, body)
+		s.cache.Put(p.key, out)
+		if p.key != canonKey {
+			s.cache.Put(canonKey, fb.body)
+		}
+	}
+	if s.cluster != nil {
+		if fb.via != "" {
+			w.Header().Set("X-Cluster", "forwarded "+fb.via)
+		} else {
+			w.Header().Set("X-Cluster", "local")
+		}
+	}
+	if shared {
+		w.Header().Set("X-Singleflight", "shared")
 	}
 	w.Header().Set("X-Cache", "MISS")
-	writeBody(w, http.StatusOK, body, wantBin)
+	writeBody(w, http.StatusOK, out, wantBin)
 }
 
 // batchOutcome is one item's fate before rendering: exactly one of body or
@@ -700,10 +711,12 @@ type limitsInfo struct {
 }
 
 // solversResponse is the body of GET /v1/solvers: the registry plus the
-// server's limits.
+// server's limits, and — when clustering is configured — a cluster summary
+// (full detail lives at GET /v1/cluster).
 type solversResponse struct {
-	Solvers []solverInfo `json:"solvers"`
-	Limits  limitsInfo   `json:"limits"`
+	Solvers []solverInfo     `json:"solvers"`
+	Limits  limitsInfo       `json:"limits"`
+	Cluster *clusterEnvelope `json:"cluster,omitempty"`
 }
 
 func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
@@ -720,8 +733,14 @@ func (s *Server) handleSolvers(w http.ResponseWriter, r *http.Request) {
 			Objective: engine.ObjectiveOf(sol).String(),
 		})
 	}
+	var env *clusterEnvelope
+	if s.cluster != nil {
+		st := s.cluster.Status()
+		env = &clusterEnvelope{Enabled: true, Self: st.Self, Size: len(st.Peers), Alive: st.Alive}
+	}
 	body, _ := json.Marshal(solversResponse{
 		Solvers: out,
+		Cluster: env,
 		Limits: limitsInfo{
 			MaxNodes:         s.cfg.MaxNodes,
 			MaxBodyBytes:     s.cfg.MaxBodyBytes,
@@ -771,4 +790,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	})
 	writeJobsMetrics(w, s.jobs.Stats())
 	s.solvem.writeTo(w)
+	s.writeClusterMetrics(w)
 }

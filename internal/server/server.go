@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/codec"
 	"repro/internal/engine"
 	"repro/internal/jobs"
@@ -82,6 +83,12 @@ type Config struct {
 	// Observer, when non-nil, is chained after the server's own metrics
 	// collector on every solve — the test and embedding hook.
 	Observer engine.Observer
+	// Cluster, when non-nil, federates this node with its peers: /v1/solve
+	// cache misses on graphs another node owns are forwarded there, and
+	// forwarded requests from peers are answered from this node's shard.
+	// The caller owns the cluster's lifecycle (Start/Close); the server
+	// only routes through it. See internal/cluster.
+	Cluster *cluster.Cluster
 }
 
 // withDefaults returns cfg with unset fields filled in.
@@ -170,6 +177,14 @@ type Server struct {
 	draining  atomic.Bool
 	started   time.Time
 
+	// cluster is the optional multi-node view (nil = single node); flight
+	// dedups concurrent identical cache misses into one solve, locally and
+	// — because forwarded peer requests share the owner's keys — across the
+	// whole cluster; clusterm attributes cache lookups to requester tiers.
+	cluster  *cluster.Cluster
+	flight   cluster.Group[cacheKey, flightBody]
+	clusterm clusterMetrics
+
 	// graphPool recycles the arrays binary-decoded graphs live in; bufPool
 	// recycles request-body read buffers. Both keep the binary fast path
 	// allocation-free per request at steady state.
@@ -197,6 +212,7 @@ func New(cfg Config) *Server {
 		graphPool:   new(codec.Pool),
 		bufPool:     sync.Pool{New: func() any { return new(bytes.Buffer) }},
 		solverNames: engine.Names(),
+		cluster:     cfg.Cluster,
 	}
 	if cfg.CacheSize > 0 {
 		s.cache = NewCache(cfg.CacheSize, cfg.CacheShards)
@@ -234,6 +250,7 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("GET /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobGet))
 	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
 	mux.Handle("GET /v1/jobs/{id}/events", s.instrument("/v1/jobs/{id}/events", s.handleJobEvents))
+	mux.Handle("GET /v1/cluster", s.instrument("/v1/cluster", s.handleCluster))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux
@@ -332,10 +349,14 @@ func (s *Server) ListenAndServe() error {
 // Serve serves on l until Shutdown or a listener error. Like
 // http.Server.Serve it returns http.ErrServerClosed after a clean Shutdown.
 func (s *Server) Serve(l net.Listener) error {
-	s.cfg.Logger.Info("serving", "addr", l.Addr().String(),
+	attrs := []any{"addr", l.Addr().String(),
 		"solvers", len(engine.Names()),
 		"maxConcurrent", s.cfg.MaxConcurrent, "maxQueue", s.cfg.MaxQueue,
-		"cacheSize", s.cfg.CacheSize)
+		"cacheSize", s.cfg.CacheSize}
+	if s.cluster != nil {
+		attrs = append(attrs, "clusterSelf", s.cluster.Self(), "clusterPeers", s.cluster.Size())
+	}
+	s.cfg.Logger.Info("serving", attrs...)
 	return s.hs.Serve(l)
 }
 

@@ -175,9 +175,26 @@ func TestWireCacheSeparation(t *testing.T) {
 	if got := recBin.Header().Get("X-Cache"); got != "MISS" {
 		t.Fatalf("first binary solve X-Cache = %q, want MISS", got)
 	}
+	// The binary entry is the canonical frame: a JSON request for the same
+	// solve renders from it without re-running the engine.
 	recJSON := doBin(s.Handler(), "/v1/solve", frame, "")
-	if got := recJSON.Header().Get("X-Cache"); got != "MISS" {
-		t.Fatalf("first JSON-rendered solve X-Cache = %q, want MISS (bin and JSON bodies must cache separately)", got)
+	if got := recJSON.Header().Get("X-Cache"); got != "HIT" {
+		t.Fatalf("JSON render after binary solve X-Cache = %q, want HIT (rendered from canonical frame)", got)
+	}
+	if bytes.Equal(recJSON.Body.Bytes(), recBin.Body.Bytes()) {
+		t.Error("JSON render returned the raw binary frame")
+	}
+	var resp solveResponse
+	if err := json.Unmarshal(recJSON.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("JSON render is not valid JSON: %v", err)
+	}
+	// The rendered JSON body is now cached under its own key and replays.
+	recJSON2 := doBin(s.Handler(), "/v1/solve", frame, "")
+	if got := recJSON2.Header().Get("X-Cache"); got != "HIT" {
+		t.Fatalf("repeat JSON solve X-Cache = %q, want HIT", got)
+	}
+	if !bytes.Equal(recJSON2.Body.Bytes(), recJSON.Body.Bytes()) {
+		t.Error("cached JSON replay is not byte-identical")
 	}
 	rec2 := doBin(s.Handler(), "/v1/solve", frame, codec.ContentType)
 	if got := rec2.Header().Get("X-Cache"); got != "HIT" {
