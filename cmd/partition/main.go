@@ -51,6 +51,7 @@ import (
 	"repro"
 	"repro/internal/codec"
 	"repro/internal/graph"
+	"repro/internal/version"
 )
 
 func main() {
@@ -81,7 +82,12 @@ func run() error {
 	procs := flag.Int("procs", 0, "processors for the metrics report (default: number of components)")
 	speed := flag.Float64("speed", 1, "processor speed for the metrics report")
 	bus := flag.Float64("bus", 1, "bus bandwidth for the metrics report")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Printf("partition %s %s\n", version.Version, version.GoVersion())
+		return nil
+	}
 	if *list {
 		for _, name := range repro.Solvers() {
 			fmt.Println(name)

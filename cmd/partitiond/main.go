@@ -22,6 +22,8 @@
 //	DELETE /v1/jobs/{id}       cancel
 //	GET  /v1/solvers  registry names, graph kinds and server limits
 //	GET  /v1/cluster  cluster membership, forward and single-flight counters
+//	GET  /v1/traces   flight-recorder trace index (filter by solver/outcome/duration)
+//	GET  /v1/traces/{id}       one retained trace (+ ?format=chrome for chrome://tracing)
 //	GET  /healthz     liveness (503 while draining)
 //	GET  /metrics     Prometheus text format
 //
@@ -53,6 +55,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/server"
+	"repro/internal/version"
 )
 
 func main() {
@@ -82,9 +85,18 @@ func run() error {
 	self := flag.String("self", "", "this node's own address within -peers (required with -peers)")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "period of the cluster peer health sweep")
 	healthTimeout := flag.Duration("health-timeout", time.Second, "deadline for one cluster peer health probe")
+	traceSample := flag.Float64("trace-sample", 0.01, "flight recorder head-sampling rate in [0,1]: probability an ordinary solve's trace is retained (slow/errored/shed/forwarded traces are always kept)")
+	traceStore := flag.Int("trace-store", 512, "max traces retained by the flight recorder (negative disables it and /v1/traces answers enabled:false)")
+	slowTrace := flag.Duration("slow-trace", 500*time.Millisecond, "absolute duration beyond which any solve's trace is retained regardless of sampling")
 	logFormat := flag.String("log", "text", "log format: text | json")
 	debugAddr := flag.String("debug-addr", "", "listen address for net/http/pprof profiling endpoints (empty disables); keep it off public interfaces")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("partitiond %s %s\n", version.Version, version.GoVersion())
+		return nil
+	}
 
 	// Fail fast on nonsense before binding the port.
 	if *cacheShards <= 0 {
@@ -123,6 +135,12 @@ func run() error {
 	}
 	if *jobQueue <= 0 {
 		return fmt.Errorf("-job-queue must be positive (got %d)", *jobQueue)
+	}
+	if *traceSample < 0 || *traceSample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0,1] (got %g)", *traceSample)
+	}
+	if *slowTrace <= 0 {
+		return fmt.Errorf("-slow-trace must be positive (got %v)", *slowTrace)
 	}
 	if *peers == "" && *self != "" {
 		return errors.New("-self requires -peers")
@@ -168,10 +186,16 @@ func run() error {
 		JobQueue:       *jobQueue,
 		JobRetention:   *jobRetention,
 		MaxJobTimeout:  *maxJobTimeout,
+		TraceSample:    *traceSample,
+		TraceStore:     *traceStore,
+		SlowTrace:      *slowTrace,
 		Logger:         logger,
 	}
 	if *cacheSize == 0 {
 		cfg.CacheSize = -1 // flag semantics: 0 entries means no cache
+	}
+	if *traceStore == 0 {
+		cfg.TraceStore = -1 // flag semantics: 0 traces means no recorder
 	}
 	var clu *cluster.Cluster
 	if *peers != "" {

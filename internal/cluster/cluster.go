@@ -39,6 +39,21 @@ import (
 // guard: a request crosses at most one node boundary).
 const InternalHeader = "X-Partition-Internal"
 
+// TraceHeader carries distributed-trace context on node-to-node forwards,
+// traceparent-style: "<32 hex trace-id>-<16 hex span-id>-<2 hex flags>".
+// The receiver adopts the trace ID and parents its root span under the
+// caller's span so the cluster renders one coherent tree per request. Only
+// honored together with InternalHeader — external callers cannot inject
+// trace context.
+const TraceHeader = "X-Partition-Trace"
+
+// SpansTrailer is the HTTP trailer on forwarded solve responses carrying
+// the owner's span tree (base64 of the SpanNode JSON). A trailer — not a
+// header — because the tree is only complete after the solve has run, and
+// not a body extension because PRS1 frames must stay byte-identical whether
+// or not a forward was traced.
+const SpansTrailer = "X-Partition-Spans"
+
 // Config describes one node's view of the cluster.
 type Config struct {
 	// Self is this node's own advertised address; it must appear in Peers.

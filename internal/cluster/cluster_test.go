@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"encoding/base64"
 	"errors"
 	"io"
 	"net/http"
@@ -174,15 +175,20 @@ func TestSweepMarksDeadAndRevives(t *testing.T) {
 func TestForwardSolve(t *testing.T) {
 	const frame = "PSV1-fake-request"
 	const reply = "PRS1-fake-response"
-	var sawInternal, sawRequestID atomic.Bool
+	const spanTree = `{"name":"solve bandwidth"}`
+	const traceHdr = "0123456789abcdef0123456789abcdef-0123456789abcdef-01"
+	var sawInternal, sawRequestID, sawTrace atomic.Bool
 	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/v1/solve" || r.Method != http.MethodPost {
 			t.Errorf("forward hit %s %s, want POST /v1/solve", r.Method, r.URL.Path)
 		}
 		sawInternal.Store(r.Header.Get(InternalHeader) != "")
 		sawRequestID.Store(r.Header.Get("X-Request-Id") == "req-123")
+		sawTrace.Store(r.Header.Get(TraceHeader) == traceHdr)
 		w.Header().Set("X-Cache", "HIT")
+		w.Header().Set("Trailer", SpansTrailer)
 		w.Write([]byte(reply))
+		w.Header().Set(SpansTrailer, base64.StdEncoding.EncodeToString([]byte(spanTree)))
 	}))
 	defer peer.Close()
 
@@ -192,7 +198,7 @@ func TestForwardSolve(t *testing.T) {
 	}
 	defer c.Close()
 
-	body, hit, err := c.ForwardSolve(context.Background(), peer.URL, []byte(frame), "req-123")
+	body, hit, spans, err := c.ForwardSolve(context.Background(), peer.URL, []byte(frame), "req-123", traceHdr)
 	if err != nil {
 		t.Fatalf("ForwardSolve: %v", err)
 	}
@@ -207,6 +213,12 @@ func TestForwardSolve(t *testing.T) {
 	}
 	if !sawRequestID.Load() {
 		t.Error("forward did not carry the request ID")
+	}
+	if !sawTrace.Load() {
+		t.Error("forward did not carry the trace header")
+	}
+	if string(spans) != spanTree {
+		t.Errorf("trailer spans = %q, want %q", spans, spanTree)
 	}
 	st := c.Status()
 	if st.Forwards.Hit != 1 || st.Forwards.Miss != 0 || st.Forwards.Errors != 0 {
@@ -226,7 +238,7 @@ func TestForwardSolveStatusErrorKeepsPeerAlive(t *testing.T) {
 	}
 	defer c.Close()
 
-	_, _, err = c.ForwardSolve(context.Background(), peer.URL, []byte("x"), "")
+	_, _, _, err = c.ForwardSolve(context.Background(), peer.URL, []byte("x"), "", "")
 	var se *StatusError
 	if !errors.As(err, &se) {
 		t.Fatalf("err = %v, want *StatusError", err)
@@ -253,7 +265,7 @@ func TestForwardSolveTransportErrorMarksPeerDead(t *testing.T) {
 	}
 	defer c.Close()
 
-	if _, _, err := c.ForwardSolve(context.Background(), peer.URL, []byte("x"), ""); err == nil {
+	if _, _, _, err := c.ForwardSolve(context.Background(), peer.URL, []byte("x"), "", ""); err == nil {
 		t.Fatal("ForwardSolve to a closed peer: want error")
 	}
 	st := c.Status()
@@ -283,7 +295,7 @@ func TestForwardSolveCallerCancelDoesNotMarkDead(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	if _, _, err := c.ForwardSolve(ctx, peer.URL, []byte("x"), ""); err == nil {
+	if _, _, _, err := c.ForwardSolve(ctx, peer.URL, []byte("x"), "", ""); err == nil {
 		t.Fatal("want error on canceled forward")
 	}
 	if got := c.Status().Alive; got != 2 {

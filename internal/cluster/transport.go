@@ -3,6 +3,7 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"fmt"
 	"io"
 	"net"
@@ -40,22 +41,32 @@ func (e *StatusError) Error() string {
 	return fmt.Sprintf("peer returned HTTP %d: %s", e.Code, e.Body)
 }
 
+// maxSpansTrailer bounds the decoded size of a peer's span-tree trailer.
+// A span tree for one request is a few KiB; anything near this limit is a
+// misbehaving peer and the trailer is dropped, never the response.
+const maxSpansTrailer = 1 << 20
+
 // ForwardSolve posts a PSV1 solve frame to the owning peer's /v1/solve and
 // returns the raw PRS1 response bytes plus whether the owner answered from
 // its cache. The request is tagged with InternalHeader so the owner never
 // re-forwards, and with the caller's request ID so log lines and traces
-// join across the hop.
+// join across the hop. A non-empty traceHeader (see TraceHeader) propagates
+// the caller's trace context; when the owner traced its side, the returned
+// spans hold its span tree JSON (decoded from the SpansTrailer trailer),
+// ready to graft under the caller's cluster-forward span. A malformed
+// trailer yields nil spans, never an error — tracing is best-effort,
+// results are not.
 //
 // Transport-level failures (dial, write, read) mark the peer dead via
 // ReportFailure — unless the caller's own context ended, which says nothing
 // about the peer. HTTP-level failures come back as *StatusError and leave
 // membership alone. Either way the caller is expected to fall back to a
 // local solve.
-func (c *Cluster) ForwardSolve(ctx context.Context, peerURL string, frame []byte, requestID string) (body []byte, cacheHit bool, err error) {
+func (c *Cluster) ForwardSolve(ctx context.Context, peerURL string, frame []byte, requestID, traceHeader string) (body []byte, cacheHit bool, spans []byte, err error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, peerURL+"/v1/solve", bytes.NewReader(frame))
 	if err != nil {
 		c.fwdErr.Add(1)
-		return nil, false, err
+		return nil, false, nil, err
 	}
 	req.Header.Set("Content-Type", codec.ContentType)
 	req.Header.Set("Accept", codec.ContentType)
@@ -63,19 +74,22 @@ func (c *Cluster) ForwardSolve(ctx context.Context, peerURL string, frame []byte
 	if requestID != "" {
 		req.Header.Set("X-Request-Id", requestID)
 	}
+	if traceHeader != "" {
+		req.Header.Set(TraceHeader, traceHeader)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
 		c.fwdErr.Add(1)
 		if ctx.Err() == nil {
 			c.ReportFailure(peerURL)
 		}
-		return nil, false, err
+		return nil, false, nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 		c.fwdErr.Add(1)
-		return nil, false, &StatusError{Code: resp.StatusCode, Body: strings.TrimSpace(string(msg))}
+		return nil, false, nil, &StatusError{Code: resp.StatusCode, Body: strings.TrimSpace(string(msg))}
 	}
 	body, err = io.ReadAll(resp.Body)
 	if err != nil {
@@ -83,7 +97,7 @@ func (c *Cluster) ForwardSolve(ctx context.Context, peerURL string, frame []byte
 		if ctx.Err() == nil {
 			c.ReportFailure(peerURL)
 		}
-		return nil, false, err
+		return nil, false, nil, err
 	}
 	cacheHit = resp.Header.Get("X-Cache") == "HIT"
 	if cacheHit {
@@ -91,7 +105,13 @@ func (c *Cluster) ForwardSolve(ctx context.Context, peerURL string, frame []byte
 	} else {
 		c.fwdMiss.Add(1)
 	}
-	return body, cacheHit, nil
+	// Trailers are only populated after the body has been fully read.
+	if enc := resp.Trailer.Get(SpansTrailer); enc != "" && base64.StdEncoding.DecodedLen(len(enc)) <= maxSpansTrailer {
+		if dec, derr := base64.StdEncoding.DecodeString(enc); derr == nil {
+			spans = dec
+		}
+	}
+	return body, cacheHit, spans, nil
 }
 
 // checkPeer probes one peer's /healthz under the health timeout. Only a

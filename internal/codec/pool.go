@@ -3,6 +3,7 @@ package codec
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -15,6 +16,11 @@ import (
 type Pool struct {
 	floats [maxSizeClass]sync.Pool // class c holds *[]float64 with cap 1<<c
 	edges  [maxSizeClass]sync.Pool // class c holds *[]graph.Edge with cap 1<<c
+
+	// hits counts gets served from a recycled array, news counts gets that
+	// had to allocate — the pool-effectiveness signal on /metrics.
+	hits atomic.Uint64
+	news atomic.Uint64
 
 	// fhdr and ehdr hold spare slice-header boxes. Put needs a pointer to
 	// hand sync.Pool; taking &s of a local header would heap-allocate one
@@ -51,8 +57,10 @@ func (p *Pool) getFloats(n int) []float64 {
 		s := (*v)[:n]
 		*v = nil
 		p.fhdr.Put(v)
+		p.hits.Add(1)
 		return s
 	}
+	p.news.Add(1)
 	return make([]float64, n, 1<<c)
 }
 
@@ -85,8 +93,10 @@ func (p *Pool) getEdges(n int) []graph.Edge {
 		s := (*v)[:n]
 		*v = nil
 		p.ehdr.Put(v)
+		p.hits.Add(1)
 		return s
 	}
+	p.news.Add(1)
 	return make([]graph.Edge, n, 1<<c)
 }
 
@@ -105,6 +115,21 @@ func (p *Pool) putEdges(s []graph.Edge) {
 	}
 	*w = s[:0]
 	p.edges[c].Put(w)
+}
+
+// PoolStats reports how often the pool served a get from a recycled array
+// (Hits) versus a fresh allocation (News).
+type PoolStats struct {
+	Hits uint64
+	News uint64
+}
+
+// Stats snapshots the pool's hit/allocation counters. Nil-safe.
+func (p *Pool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	return PoolStats{Hits: p.hits.Load(), News: p.news.Load()}
 }
 
 // Release returns the arrays of a graph produced by Decode with this pool to

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/hitting"
@@ -60,10 +61,27 @@ type childSlot struct {
 	edge int
 }
 
-var solvePool = sync.Pool{New: func() any { return new(scratch) }}
+var solvePool = sync.Pool{New: func() any {
+	scratchNews.Add(1)
+	return new(scratch)
+}}
 
-func getScratch() *scratch  { return solvePool.Get().(*scratch) }
+// scratchGets / scratchNews count scratch checkouts and the subset that had
+// to allocate a fresh scratch (pool miss) — exported via ScratchPoolStats for
+// the serving layer's pool-effectiveness metrics.
+var scratchGets, scratchNews atomic.Uint64
+
+func getScratch() *scratch {
+	scratchGets.Add(1)
+	return solvePool.Get().(*scratch)
+}
 func (s *scratch) release() { solvePool.Put(s) }
+
+// ScratchPoolStats reports solver-scratch pool traffic: gets since process
+// start, and how many of those allocated a fresh scratch.
+func ScratchPoolStats() (gets, news uint64) {
+	return scratchGets.Load(), scratchNews.Load()
+}
 
 // growF returns a []float64 of length n reusing s's capacity.
 func growF(s []float64, n int) []float64 {

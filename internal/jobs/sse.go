@@ -9,12 +9,17 @@ import (
 )
 
 // phasePayload is the Data of "phase" events: one solve-phase span opening
-// (End false) or closing (End true, with its duration).
+// (End false) or closing (End true, with its duration). TraceID and SpanID
+// carry the span's distributed-trace identity so SSE consumers can correlate
+// phase events with the trace retained in the flight recorder (and with the
+// X-Request-Id the job was submitted under).
 type phasePayload struct {
 	Phase      string  `json:"phase"`
 	End        bool    `json:"end,omitempty"`
 	Root       bool    `json:"root,omitempty"`
 	DurationMS float64 `json:"duration_ms,omitempty"`
+	TraceID    string  `json:"trace_id,omitempty"`
+	SpanID     string  `json:"span_id,omitempty"`
 }
 
 // PublishSpan bridges one live trace span notification into the job's event
@@ -29,6 +34,12 @@ func (j *Job) PublishSpan(ev obs.SpanEvent) {
 	p := phasePayload{Phase: ev.Name, End: ev.End, Root: ev.Root}
 	if ev.End {
 		p.DurationMS = float64(ev.Duration.Microseconds()) / 1e3
+	}
+	if !ev.TraceID.IsZero() {
+		p.TraceID = ev.TraceID.String()
+	}
+	if !ev.SpanID.IsZero() {
+		p.SpanID = ev.SpanID.String()
 	}
 	j.publish("phase", p)
 }

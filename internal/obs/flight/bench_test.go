@@ -1,0 +1,42 @@
+package flight
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func benchTrace() *obs.Trace {
+	tr := obs.New("bench")
+	tr.RequestID = "rid-bench"
+	ctx := obs.NewContext(context.Background(), tr)
+	sp := obs.Phase(ctx, "phase-a")
+	sp.End()
+	tr.Finish()
+	return tr
+}
+
+// BenchmarkRecorderOfferDrop measures the always-on cost paid by every
+// request that is NOT retained — the number that must stay near zero.
+func BenchmarkRecorderOfferDrop(b *testing.B) {
+	r := New(Config{SampleRate: 0, SlowFloor: time.Hour,
+		SlowThreshold: func(string) time.Duration { return time.Hour }})
+	info := Info{Trace: benchTrace(), Kind: "solve", Solver: "bandwidth", Status: 200}
+	b.ReportAllocs()
+	for b.Loop() {
+		r.Offer(info)
+	}
+}
+
+// BenchmarkRecorderOfferKeep measures the retained path: serialize the span
+// tree, insert into the ring, evict as needed.
+func BenchmarkRecorderOfferKeep(b *testing.B) {
+	r := New(Config{SampleRate: 1, MaxTraces: 256, SlowFloor: time.Hour})
+	info := Info{Trace: benchTrace(), Kind: "solve", Solver: "bandwidth", Status: 200}
+	b.ReportAllocs()
+	for b.Loop() {
+		r.Offer(info)
+	}
+}

@@ -1,0 +1,397 @@
+// Package flight is partitiond's always-on flight recorder: every solve runs
+// under a trace (internal/obs) whether or not the client asked for one, and
+// once the request finishes the server offers the trace here. The recorder
+// applies tail-sampling retention — keep everything that went wrong or slow,
+// a probabilistic sliver of the rest — into a bounded in-memory ring that
+// GET /v1/traces queries after the fact.
+//
+// Retention policy, first match wins:
+//
+//   - shed: the request was load-shed (HTTP 429/503)
+//   - error: the solve failed (any other non-2xx status or error message)
+//   - slow: duration beyond the absolute SlowFloor, or beyond the adaptive
+//     per-solver threshold (histogram-derived p99) when one exists
+//   - forwarded / remote: the request crossed a node boundary (either side)
+//   - sampled: kept by the head sampler at SampleRate
+//
+// The decision path allocates nothing for dropped traces — with SampleRate 0
+// and an unremarkable fast solve, Offer is a handful of loads and compares —
+// so the recorder can stay on in front of the hot path. Only retained traces
+// pay for span-tree serialization.
+package flight
+
+import (
+	"encoding/json"
+	mrand "math/rand/v2"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config sizes the recorder. The zero value is usable: every field has a
+// production-lean default applied by New.
+type Config struct {
+	// SampleRate is the probability (0..1) an unremarkable trace is kept
+	// anyway — the head sampler behind the tail-retention rules. 0 keeps
+	// only remarkable traces (and skips the RNG entirely).
+	SampleRate float64
+	// MaxTraces caps retained traces; the oldest is evicted beyond it
+	// (default 512).
+	MaxTraces int
+	// MaxBytes caps the summed size of retained traces, serialized span
+	// trees included (default 8 MiB).
+	MaxBytes int64
+	// SlowFloor is the absolute duration beyond which every trace is kept
+	// (default 500ms).
+	SlowFloor time.Duration
+	// SlowThreshold, when non-nil, returns the adaptive per-solver slow
+	// threshold (the server derives it from latency histogram quantiles);
+	// <= 0 means "no adaptive threshold for this solver yet". It is called
+	// on the solve path and must be cheap and allocation-free.
+	SlowThreshold func(solver string) time.Duration
+}
+
+// Retention reasons, in decision order.
+const (
+	ReasonShed      = "shed"
+	ReasonError     = "error"
+	ReasonSlow      = "slow"
+	ReasonForwarded = "forwarded"
+	ReasonRemote    = "remote"
+	ReasonSampled   = "sampled"
+)
+
+// reasons lists every retention reason, for stable metrics rendering.
+var reasons = []string{ReasonShed, ReasonError, ReasonSlow, ReasonForwarded, ReasonRemote, ReasonSampled}
+
+// Reasons returns every retention reason in stable (priority) order, for
+// metric renderers that want one series per reason.
+func Reasons() []string { return reasons }
+
+// Info describes one finished request being offered for retention. The trace
+// must be finished (root ended); identity, request ID, timing, and the span
+// tree are all read from it only if the trace is kept.
+type Info struct {
+	// Trace is the finished trace.
+	Trace *obs.Trace
+	// Kind is the request shape: "solve" or "job".
+	Kind string
+	// Solver is the registry solver name.
+	Solver string
+	// Status is the HTTP status the request resolved to (200 for success).
+	Status int
+	// Err is the error message for failed solves, empty on success.
+	Err string
+	// Forwarded marks a solve this node forwarded to the owning peer.
+	Forwarded bool
+	// Remote marks a solve this node ran on behalf of a forwarding peer.
+	Remote bool
+	// Peer is the other node of a forwarded/remote solve, when known.
+	Peer string
+}
+
+// Record is one retained trace: queryable summary fields plus the span tree
+// serialized at retention time (so queries never re-render and byte
+// accounting is exact). The JSON shape is the /v1/traces list entry; the
+// tree rides separately in the {id} response.
+type Record struct {
+	TraceID    string        `json:"id"`
+	ParentSpan string        `json:"parentSpan,omitempty"`
+	RequestID  string        `json:"requestId,omitempty"`
+	Kind       string        `json:"kind"`
+	Solver     string        `json:"solver"`
+	Start      time.Time     `json:"start"`
+	DurationMs float64       `json:"durationMs"`
+	Duration   time.Duration `json:"-"`
+	Status     int           `json:"status"`
+	Outcome    string        `json:"outcome"` // "ok" | "error" | "shed"
+	Reason     string        `json:"reason"`
+	Err        string        `json:"error,omitempty"`
+	Forwarded  bool          `json:"forwarded,omitempty"`
+	Remote     bool          `json:"remote,omitempty"`
+	Peer       string        `json:"peer,omitempty"`
+	Spans      int           `json:"spans"`
+
+	// Tree is the span tree as JSON, serialized once at retention.
+	Tree json.RawMessage `json:"-"`
+
+	bytes int64
+}
+
+// Stats is the recorder's counter snapshot for /metrics.
+type Stats struct {
+	Offered      uint64
+	Kept         uint64
+	Dropped      uint64
+	KeptByReason map[string]uint64
+	EvictedCount uint64 // evictions forced by the trace-count cap
+	EvictedBytes uint64 // evictions forced by the byte cap
+	Traces       int
+	Bytes        int64
+	CapTraces    int
+	CapBytes     int64
+}
+
+// Recorder is the bounded tail-sampling trace store. Construct with New; all
+// methods are safe for concurrent use.
+type Recorder struct {
+	cfg Config
+
+	offered atomic.Uint64
+	dropped atomic.Uint64
+	keptBy  map[string]*atomic.Uint64 // retention reason → kept count
+	evCount atomic.Uint64
+	evBytes atomic.Uint64
+
+	mu    sync.Mutex
+	ring  []*Record // capacity MaxTraces; tail is the oldest entry
+	tail  int
+	n     int
+	bytes int64
+	index map[string]*Record
+}
+
+// New builds a Recorder from cfg (zero-value fields take defaults).
+func New(cfg Config) *Recorder {
+	if cfg.MaxTraces <= 0 {
+		cfg.MaxTraces = 512
+	}
+	if cfg.MaxBytes <= 0 {
+		cfg.MaxBytes = 8 << 20
+	}
+	if cfg.SlowFloor <= 0 {
+		cfg.SlowFloor = 500 * time.Millisecond
+	}
+	if cfg.SampleRate < 0 {
+		cfg.SampleRate = 0
+	}
+	if cfg.SampleRate > 1 {
+		cfg.SampleRate = 1
+	}
+	r := &Recorder{
+		cfg:    cfg,
+		ring:   make([]*Record, cfg.MaxTraces),
+		index:  make(map[string]*Record),
+		keptBy: make(map[string]*atomic.Uint64, len(reasons)),
+	}
+	for _, reason := range reasons {
+		r.keptBy[reason] = new(atomic.Uint64)
+	}
+	return r
+}
+
+// retainReason applies the retention policy. Empty means drop. Runs on every
+// request; must not allocate.
+func (r *Recorder) retainReason(info *Info, d time.Duration) string {
+	switch {
+	case info.Status == http.StatusTooManyRequests || info.Status == http.StatusServiceUnavailable:
+		return ReasonShed
+	case info.Err != "" || info.Status >= 400:
+		return ReasonError
+	case d >= r.cfg.SlowFloor:
+		return ReasonSlow
+	}
+	if f := r.cfg.SlowThreshold; f != nil {
+		if t := f(info.Solver); t > 0 && d >= t {
+			return ReasonSlow
+		}
+	}
+	switch {
+	case info.Forwarded:
+		return ReasonForwarded
+	case info.Remote:
+		return ReasonRemote
+	}
+	if r.cfg.SampleRate > 0 && mrand.Float64() < r.cfg.SampleRate {
+		return ReasonSampled
+	}
+	return ""
+}
+
+// Offer runs the retention decision for a finished request and stores the
+// trace when it is kept, returning the new record and its retention reason.
+// Returns (nil, "") for dropped traces — the common case, which allocates
+// nothing. Nil-safe on a nil Recorder and a nil trace.
+func (r *Recorder) Offer(info Info) (*Record, string) {
+	if r == nil || info.Trace == nil {
+		return nil, ""
+	}
+	r.offered.Add(1)
+	root := info.Trace.Root()
+	d := root.Duration
+	reason := r.retainReason(&info, d)
+	if reason == "" {
+		r.dropped.Add(1)
+		return nil, ""
+	}
+	rec := r.keep(&info, root, d, reason)
+	return rec, reason
+}
+
+// keep builds and inserts the record — the slow path, run only for retained
+// traces.
+func (r *Recorder) keep(info *Info, root *obs.Span, d time.Duration, reason string) *Record {
+	tr := info.Trace
+	node := tr.Tree()
+	treeJSON, err := json.Marshal(node)
+	if err != nil {
+		treeJSON = nil
+	}
+	outcome := "ok"
+	switch reason {
+	case ReasonShed:
+		outcome = "shed"
+	case ReasonError:
+		outcome = "error"
+	}
+	rec := &Record{
+		TraceID:    tr.ID.String(),
+		RequestID:  tr.RequestID,
+		Kind:       info.Kind,
+		Solver:     info.Solver,
+		Start:      root.Start,
+		Duration:   d,
+		DurationMs: float64(d) / float64(time.Millisecond),
+		Status:     info.Status,
+		Outcome:    outcome,
+		Reason:     reason,
+		Err:        info.Err,
+		Forwarded:  info.Forwarded,
+		Remote:     info.Remote,
+		Peer:       info.Peer,
+		Spans:      countNodes(node),
+		Tree:       treeJSON,
+	}
+	if !tr.Parent.IsZero() {
+		rec.ParentSpan = tr.Parent.String()
+	}
+	rec.bytes = int64(len(treeJSON)) + int64(len(rec.TraceID)+len(rec.RequestID)+len(rec.Solver)+len(rec.Err)+len(rec.Peer)) + 256
+
+	r.keptBy[reason].Add(1)
+
+	r.mu.Lock()
+	if r.n == len(r.ring) {
+		r.evictOldestLocked(&r.evCount)
+	}
+	r.ring[(r.tail+r.n)%len(r.ring)] = rec
+	r.n++
+	r.bytes += rec.bytes
+	r.index[rec.TraceID] = rec
+	for r.bytes > r.cfg.MaxBytes && r.n > 1 {
+		r.evictOldestLocked(&r.evBytes)
+	}
+	r.mu.Unlock()
+	return rec
+}
+
+// evictOldestLocked drops the ring's oldest record, crediting the eviction
+// to counter. Callers hold r.mu and guarantee r.n > 0.
+func (r *Recorder) evictOldestLocked(counter *atomic.Uint64) {
+	old := r.ring[r.tail]
+	r.ring[r.tail] = nil
+	r.tail = (r.tail + 1) % len(r.ring)
+	r.n--
+	r.bytes -= old.bytes
+	// A duplicate trace ID (a retried request propagating the same trace)
+	// leaves the index pointing at the newest record; only unhook the entry
+	// this eviction actually owns.
+	if r.index[old.TraceID] == old {
+		delete(r.index, old.TraceID)
+	}
+	counter.Add(1)
+}
+
+func countNodes(n *obs.SpanNode) int {
+	if n == nil {
+		return 0
+	}
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+// Get returns the retained record for a trace ID.
+func (r *Recorder) Get(id string) (*Record, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	rec, ok := r.index[id]
+	r.mu.Unlock()
+	return rec, ok
+}
+
+// Query filters List. Zero values mean "any".
+type Query struct {
+	// Solver keeps records of one solver.
+	Solver string
+	// MinDuration keeps records at least this slow.
+	MinDuration time.Duration
+	// Outcome keeps records of one outcome: "ok", "error", or "shed".
+	Outcome string
+	// Since keeps records that started at or after this instant.
+	Since time.Time
+	// Limit caps the result count (0 = no cap).
+	Limit int
+}
+
+// List returns matching records, newest first. Records are immutable after
+// retention; callers must not mutate them.
+func (r *Recorder) List(q Query) []*Record {
+	if r == nil {
+		return nil
+	}
+	var out []*Record
+	r.mu.Lock()
+	for i := r.n - 1; i >= 0; i-- {
+		rec := r.ring[(r.tail+i)%len(r.ring)]
+		if q.Solver != "" && rec.Solver != q.Solver {
+			continue
+		}
+		if rec.Duration < q.MinDuration {
+			continue
+		}
+		if q.Outcome != "" && rec.Outcome != q.Outcome {
+			continue
+		}
+		if !q.Since.IsZero() && rec.Start.Before(q.Since) {
+			continue
+		}
+		out = append(out, rec)
+		if q.Limit > 0 && len(out) == q.Limit {
+			break
+		}
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Stats snapshots the recorder's counters and occupancy.
+func (r *Recorder) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Offered:      r.offered.Load(),
+		Dropped:      r.dropped.Load(),
+		EvictedCount: r.evCount.Load(),
+		EvictedBytes: r.evBytes.Load(),
+		CapTraces:    r.cfg.MaxTraces,
+		CapBytes:     r.cfg.MaxBytes,
+		KeptByReason: make(map[string]uint64, len(reasons)),
+	}
+	for _, reason := range reasons {
+		n := r.keptBy[reason].Load()
+		st.KeptByReason[reason] = n
+		st.Kept += n
+	}
+	r.mu.Lock()
+	st.Traces, st.Bytes = r.n, r.bytes
+	r.mu.Unlock()
+	return st
+}

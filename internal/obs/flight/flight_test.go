@@ -1,0 +1,235 @@
+package flight
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// finishedTrace builds a trace with one child span and a settled duration.
+func finishedTrace(t *testing.T, name string) *obs.Trace {
+	t.Helper()
+	tr := obs.New(name)
+	tr.RequestID = "rid-" + name
+	ctx := obs.NewContext(t.Context(), tr)
+	sp := obs.Phase(ctx, "phase-a")
+	sp.End()
+	tr.Finish()
+	return tr
+}
+
+func TestRetentionReasons(t *testing.T) {
+	cases := []struct {
+		name   string
+		info   Info
+		reason string
+	}{
+		{"shed-429", Info{Status: 429}, ReasonShed},
+		{"shed-503", Info{Status: 503}, ReasonShed},
+		{"error-status", Info{Status: 500, Err: "boom"}, ReasonError},
+		{"error-msg", Info{Status: 200, Err: "infeasible"}, ReasonError},
+		{"forwarded", Info{Status: 200, Forwarded: true, Peer: "http://peer"}, ReasonForwarded},
+		{"remote", Info{Status: 200, Remote: true}, ReasonRemote},
+		{"fast-ok", Info{Status: 200}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := New(Config{SlowFloor: time.Hour}) // slow never triggers
+			tc.info.Trace = finishedTrace(t, tc.name)
+			tc.info.Kind, tc.info.Solver = "solve", "bandwidth"
+			rec, reason := r.Offer(tc.info)
+			if reason != tc.reason {
+				t.Fatalf("reason = %q, want %q", reason, tc.reason)
+			}
+			if (rec != nil) != (tc.reason != "") {
+				t.Fatalf("rec = %v with reason %q", rec, reason)
+			}
+			if rec == nil {
+				return
+			}
+			if rec.Solver != "bandwidth" || rec.Kind != "solve" {
+				t.Fatalf("record misattributed: %+v", rec)
+			}
+			if rec.TraceID != tc.info.Trace.ID.String() {
+				t.Fatalf("record trace ID %q != trace %q", rec.TraceID, tc.info.Trace.ID)
+			}
+			if got, ok := r.Get(rec.TraceID); !ok || got != rec {
+				t.Fatalf("Get(%q) = %v, %v", rec.TraceID, got, ok)
+			}
+			if rec.Spans < 2 {
+				t.Fatalf("Spans = %d, want >= 2 (root + phase)", rec.Spans)
+			}
+			if len(rec.Tree) == 0 || !strings.Contains(string(rec.Tree), "phase-a") {
+				t.Fatalf("serialized tree missing the phase span: %s", rec.Tree)
+			}
+		})
+	}
+}
+
+func TestSlowRetention(t *testing.T) {
+	r := New(Config{SlowFloor: time.Nanosecond}) // everything is "slow"
+	rec, reason := r.Offer(Info{Trace: finishedTrace(t, "s"), Kind: "solve", Solver: "x", Status: 200})
+	if reason != ReasonSlow || rec == nil {
+		t.Fatalf("Offer = %v, %q; want a slow-retained record", rec, reason)
+	}
+	if rec.Outcome != "ok" {
+		t.Fatalf("Outcome = %q, want ok", rec.Outcome)
+	}
+}
+
+func TestAdaptiveSlowThreshold(t *testing.T) {
+	r := New(Config{
+		SlowFloor:     time.Hour,
+		SlowThreshold: func(solver string) time.Duration { return time.Nanosecond },
+	})
+	if _, reason := r.Offer(Info{Trace: finishedTrace(t, "a"), Status: 200}); reason != ReasonSlow {
+		t.Fatalf("reason = %q, want slow via adaptive threshold", reason)
+	}
+	// A threshold of 0 means "not established yet" and must not retain.
+	r = New(Config{
+		SlowFloor:     time.Hour,
+		SlowThreshold: func(solver string) time.Duration { return 0 },
+	})
+	if _, reason := r.Offer(Info{Trace: finishedTrace(t, "b"), Status: 200}); reason != "" {
+		t.Fatalf("reason = %q, want drop with zero adaptive threshold", reason)
+	}
+}
+
+func TestSampling(t *testing.T) {
+	always := New(Config{SampleRate: 1, SlowFloor: time.Hour})
+	if _, reason := always.Offer(Info{Trace: finishedTrace(t, "a"), Status: 200}); reason != ReasonSampled {
+		t.Fatalf("rate-1 reason = %q, want sampled", reason)
+	}
+	never := New(Config{SampleRate: 0, SlowFloor: time.Hour})
+	for i := 0; i < 100; i++ {
+		if rec, _ := never.Offer(Info{Trace: finishedTrace(t, "b"), Status: 200}); rec != nil {
+			t.Fatalf("rate-0 retained a trace")
+		}
+	}
+	st := never.Stats()
+	if st.Offered != 100 || st.Dropped != 100 || st.Kept != 0 {
+		t.Fatalf("stats = %+v, want 100 offered and dropped", st)
+	}
+}
+
+func TestCountCapEviction(t *testing.T) {
+	r := New(Config{MaxTraces: 4, SampleRate: 1, SlowFloor: time.Hour})
+	ids := make([]string, 8)
+	for i := range ids {
+		rec, _ := r.Offer(Info{Trace: finishedTrace(t, fmt.Sprintf("t%d", i)), Status: 200})
+		ids[i] = rec.TraceID
+	}
+	st := r.Stats()
+	if st.Traces != 4 || st.EvictedCount != 4 {
+		t.Fatalf("stats = %+v, want 4 resident / 4 count-evicted", st)
+	}
+	for _, id := range ids[:4] {
+		if _, ok := r.Get(id); ok {
+			t.Fatalf("evicted trace %s still resident", id)
+		}
+	}
+	for _, id := range ids[4:] {
+		if _, ok := r.Get(id); !ok {
+			t.Fatalf("recent trace %s missing", id)
+		}
+	}
+	// Newest first.
+	list := r.List(Query{})
+	if len(list) != 4 || list[0].TraceID != ids[7] || list[3].TraceID != ids[4] {
+		t.Fatalf("List order wrong: %v", list)
+	}
+}
+
+func TestByteCapEviction(t *testing.T) {
+	r := New(Config{MaxTraces: 1024, MaxBytes: 1200, SampleRate: 1, SlowFloor: time.Hour})
+	for i := 0; i < 16; i++ {
+		r.Offer(Info{Trace: finishedTrace(t, fmt.Sprintf("t%d", i)), Status: 200})
+	}
+	st := r.Stats()
+	if st.Bytes > 1200 {
+		t.Fatalf("resident bytes %d exceed the 1200 cap", st.Bytes)
+	}
+	if st.EvictedBytes == 0 {
+		t.Fatalf("no byte-cap evictions recorded: %+v", st)
+	}
+	if st.Traces == 0 {
+		t.Fatalf("byte cap evicted everything")
+	}
+}
+
+func TestListFilters(t *testing.T) {
+	r := New(Config{SampleRate: 1, SlowFloor: time.Hour})
+	r.Offer(Info{Trace: finishedTrace(t, "a"), Solver: "fast", Status: 200})
+	r.Offer(Info{Trace: finishedTrace(t, "b"), Solver: "slow", Status: 500, Err: "x"})
+	r.Offer(Info{Trace: finishedTrace(t, "c"), Solver: "slow", Status: 429})
+
+	if got := r.List(Query{Solver: "slow"}); len(got) != 2 {
+		t.Fatalf("solver filter: %d records, want 2", len(got))
+	}
+	if got := r.List(Query{Outcome: "shed"}); len(got) != 1 || got[0].Status != 429 {
+		t.Fatalf("outcome filter: %v", got)
+	}
+	if got := r.List(Query{MinDuration: time.Hour}); len(got) != 0 {
+		t.Fatalf("minDuration filter leaked: %v", got)
+	}
+	if got := r.List(Query{Since: time.Now().Add(time.Hour)}); len(got) != 0 {
+		t.Fatalf("since filter leaked: %v", got)
+	}
+	if got := r.List(Query{Limit: 1}); len(got) != 1 {
+		t.Fatalf("limit: %d records, want 1", len(got))
+	}
+}
+
+func TestDuplicateTraceIDKeepsNewest(t *testing.T) {
+	r := New(Config{MaxTraces: 2, SampleRate: 1, SlowFloor: time.Hour})
+	tr := finishedTrace(t, "dup")
+	first, _ := r.Offer(Info{Trace: tr, Solver: "one", Status: 200})
+	second, _ := r.Offer(Info{Trace: tr, Solver: "two", Status: 200})
+	if first.TraceID != second.TraceID {
+		t.Fatalf("same trace produced different IDs")
+	}
+	if got, ok := r.Get(first.TraceID); !ok || got.Solver != "two" {
+		t.Fatalf("Get returned %+v, want the newest record", got)
+	}
+	// Evicting the older duplicate must not unhook the newer one.
+	r.Offer(Info{Trace: finishedTrace(t, "x"), Status: 429})
+	if _, ok := r.Get(second.TraceID); !ok {
+		t.Fatalf("newest duplicate lost after evicting the older one")
+	}
+}
+
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	if rec, reason := r.Offer(Info{Trace: finishedTrace(t, "n")}); rec != nil || reason != "" {
+		t.Fatalf("nil recorder retained")
+	}
+	if _, ok := r.Get("x"); ok {
+		t.Fatalf("nil recorder Get")
+	}
+	if got := r.List(Query{}); got != nil {
+		t.Fatalf("nil recorder List: %v", got)
+	}
+	if st := r.Stats(); st.Offered != 0 {
+		t.Fatalf("nil recorder Stats: %+v", st)
+	}
+}
+
+// TestOfferDropAllocFree pins the not-retained path at zero allocations —
+// the always-on recorder must not tax the untraced hot path.
+func TestOfferDropAllocFree(t *testing.T) {
+	r := New(Config{SampleRate: 0, SlowFloor: time.Hour,
+		SlowThreshold: func(string) time.Duration { return time.Hour }})
+	tr := finishedTrace(t, "hot")
+	info := Info{Trace: tr, Kind: "solve", Solver: "bandwidth", Status: 200}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if rec, _ := r.Offer(info); rec != nil {
+			t.Fatal("unexpectedly retained")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Offer drop path allocates %v times per call, want 0", allocs)
+	}
+}

@@ -68,6 +68,18 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// BucketIndex returns the bucket an observation of v would land in and the
+// total bucket count (bounds + the +Inf overflow) — the addressing scheme
+// exemplar slots use.
+func (h *Histogram) BucketIndex(v float64) (idx, n int) {
+	return sort.SearchFloat64s(h.bounds, v), len(h.buckets)
+}
+
+// Count returns the number of observations so far — the cheap accessor for
+// callers that refresh derived state every N observations without paying for
+// a full snapshot.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
 // HistogramSnapshot is a point-in-time copy of a histogram. Counts are
 // per-bucket (not cumulative); the final entry is the +Inf bucket.
 // Observations racing a snapshot may be split across Count/Sum/Counts — fine
@@ -93,11 +105,48 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// Quantile returns the upper bound of the bucket containing the q-quantile
+// observation (0 < q <= 1), Prometheus-style: a conservative over-estimate
+// with bucket-bound resolution. Returns +Inf when the quantile falls in the
+// overflow bucket and 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || !(q > 0) {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	var cum uint64
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		if cum >= target {
+			return b
+		}
+	}
+	return math.Inf(1)
+}
+
+// Exemplar links one histogram bucket to a recent observation's trace — the
+// OpenMetrics "# {trace_id=\"...\"} value timestamp" suffix on a bucket line.
+// A zero TraceID means "no exemplar for this bucket".
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Time    time.Time
+}
+
 // WritePrometheus renders the snapshot as Prometheus text-format series:
 // name_bucket lines with cumulative counts and an le label, then name_sum
 // and name_count. Labels are rendered sorted by key; the caller owns the
 // # HELP / # TYPE header (several label sets usually share one family).
 func (s HistogramSnapshot) WritePrometheus(w io.Writer, name string, labels map[string]string) {
+	s.WritePrometheusExemplars(w, name, labels, nil)
+}
+
+// WritePrometheusExemplars is WritePrometheus with per-bucket exemplars:
+// exemplars[i] annotates bucket i (the entry past the last bound annotates
+// the +Inf bucket); entries with an empty TraceID — and a nil or short slice
+// — render nothing extra, so the plain text format is unchanged when no
+// exemplars exist.
+func (s HistogramSnapshot) WritePrometheusExemplars(w io.Writer, name string, labels map[string]string, exemplars []Exemplar) {
 	keys := make([]string, 0, len(labels))
 	for k := range labels {
 		keys = append(keys, k)
@@ -107,13 +156,22 @@ func (s HistogramSnapshot) WritePrometheus(w io.Writer, name string, labels map[
 	for _, k := range keys {
 		base += fmt.Sprintf("%s=%q,", k, labels[k])
 	}
+	ex := func(i int) string {
+		if i >= len(exemplars) || exemplars[i].TraceID == "" {
+			return ""
+		}
+		e := exemplars[i]
+		return fmt.Sprintf(" # {trace_id=%q} %s %.3f",
+			e.TraceID, strconv.FormatFloat(e.Value, 'g', -1, 64),
+			float64(e.Time.UnixMilli())/1e3)
+	}
 	var cum uint64
 	for i, b := range s.Bounds {
 		cum += s.Counts[i]
-		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, base, strconv.FormatFloat(b, 'g', -1, 64), cum)
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d%s\n", name, base, strconv.FormatFloat(b, 'g', -1, 64), cum, ex(i))
 	}
 	cum += s.Counts[len(s.Bounds)]
-	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, base, cum)
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d%s\n", name, base, cum, ex(len(s.Bounds)))
 	trail := ""
 	if len(keys) > 0 {
 		trail = "{" + base[:len(base)-1] + "}"

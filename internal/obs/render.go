@@ -44,7 +44,41 @@ func buildNode(s *Span, base time.Time) *SpanNode {
 	for _, c := range s.children {
 		n.Children = append(n.Children, buildNode(c, base))
 	}
+	// Grafted remote subtrees nest after the local children. Their offsets
+	// are relative to the remote root; shifting them by this span's own
+	// offset puts them on the local timeline (clock skew across nodes is the
+	// remote tree's problem, not worth a protocol here).
+	for _, g := range s.grafts {
+		n.Children = append(n.Children, shiftNode(g, n.StartUs))
+	}
 	return n
+}
+
+// shiftNode deep-copies a grafted subtree with every StartUs moved by delta.
+func shiftNode(g *SpanNode, delta int64) *SpanNode {
+	cp := &SpanNode{
+		Name:       g.Name,
+		StartUs:    g.StartUs + delta,
+		DurationUs: g.DurationUs,
+		Attrs:      g.Attrs,
+	}
+	for _, c := range g.Children {
+		cp.Children = append(cp.Children, shiftNode(c, delta))
+	}
+	return cp
+}
+
+// Graft attaches a remote span subtree under s — the cross-node half of
+// distributed tracing: the caller's cluster-forward span adopts the owner's
+// serialized tree so one request renders as one tree. The node becomes owned
+// by the trace and must not be mutated afterwards. Nil-safe on both sides.
+func (s *Span) Graft(remote *SpanNode) {
+	if s == nil || remote == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	s.grafts = append(s.grafts, remote)
+	s.tr.mu.Unlock()
 }
 
 // WriteText renders the trace as an indented human-readable tree, one span
@@ -114,6 +148,21 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
+	meta := map[string]string{}
+	if t.RequestID != "" {
+		meta["requestId"] = t.RequestID
+	}
+	if !t.ID.IsZero() {
+		meta["traceId"] = t.ID.String()
+	}
+	return WriteChromeNode(w, t.Tree(), meta)
+}
+
+// WriteChromeNode renders a span tree as Chrome trace-event JSON — the same
+// document WriteChrome produces, but from a stored SpanNode (the flight
+// recorder serves retained traces through this). meta lands in otherData;
+// empty maps are omitted.
+func WriteChromeNode(w io.Writer, root *SpanNode, meta map[string]string) error {
 	var events []chromeEvent
 	var flatten func(n *SpanNode)
 	flatten = func(n *SpanNode) {
@@ -125,14 +174,16 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			flatten(c)
 		}
 	}
-	flatten(t.Tree())
+	if root != nil {
+		flatten(root)
+	}
 	doc := struct {
 		TraceEvents     []chromeEvent     `json:"traceEvents"`
 		DisplayTimeUnit string            `json:"displayTimeUnit"`
 		OtherData       map[string]string `json:"otherData,omitempty"`
 	}{TraceEvents: events, DisplayTimeUnit: "ms"}
-	if t.RequestID != "" {
-		doc.OtherData = map[string]string{"requestId": t.RequestID}
+	if len(meta) > 0 {
+		doc.OtherData = meta
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(&doc)

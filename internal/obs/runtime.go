@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RuntimeStats is a point-in-time snapshot of the Go runtime's health
+// signals — the process-level half of observability next to the per-request
+// traces. Collected via ReadRuntimeStats for /metrics rendering.
+type RuntimeStats struct {
+	// Goroutines is the live goroutine count.
+	Goroutines int
+	// HeapAlloc / HeapSys / HeapObjects mirror runtime.MemStats.
+	HeapAlloc   uint64
+	HeapSys     uint64
+	HeapObjects uint64
+	// NextGC is the heap size that triggers the next collection.
+	NextGC uint64
+	// GCCycles counts completed GC cycles.
+	GCCycles uint32
+	// GCPauseTotal is the cumulative stop-the-world pause time.
+	GCPauseTotal time.Duration
+	// GCCPUFraction is the fraction of CPU time spent in GC since start.
+	GCCPUFraction float64
+	// LastGC is when the last collection finished (zero if none ran).
+	LastGC time.Time
+}
+
+// ReadRuntimeStats collects the runtime snapshot. ReadMemStats stops the
+// world briefly; callers are expected to be scrape-rate (not request-rate)
+// paths.
+func ReadRuntimeStats() RuntimeStats {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	st := RuntimeStats{
+		Goroutines:    runtime.NumGoroutine(),
+		HeapAlloc:     ms.HeapAlloc,
+		HeapSys:       ms.HeapSys,
+		HeapObjects:   ms.HeapObjects,
+		NextGC:        ms.NextGC,
+		GCCycles:      ms.NumGC,
+		GCPauseTotal:  time.Duration(ms.PauseTotalNs),
+		GCCPUFraction: ms.GCCPUFraction,
+	}
+	if ms.LastGC != 0 {
+		st.LastGC = time.Unix(0, int64(ms.LastGC))
+	}
+	return st
+}

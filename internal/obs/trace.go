@@ -21,11 +21,111 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	mrand "math/rand/v2"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// TraceID is a 128-bit trace identifier, shared by every span of one request
+// across every node it touches. The zero value means "no ID".
+type TraceID [16]byte
+
+// SpanID is a 64-bit span identifier, unique within its trace.
+// The zero value means "no ID".
+type SpanID [8]byte
+
+// IsZero reports whether the ID is unset.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports whether the ID is unset.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as 32 lowercase hex characters.
+func (id TraceID) String() string {
+	var dst [32]byte
+	return string(hex.AppendEncode(dst[:0], id[:]))
+}
+
+// String renders the ID as 16 lowercase hex characters.
+func (id SpanID) String() string {
+	var dst [16]byte
+	return string(hex.AppendEncode(dst[:0], id[:]))
+}
+
+// ParseTraceID parses the 32-hex-character form produced by String. Strict:
+// exact length, lowercase hex only, and the zero ID is rejected.
+func ParseTraceID(s string) (TraceID, bool) {
+	var id TraceID
+	if !parseLowerHex(id[:], s) || id.IsZero() {
+		return TraceID{}, false
+	}
+	return id, true
+}
+
+// ParseSpanID parses the 16-hex-character form produced by String. Strict
+// like ParseTraceID.
+func ParseSpanID(s string) (SpanID, bool) {
+	var id SpanID
+	if !parseLowerHex(id[:], s) || id.IsZero() {
+		return SpanID{}, false
+	}
+	return id, true
+}
+
+// parseLowerHex decodes exactly len(dst)*2 lowercase hex characters into dst.
+func parseLowerHex(dst []byte, s string) bool {
+	if len(s) != 2*len(dst) {
+		return false
+	}
+	for i := range dst {
+		hi, ok1 := hexNibble(s[2*i])
+		lo, ok2 := hexNibble(s[2*i+1])
+		if !ok1 || !ok2 {
+			return false
+		}
+		dst[i] = hi<<4 | lo
+	}
+	return true
+}
+
+func hexNibble(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	return 0, false
+}
+
+// NewTraceID returns a fresh random trace ID. Uses the math/rand/v2 global
+// source: trace IDs need uniqueness, not unpredictability, and the cheap
+// generator keeps per-solve trace setup allocation-free.
+func NewTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		hi, lo := mrand.Uint64(), mrand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(hi >> (8 * i))
+			id[8+i] = byte(lo >> (8 * i))
+		}
+	}
+	return id
+}
+
+// NewSpanID returns a fresh random span ID.
+func NewSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		v := mrand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(v >> (8 * i))
+		}
+	}
+	return id
+}
 
 // Attr is one key/value annotation on a span — a phase's size parameter
 // (points, intervals, probes) rather than free-form logging.
@@ -46,9 +146,16 @@ type Span struct {
 	Duration time.Duration
 	// Attrs are the span's annotations in insertion order.
 	Attrs []Attr
+	// ID identifies the span within its trace, for cross-node parenting and
+	// event correlation.
+	ID SpanID
 
 	tr       *Trace
 	children []*Span
+	// grafts are remote subtrees attached under this span by Graft — the
+	// owner-side span tree a cluster forward brought back. They render as
+	// extra children, time-shifted to this span's start.
+	grafts []*SpanNode
 
 	// attrBuf and childBuf back the first few Attrs/children without a heap
 	// allocation; solver phase spans rarely exceed either.
@@ -72,6 +179,10 @@ type SpanEvent struct {
 	// Root marks events of the trace's root span (only its end is ever
 	// delivered — the root starts before any hook can be installed).
 	Root bool
+	// TraceID and SpanID identify the span, so streamed events correlate
+	// with stored traces.
+	TraceID TraceID
+	SpanID  SpanID
 }
 
 // Trace is one request's span tree. Construct with New, attach to a context
@@ -82,6 +193,14 @@ type Trace struct {
 	// RequestID tags the trace with the originating request's correlation
 	// ID; empty when the caller has none.
 	RequestID string
+
+	// ID is the trace's 128-bit identity, assigned by New. Overwrite it
+	// (before the trace's context is used) with the propagated ID when the
+	// request arrived from another node, so both nodes' records share it.
+	ID TraceID
+	// Parent is the remote parent span under which this trace's root nests
+	// on the calling node; zero for locally originated traces.
+	Parent SpanID
 
 	// OnSpan, when non-nil, receives a SpanEvent as each span starts and
 	// ends — the live subscription hook progress streams attach to. Set it
@@ -112,6 +231,8 @@ func New(name string) *Trace {
 	t.used = 1
 	t.root = &t.arena[0]
 	t.root.Name, t.root.Start, t.root.tr = name, time.Now(), t
+	t.ID = NewTraceID()
+	t.root.ID = NewSpanID()
 	return t
 }
 
@@ -209,13 +330,14 @@ func (s *Span) child(name string) *Span {
 	tr.mu.Lock()
 	sp := tr.newSpan()
 	sp.Name, sp.Start, sp.tr = name, now, tr
+	sp.ID = NewSpanID()
 	if s.children == nil {
 		s.children = s.childBuf[:0]
 	}
 	s.children = append(s.children, sp)
 	tr.mu.Unlock()
 	if tr.OnSpan != nil {
-		tr.OnSpan(SpanEvent{Name: name, Start: now})
+		tr.OnSpan(SpanEvent{Name: name, Start: now, TraceID: tr.ID, SpanID: sp.ID})
 	}
 	return sp
 }
@@ -236,7 +358,8 @@ func (s *Span) End() {
 	root := s == tr.root
 	tr.mu.Unlock()
 	if first && tr.OnSpan != nil {
-		tr.OnSpan(SpanEvent{Name: s.Name, Start: s.Start, Duration: d, End: true, Root: root})
+		tr.OnSpan(SpanEvent{Name: s.Name, Start: s.Start, Duration: d, End: true, Root: root,
+			TraceID: tr.ID, SpanID: s.ID})
 	}
 }
 
@@ -312,4 +435,68 @@ func NewRequestID() string {
 	}
 	var dst [16]byte
 	return string(hex.AppendEncode(dst[:0], b[:]))
+}
+
+// Remote is trace context propagated across a node boundary: the trace to
+// continue and the calling node's span to parent under, plus a flags byte
+// (bit 0 = the caller retains this trace).
+type Remote struct {
+	Trace TraceID
+	Span  SpanID
+	Flags byte
+}
+
+// FlagSampled is the Remote.Flags bit saying the caller keeps this trace.
+const FlagSampled byte = 1
+
+type remoteKey struct{}
+
+// ContextWithRemote returns ctx carrying propagated remote trace context.
+func ContextWithRemote(ctx context.Context, rem Remote) context.Context {
+	return context.WithValue(ctx, remoteKey{}, rem)
+}
+
+// RemoteFromContext returns the remote trace context carried by ctx, if any.
+func RemoteFromContext(ctx context.Context) (Remote, bool) {
+	rem, ok := ctx.Value(remoteKey{}).(Remote)
+	return rem, ok
+}
+
+// FormatTraceHeader renders rem as the X-Partition-Trace wire form,
+// traceparent-style: 32 hex trace-ID, 16 hex span-ID, 2 hex flags, dash
+// separated (e.g. "4bf9…2c1a-00f067aa0ba902b7-01").
+func FormatTraceHeader(rem Remote) string {
+	var dst [51]byte
+	b := hex.AppendEncode(dst[:0], rem.Trace[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, rem.Span[:])
+	b = append(b, '-')
+	b = hex.AppendEncode(b, []byte{rem.Flags})
+	return string(b)
+}
+
+// ParseTraceHeader parses the X-Partition-Trace wire form. Strict by design —
+// exact field lengths, lowercase hex, non-zero IDs — so a malformed or
+// hostile header degrades to "no propagation" rather than poisoning stored
+// trace identities.
+func ParseTraceHeader(s string) (Remote, bool) {
+	// len = 32 + 1 + 16 + 1 + 2.
+	if len(s) != 52 || s[32] != '-' || s[49] != '-' {
+		return Remote{}, false
+	}
+	var rem Remote
+	tid, ok := ParseTraceID(s[:32])
+	if !ok {
+		return Remote{}, false
+	}
+	sid, ok := ParseSpanID(s[33:49])
+	if !ok {
+		return Remote{}, false
+	}
+	var fb [1]byte
+	if !parseLowerHex(fb[:], s[50:]) {
+		return Remote{}, false
+	}
+	rem.Trace, rem.Span, rem.Flags = tid, sid, fb[0]
+	return rem, true
 }

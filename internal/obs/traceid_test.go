@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	if id.IsZero() {
+		t.Fatal("NewTraceID returned the zero ID")
+	}
+	s := id.String()
+	if len(s) != 32 || strings.ToLower(s) != s {
+		t.Fatalf("String() = %q, want 32 lowercase hex chars", s)
+	}
+	got, ok := ParseTraceID(s)
+	if !ok || got != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v", s, got, ok)
+	}
+}
+
+func TestSpanIDRoundTrip(t *testing.T) {
+	id := NewSpanID()
+	if id.IsZero() {
+		t.Fatal("NewSpanID returned the zero ID")
+	}
+	s := id.String()
+	if len(s) != 16 {
+		t.Fatalf("String() = %q, want 16 hex chars", s)
+	}
+	got, ok := ParseSpanID(s)
+	if !ok || got != id {
+		t.Fatalf("ParseSpanID(%q) = %v, %v", s, got, ok)
+	}
+}
+
+func TestParseIDRejects(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"short",
+		strings.Repeat("0", 32), // zero ID
+		strings.Repeat("g", 32), // non-hex
+		strings.ToUpper(strings.Repeat("ab", 16)), // uppercase
+		strings.Repeat("ab", 16) + "0",            // too long
+		strings.Repeat("ab", 15) + " b",           // embedded space
+	} {
+		if _, ok := ParseTraceID(s); ok {
+			t.Errorf("ParseTraceID(%q) accepted", s)
+		}
+	}
+	if _, ok := ParseSpanID(strings.Repeat("0", 16)); ok {
+		t.Error("ParseSpanID accepted the zero ID")
+	}
+	if _, ok := ParseSpanID("abcd"); ok {
+		t.Error("ParseSpanID accepted a short string")
+	}
+}
+
+func TestNewTraceAssignsIdentity(t *testing.T) {
+	a, b := New("a"), New("b")
+	if a.ID.IsZero() || a.Root().ID.IsZero() {
+		t.Fatal("New left trace or root span identity unset")
+	}
+	if a.ID == b.ID {
+		t.Error("two traces share a trace ID")
+	}
+	ctx := NewContext(context.Background(), a)
+	sp := Phase(ctx, "child")
+	if sp.ID.IsZero() || sp.ID == a.Root().ID {
+		t.Errorf("child span ID = %v, want fresh and distinct from the root", sp.ID)
+	}
+	sp.End()
+	a.Finish()
+	b.Finish()
+}
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	rem := Remote{Trace: NewTraceID(), Span: NewSpanID(), Flags: FlagSampled}
+	hdr := FormatTraceHeader(rem)
+	if len(hdr) != 52 {
+		t.Fatalf("header %q has length %d, want 52", hdr, len(hdr))
+	}
+	got, ok := ParseTraceHeader(hdr)
+	if !ok || got != rem {
+		t.Fatalf("ParseTraceHeader(%q) = %+v, %v, want %+v", hdr, got, ok, rem)
+	}
+}
+
+func TestParseTraceHeaderRejects(t *testing.T) {
+	valid := FormatTraceHeader(Remote{Trace: NewTraceID(), Span: NewSpanID(), Flags: 1})
+	for _, s := range []string{
+		"",
+		"not-a-header",
+		valid[:51],             // truncated
+		valid + "0",            // extended
+		strings.ToUpper(valid), // uppercase
+		strings.Replace(valid, "-", "_", 1),
+		strings.Repeat("0", 32) + valid[32:], // zero trace ID
+		valid[:33] + strings.Repeat("0", 16) + valid[49:], // zero span ID
+	} {
+		if _, ok := ParseTraceHeader(s); ok {
+			t.Errorf("ParseTraceHeader(%q) accepted", s)
+		}
+	}
+}
+
+func FuzzParseTraceHeader(f *testing.F) {
+	f.Add(FormatTraceHeader(Remote{Trace: NewTraceID(), Span: NewSpanID(), Flags: 1}))
+	f.Add("4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add("")
+	f.Add(strings.Repeat("-", 52))
+	f.Fuzz(func(t *testing.T, s string) {
+		rem, ok := ParseTraceHeader(s)
+		if !ok {
+			return
+		}
+		if rem.Trace.IsZero() || rem.Span.IsZero() {
+			t.Fatalf("accepted header %q with a zero ID", s)
+		}
+		// Accepted headers must round-trip exactly — the parser admits only
+		// the canonical form.
+		if got := FormatTraceHeader(rem); got != s {
+			t.Fatalf("round trip of %q produced %q", s, got)
+		}
+	})
+}
+
+func TestRemoteContext(t *testing.T) {
+	if _, ok := RemoteFromContext(context.Background()); ok {
+		t.Fatal("empty context reported remote trace context")
+	}
+	rem := Remote{Trace: NewTraceID(), Span: NewSpanID(), Flags: FlagSampled}
+	ctx := ContextWithRemote(context.Background(), rem)
+	got, ok := RemoteFromContext(ctx)
+	if !ok || got != rem {
+		t.Fatalf("RemoteFromContext = %+v, %v, want %+v", got, ok, rem)
+	}
+}
+
+// TestGraftShiftsRemoteTree: a grafted subtree renders as an extra child of
+// its anchor span with every offset moved onto the local timeline.
+func TestGraftShiftsRemoteTree(t *testing.T) {
+	tr := New("root")
+	ctx := NewContext(context.Background(), tr)
+	sp := Phase(ctx, "cluster-forward")
+	remote := &SpanNode{
+		Name: "remote-root", StartUs: 0, DurationUs: 900,
+		Attrs:    map[string]any{"remote": true},
+		Children: []*SpanNode{{Name: "remote-phase", StartUs: 100, DurationUs: 700}},
+	}
+	sp.Graft(remote)
+	sp.End()
+	tr.Finish()
+
+	node := tr.Tree()
+	if len(node.Children) != 1 {
+		t.Fatalf("root has %d children, want 1", len(node.Children))
+	}
+	fwd := node.Children[0]
+	if len(fwd.Children) != 1 {
+		t.Fatalf("forward span has %d children, want the grafted subtree", len(fwd.Children))
+	}
+	g := fwd.Children[0]
+	if g.Name != "remote-root" || g.Attrs["remote"] != true {
+		t.Errorf("grafted node = %+v", g)
+	}
+	if g.StartUs != fwd.StartUs {
+		t.Errorf("grafted root StartUs = %d, want shifted to the forward span's %d", g.StartUs, fwd.StartUs)
+	}
+	if len(g.Children) != 1 || g.Children[0].StartUs != fwd.StartUs+100 {
+		t.Errorf("grafted child = %+v, want StartUs %d", g.Children[0], fwd.StartUs+100)
+	}
+	if g.Children[0].DurationUs != 700 {
+		t.Errorf("grafted child duration = %d, want unchanged 700", g.Children[0].DurationUs)
+	}
+
+	// The shift deep-copied: the input tree is untouched.
+	if remote.StartUs != 0 || remote.Children[0].StartUs != 100 {
+		t.Error("Graft mutated the input subtree offsets")
+	}
+}
+
+func TestSpanEventsCarryIdentity(t *testing.T) {
+	tr := New("root")
+	var events []SpanEvent
+	tr.OnSpan = func(ev SpanEvent) { events = append(events, ev) }
+	ctx := NewContext(context.Background(), tr)
+	sp := Phase(ctx, "work")
+	sp.End()
+	tr.Finish()
+
+	if len(events) != 3 { // start, end, root end
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	for i, ev := range events {
+		if ev.TraceID != tr.ID {
+			t.Errorf("event %d trace ID = %v, want %v", i, ev.TraceID, tr.ID)
+		}
+		if ev.SpanID.IsZero() {
+			t.Errorf("event %d has a zero span ID", i)
+		}
+	}
+	if events[0].SpanID != events[1].SpanID {
+		t.Error("start and end events of one span carry different span IDs")
+	}
+	if !events[2].Root || events[2].SpanID != tr.Root().ID {
+		t.Errorf("final event = %+v, want the root end", events[2])
+	}
+}

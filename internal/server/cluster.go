@@ -13,6 +13,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // The cluster-aware solve path. With a cluster configured, every /v1/solve
@@ -35,12 +36,13 @@ import (
 
 // flightBody is a resolved solve miss as shared through the single-flight
 // group: the canonical PRS1 frame, where it came from (for the X-Cluster
-// response header), and — on the direct path only, for traced requests that
-// bypass the flight — the request's own span tree.
+// response header), and — for traced requests and remote-parented internal
+// solves — the request's own span tree plus its trace ID.
 type flightBody struct {
-	body []byte
-	via  string        // forwarding peer URL; empty for a local solve
-	tree *obs.SpanNode // non-nil only for traced (flight-bypassing) requests
+	body    []byte
+	via     string        // forwarding peer URL; empty for a local solve
+	tree    *obs.SpanNode // non-nil for traced requests and remote-parented solves
+	traceID string        // set alongside tree; rendered as the JSON traceId field
 }
 
 // httpError carries an HTTP status through the single-flight group, so shed
@@ -123,32 +125,88 @@ func (s *Server) solveTimeoutOf(ms int64) time.Duration {
 // requests that already crossed a node boundary and must not be forwarded
 // again. Rendering into the negotiated response format and the cache fill
 // are the caller's job.
+//
+// Every miss runs under a trace: the phase spans feed the per-phase metrics
+// and the flight recorder whether or not the client asked for the tree back.
+// Internal requests adopt the caller's propagated trace identity (same trace
+// ID cluster-wide, this node's root parented under the caller's forward
+// span); their tree travels back in the response trailer so the caller can
+// graft it. The "solve " root-name prefix only matters when the tree is
+// rendered into a response; skipping the concat keeps the untraced hot path
+// one allocation cheaper.
 func (s *Server) resolveMiss(ctx context.Context, p *parsedSolve, internal bool) (flightBody, error) {
+	name := p.req.Solver
+	if p.req.Trace {
+		name = "solve " + p.req.Solver
+	}
+	tr := obs.New(name)
+	tr.RequestID = obs.RequestIDFrom(ctx)
+	rem, hasRemote := obs.RemoteFromContext(ctx)
+	if internal && hasRemote {
+		tr.ID = rem.Trace
+		tr.Parent = rem.Span
+	} else {
+		hasRemote = false
+	}
+	tctx := obs.NewContext(ctx, tr)
+
+	var fb flightBody
+	var err error
+	forwarded := false
 	if s.cluster != nil && !internal && !p.req.NoCache {
 		if peer, local := s.cluster.Route(p.fp); !local {
-			if fb, ok := s.forwardSolve(ctx, p, peer); ok {
-				return fb, nil
-			}
+			fb, forwarded = s.forwardSolve(tctx, tr, p, peer)
 		}
 	}
-	return s.solveLocal(ctx, p, internal)
+	if !forwarded {
+		fb, err = s.solveLocal(tctx, p, internal)
+	}
+	tr.Finish()
+	if err == nil && (p.req.Trace || hasRemote) {
+		fb.tree = tr.Tree()
+		fb.traceID = tr.ID.String()
+	}
+	s.offerTrace(flight.Info{
+		Trace:     tr,
+		Kind:      "solve",
+		Solver:    p.req.Solver,
+		Status:    errStatus(err),
+		Err:       errMessage(err),
+		Forwarded: forwarded,
+		Remote:    hasRemote,
+		Peer:      fb.via,
+	})
+	return fb, err
+}
+
+// errStatus maps a resolve error to the HTTP status it will be written as.
+func errStatus(err error) int {
+	if err == nil {
+		return http.StatusOK
+	}
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	return solveStatus(err)
+}
+
+func errMessage(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // forwardSolve encodes the parsed request as a PSV1 frame and asks the
-// owning peer to solve it, returning the owner's PRS1 frame. Reports
-// ok=false on any failure, leaving the caller to solve locally; the cluster
-// transport has already recorded the outcome and marked the peer dead when
-// the failure was transport-level.
-func (s *Server) forwardSolve(ctx context.Context, p *parsedSolve, peer string) (flightBody, bool) {
-	var tr *obs.Trace
-	fctx := ctx
-	if p.req.Trace {
-		// Traced clients get the hop in their span tree: the root carries a
-		// cluster-forward phase instead of local solver phases.
-		tr = obs.New("solve " + p.req.Solver)
-		tr.RequestID = obs.RequestIDFrom(ctx)
-		fctx = obs.NewContext(ctx, tr)
-	}
+// owning peer to solve it, returning the owner's PRS1 frame. The hop runs
+// under a cluster-forward span whose identity travels in the trace header;
+// when the owner answers with its span tree in the response trailer, that
+// tree is grafted under the span — one request, one tree, cluster-wide.
+// Reports ok=false on any failure, leaving the caller to solve locally; the
+// cluster transport has already recorded the outcome and marked the peer
+// dead when the failure was transport-level.
+func (s *Server) forwardSolve(ctx context.Context, tr *obs.Trace, p *parsedSolve, peer string) (flightBody, bool) {
 	// Trace and noCache are local concerns and do not cross the hop; the
 	// owner always answers the cacheable untraced binary form.
 	frame, err := AppendSolveRequest(nil, SolveParams{
@@ -165,10 +223,11 @@ func (s *Server) forwardSolve(ctx context.Context, p *parsedSolve, peer string) 
 	// queue wait plus the solve deadline we asked for, with margin.
 	fwdCtx, cancel := context.WithTimeout(ctx, s.solveTimeoutOf(p.req.TimeoutMs)+s.cfg.QueueTimeout+2*time.Second)
 	defer cancel()
-	sp := obs.Phase(fctx, "cluster-forward")
+	sp := obs.Phase(ctx, "cluster-forward")
 	sp.SetAttr("peer", peer)
-	body, _, err := s.cluster.ForwardSolve(fwdCtx, peer, frame, obs.RequestIDFrom(ctx))
-	sp.End()
+	hdr := obs.FormatTraceHeader(obs.Remote{Trace: tr.ID, Span: sp.ID, Flags: obs.FlagSampled})
+	body, _, spans, err := s.cluster.ForwardSolve(fwdCtx, peer, frame, obs.RequestIDFrom(ctx), hdr)
+	defer sp.End()
 	if err != nil {
 		s.cfg.Logger.Warn("cluster forward failed, solving locally",
 			"peer", peer, "solver", p.req.Solver, "err", err)
@@ -182,18 +241,24 @@ func (s *Server) forwardSolve(ctx context.Context, p *parsedSolve, peer string) 
 			"peer", peer, "err", err)
 		return flightBody{}, false
 	}
-	tr.Finish()
-	var tree *obs.SpanNode
-	if tr != nil {
-		tree = tr.Tree()
+	if len(spans) > 0 {
+		var node obs.SpanNode
+		if jerr := json.Unmarshal(spans, &node); jerr == nil && node.Name != "" {
+			if node.Attrs == nil {
+				node.Attrs = make(map[string]any, 2)
+			}
+			node.Attrs["remote"] = true
+			node.Attrs["peer"] = peer
+			sp.Graft(&node)
+		}
 	}
-	return flightBody{body: body, via: peer, tree: tree}, true
+	return flightBody{body: body, via: peer}, true
 }
 
-// solveLocal runs the engine for a miss on this node: admission, tracing,
-// solve, certification, and rendering into the canonical PRS1 frame.
-// internal requests (forwarded from a peer) nest the solve under a
-// remote-solve span so traces show which solves served the cluster rather
+// solveLocal runs the engine for a miss on this node under the trace already
+// in ctx: admission, solve, certification, and rendering into the canonical
+// PRS1 frame. internal requests (forwarded from a peer) nest the solve under
+// a remote-solve span so traces show which solves served the cluster rather
 // than this node's own clients.
 func (s *Server) solveLocal(ctx context.Context, p *parsedSolve, internal bool) (flightBody, error) {
 	release, err := s.acquireSlotCtx(ctx)
@@ -201,28 +266,17 @@ func (s *Server) solveLocal(ctx context.Context, p *parsedSolve, internal bool) 
 		return flightBody{}, err
 	}
 	defer release()
+	ser := s.solvem.enter(p.req.Solver)
+	defer s.solvem.exit(ser)
 
-	// Every solve runs under a trace: the phase spans feed the per-phase
-	// metrics whether or not the client asked for the tree back. The root
-	// carries the request ID so exported traces correlate with log lines.
-	// The "solve " root-name prefix only matters when the span tree is
-	// rendered into the response; skipping the concat keeps the untraced hot
-	// path one allocation cheaper.
-	name := p.req.Solver
-	if p.req.Trace {
-		name = "solve " + p.req.Solver
-	}
-	tr := obs.New(name)
-	tr.RequestID = obs.RequestIDFrom(ctx)
-	tctx := obs.NewContext(ctx, tr)
+	tctx := ctx
 	if internal {
 		var sp *obs.Span
-		tctx, sp = obs.StartSpan(tctx, "remote-solve")
+		tctx, sp = obs.StartSpan(ctx, "remote-solve")
 		defer sp.End()
 	}
 	ereq := s.engineRequest(*p, 0)
 	res, err := engine.Solve(tctx, ereq)
-	tr.Finish()
 	if err != nil {
 		return flightBody{}, err
 	}
@@ -230,11 +284,7 @@ func (s *Server) solveLocal(ctx context.Context, p *parsedSolve, internal bool) 
 	if p.req.Verify {
 		cert = s.certifyResult(ereq, res)
 	}
-	var tree *obs.SpanNode
-	if p.req.Trace {
-		tree = tr.Tree()
-	}
-	return flightBody{body: appendSolveResult(nil, p.fp, res, cert), tree: tree}, nil
+	return flightBody{body: appendSolveResult(nil, p.fp, res, cert)}, nil
 }
 
 // renderJSONResult renders the JSON solve response from the canonical PRS1
@@ -242,7 +292,7 @@ func (s *Server) solveLocal(ctx context.Context, p *parsedSolve, internal bool) 
 // forwarded results, and single-flight waiters alike. Field-for-field it
 // produces the same bytes marshalResult does for the same solve: the frame
 // carries every float as its exact bits.
-func renderJSONResult(frame []byte, trace *obs.SpanNode) ([]byte, error) {
+func renderJSONResult(frame []byte, trace *obs.SpanNode, traceID string) ([]byte, error) {
 	sr, rest, err := DecodeSolveResult(frame)
 	if err != nil {
 		return nil, err
@@ -264,6 +314,7 @@ func renderJSONResult(frame []byte, trace *obs.SpanNode) ([]byte, error) {
 	body.Fingerprint = fmt.Sprintf("%016x", sr.Fingerprint)
 	body.Verify = sr.Verify
 	body.Trace = trace
+	body.TraceID = traceID
 	body.Stats.DurationMs = sr.DurationMs
 	body.Stats.Iterations = sr.Iterations
 	return json.Marshal(&body)

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/codec"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // clusterNode is one member of a test cluster: a real server on a loopback
@@ -497,5 +499,181 @@ func TestSolveSingleFlightLocal(t *testing.T) {
 	}
 	if !strings.Contains(metrics, `partitiond_cache_requests_total{tier="local",result="miss"}`) {
 		t.Error("metrics missing the local-tier cache series")
+	}
+}
+
+// findSpan walks a span tree depth-first for the first node with the name.
+func findSpan(n *obs.SpanNode, name string) *obs.SpanNode {
+	if n == nil {
+		return nil
+	}
+	if n.Name == name {
+		return n
+	}
+	for _, c := range n.Children {
+		if got := findSpan(c, name); got != nil {
+			return got
+		}
+	}
+	return nil
+}
+
+// TestClusterTracePropagation is the distributed-tracing acceptance check: a
+// traced solve forwarded through a non-owner comes back as one coherent span
+// tree — the owner's remote phases grafted under the caller's cluster-forward
+// span — and both sides retain the trace under the same ID, queryable from
+// either node's /v1/traces.
+func TestClusterTracePropagation(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	g, _ := graphOwnedBy(t, nodes, 0)
+	owner, caller := nodes[0], nodes[1]
+
+	resp, body, err := postJSONSolve(caller.url, solveRequest{
+		Solver: "bandwidth", K: 900, Graph: graphJSONOf(t, g), Trace: true,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded traced solve: %d %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("X-Cluster"); got != "forwarded "+owner.url {
+		t.Fatalf("X-Cluster = %q, want forwarded to the owner", got)
+	}
+	var sres solveResponse
+	if err := json.Unmarshal(body, &sres); err != nil {
+		t.Fatal(err)
+	}
+	if sres.Trace == nil || len(sres.TraceID) != 32 {
+		t.Fatalf("traced response lacks trace identity: trace=%v traceId=%q", sres.Trace, sres.TraceID)
+	}
+	fwd := findSpan(sres.Trace, "cluster-forward")
+	if fwd == nil {
+		t.Fatalf("span tree has no cluster-forward span: %+v", sres.Trace)
+	}
+	if got := fwd.Attrs["peer"]; got != owner.url {
+		t.Errorf("cluster-forward peer = %v, want %v", got, owner.url)
+	}
+	if len(fwd.Children) == 0 {
+		t.Fatal("cluster-forward span has no grafted remote subtree")
+	}
+	remote := fwd.Children[0]
+	if got := remote.Attrs["remote"]; got != true {
+		t.Errorf("grafted root attrs = %v, want remote:true", remote.Attrs)
+	}
+	if findSpan(remote, "remote-solve") == nil {
+		t.Errorf("grafted subtree has no remote-solve span: %+v", remote)
+	}
+
+	// Both sides retained the trace under the propagated ID.
+	var fromCaller, fromOwner traceGetResponse
+	getJSON(t, caller.url+"/v1/traces/"+sres.TraceID, &fromCaller)
+	if !fromCaller.Forwarded || fromCaller.Peer != owner.url || fromCaller.Reason != "forwarded" {
+		t.Errorf("caller record = %+v, want forwarded to the owner", fromCaller.Record)
+	}
+	getJSON(t, owner.url+"/v1/traces/"+sres.TraceID, &fromOwner)
+	if !fromOwner.Remote || fromOwner.Reason != "remote" {
+		t.Errorf("owner record = %+v, want remote", fromOwner.Record)
+	}
+	if fromOwner.ParentSpan == "" {
+		t.Error("owner record has no parent span (trace identity was not adopted)")
+	}
+	if fromCaller.TraceID != fromOwner.TraceID {
+		t.Errorf("trace IDs differ across nodes: %s vs %s", fromCaller.TraceID, fromOwner.TraceID)
+	}
+}
+
+// TestClusterTraceHeaderSanitization: garbage in the internal trace header is
+// ignored — the solve still answers 200, no trailer — while a well-formed
+// header yields a span-tree trailer and a retained trace under exactly the
+// propagated ID. External requests never get to inject trace identity at all.
+func TestClusterTraceHeaderSanitization(t *testing.T) {
+	nodes := newTestCluster(t, 3)
+	node := nodes[0]
+	const validTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	valid := validTrace + "-00f067aa0ba902b7-01"
+
+	bad := []string{
+		"garbage",
+		"4bf92f3577b34da6a3ce929d0e0e4736", // trace ID only
+		"4BF92F3577B34DA6A3CE929D0E0E4736-00F067AA0BA902B7-01",   // uppercase hex
+		"zzf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // non-hex
+		"4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // missing flags
+		"00000000000000000000000000000000-0000000000000000-01",   // all-zero IDs
+		"4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-x", // trailing field
+		strings.Repeat("a", 4096),
+	}
+	for i, hdr := range bad {
+		frame, err := AppendSolveRequest(nil, SolveParams{Solver: "bandwidth", K: float64(1000 + i)}, testPath(t, 48, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, _ := postBinarySolve(t, node.url, frame, map[string]string{
+			cluster.InternalHeader: "1",
+			cluster.TraceHeader:    hdr,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("case %d (%.32q): status %d", i, hdr, resp.StatusCode)
+		}
+		if got := resp.Trailer.Get(cluster.SpansTrailer); got != "" {
+			t.Errorf("case %d (%.32q): unexpected span trailer %q", i, hdr, got)
+		}
+	}
+
+	// A well-formed header on an internal request produces the trailer and a
+	// remote-retained trace under the propagated ID.
+	frame, err := AppendSolveRequest(nil, SolveParams{Solver: "bandwidth", K: 2000}, testPath(t, 48, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := postBinarySolve(t, node.url, frame, map[string]string{
+		cluster.InternalHeader: "1",
+		cluster.TraceHeader:    valid,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid header: status %d", resp.StatusCode)
+	}
+	enc := resp.Trailer.Get(cluster.SpansTrailer)
+	if enc == "" {
+		t.Fatal("valid header: no span trailer")
+	}
+	spans, err := base64.StdEncoding.DecodeString(enc)
+	if err != nil {
+		t.Fatalf("span trailer is not base64: %v", err)
+	}
+	var node0 obs.SpanNode
+	if err := json.Unmarshal(spans, &node0); err != nil {
+		t.Fatalf("span trailer is not a span tree: %v", err)
+	}
+	if node0.Name != "bandwidth" || findSpan(&node0, "remote-solve") == nil {
+		t.Errorf("trailer tree = %+v, want the owner's bandwidth solve under remote-solve", node0)
+	}
+	var got traceGetResponse
+	getJSON(t, node.url+"/v1/traces/"+validTrace, &got)
+	if !got.Remote || got.ParentSpan != "00f067aa0ba902b7" {
+		t.Errorf("retained record = %+v, want remote with the propagated parent span", got.Record)
+	}
+
+	// The same well-formed header from an external caller (no internal
+	// marker) must not be honored: no trailer, no trace under that ID.
+	frame, err = AppendSolveRequest(nil, SolveParams{Solver: "bandwidth", K: 3000}, testPath(t, 48, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext := "aaaa2f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	resp, _ = postBinarySolve(t, node.url, frame, map[string]string{cluster.TraceHeader: ext})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("external request: status %d", resp.StatusCode)
+	}
+	if got := resp.Trailer.Get(cluster.SpansTrailer); got != "" {
+		t.Errorf("external request got a span trailer %q", got)
+	}
+	gr, err := http.Get(node.url + "/v1/traces/" + strings.Split(ext, "-")[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if gr.StatusCode != http.StatusNotFound {
+		t.Errorf("externally injected trace ID was retained: status %d", gr.StatusCode)
 	}
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -80,7 +81,11 @@ type solveResponse struct {
 	// "trace". Like Stats, cached hits replay the tree of the original
 	// solve (the trace flag is part of the cache key).
 	Trace *obs.SpanNode `json:"trace,omitempty"`
-	Stats struct {
+	// TraceID is the distributed trace identifier, present alongside Trace.
+	// When the flight recorder retained the trace it is retrievable at
+	// /v1/traces/{traceId} after the fact.
+	TraceID string `json:"traceId,omitempty"`
+	Stats   struct {
 		DurationMs float64 `json:"durationMs"`
 		Iterations int64   `json:"iterations"`
 	} `json:"stats"`
@@ -228,7 +233,7 @@ func (s *Server) engineRequest(p parsedSolve, defaultTimeoutMs int64) engine.Req
 // the bytes that get cached and replayed byte-identically on hits. cert is
 // nil unless the request asked for verification; trace is nil unless it asked
 // for the span tree.
-func marshalResult(fp uint64, res engine.Result, cert *verifyInfo, trace *obs.SpanNode) ([]byte, error) {
+func marshalResult(fp uint64, res engine.Result, cert *verifyInfo, trace *obs.SpanNode, traceID string) ([]byte, error) {
 	var body solveResponse
 	body.Solver = res.Solver
 	body.K = res.K
@@ -243,6 +248,7 @@ func marshalResult(fp uint64, res engine.Result, cert *verifyInfo, trace *obs.Sp
 	body.Fingerprint = fmt.Sprintf("%016x", fp)
 	body.Verify = cert
 	body.Trace = trace
+	body.TraceID = traceID
 	body.Stats.DurationMs = float64(res.Stats.Duration) / float64(time.Millisecond)
 	body.Stats.Iterations = res.Stats.Iterations
 	return json.Marshal(&body)
@@ -393,6 +399,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.releaseParsed(&p)
 	internal := r.Header.Get(cluster.InternalHeader) != ""
+	ctx := r.Context()
+	var hasRemote bool
+	if internal {
+		// Adopt propagated trace context — internal hops only, so external
+		// callers cannot inject trace identity. A malformed header is ignored:
+		// the solve still runs, just under a fresh local trace.
+		if rem, ok := obs.ParseTraceHeader(r.Header.Get(cluster.TraceHeader)); ok {
+			ctx = obs.ContextWithRemote(ctx, rem)
+			hasRemote = true
+		}
+	}
 	wantBin := acceptsBinary(r.Header.Get("Accept")) && !p.req.Trace
 	p.key = newCacheKey(p.fp, p.req.Solver, p.req.K, p.req.MaxComponents, p.req.Verify, p.req.Trace, wantBin)
 	// canonKey names the canonical PRS1 frame for this solve — the format-
@@ -414,7 +431,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			// Secondary probe via peek: the Get above already counted this
 			// request's outcome, and a fallback render still answers it.
 			if frame, ok := s.cache.peek(canonKey); ok {
-				if body, err := renderJSONResult(frame, nil); err == nil {
+				if body, err := renderJSONResult(frame, nil, ""); err == nil {
 					s.clusterm.observeLookup(internal, true)
 					s.cache.Put(p.key, body)
 					w.Header().Set("X-Cache", "HIT")
@@ -440,13 +457,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		err    error
 	)
 	if p.req.NoCache || p.req.Trace {
-		fb, err = s.resolveMiss(r.Context(), &p, internal)
+		fb, err = s.resolveMiss(ctx, &p, internal)
 	} else {
 		fb, shared, err = s.flight.Do(canonKey, func() (flightBody, error) {
 			// The solve is detached from this request's cancellation: every
 			// waiter that joined depends on it, and the engine deadline
-			// bounds it regardless. Context values (request ID) survive.
-			return s.resolveMiss(context.WithoutCancel(r.Context()), &p, internal)
+			// bounds it regardless. Context values (request ID, remote trace
+			// context) survive.
+			return s.resolveMiss(context.WithoutCancel(ctx), &p, internal)
 		})
 	}
 	if err != nil {
@@ -455,7 +473,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	out := fb.body
 	if !wantBin {
-		out, err = renderJSONResult(fb.body, fb.tree)
+		// The tree renders into the body only for requests that asked for it:
+		// a remote-parented flight leader also carries one (for the trailer),
+		// and it must not leak into untraced JSON waiters.
+		var tree *obs.SpanNode
+		var traceID string
+		if p.req.Trace {
+			tree, traceID = fb.tree, fb.traceID
+		}
+		out, err = renderJSONResult(fb.body, tree, traceID)
 		if err != nil {
 			s.writeError(w, http.StatusInternalServerError, err.Error())
 			return
@@ -477,8 +503,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if shared {
 		w.Header().Set("X-Singleflight", "shared")
 	}
+	// Remote-parented internal solves return their span tree in a trailer so
+	// the caller grafts it under its cluster-forward span. A trailer keeps
+	// the PRS1 body byte-identical to an untraced forward; it must be
+	// declared before the body and set after.
+	var trailerSpans string
+	if internal && hasRemote && fb.tree != nil {
+		if spans, jerr := json.Marshal(fb.tree); jerr == nil {
+			trailerSpans = base64.StdEncoding.EncodeToString(spans)
+			w.Header().Set("Trailer", cluster.SpansTrailer)
+		}
+	}
 	w.Header().Set("X-Cache", "MISS")
 	writeBody(w, http.StatusOK, out, wantBin)
+	if trailerSpans != "" {
+		w.Header().Set(cluster.SpansTrailer, trailerSpans)
+	}
 }
 
 // batchOutcome is one item's fate before rendering: exactly one of body or
@@ -619,7 +659,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				body = appendSolveResult(nil, parsed[i].fp, item.Result, cert)
 			} else {
 				var err error
-				body, err = marshalResult(parsed[i].fp, item.Result, cert, nil)
+				body, err = marshalResult(parsed[i].fp, item.Result, cert, nil, "")
 				if err != nil {
 					outcomes[i].errMsg = err.Error()
 					failed++
@@ -791,4 +831,5 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJobsMetrics(w, s.jobs.Stats())
 	s.solvem.writeTo(w)
 	s.writeClusterMetrics(w)
+	s.writeObsMetrics(w)
 }

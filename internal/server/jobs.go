@@ -15,6 +15,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // The async jobs API. A solve submitted as a job outlives its HTTP request:
@@ -129,6 +130,13 @@ func (s *Server) jobRun(p parsedSolve, rid string) jobs.RunFunc {
 		}
 		res, err := engine.Solve(obs.NewContext(ctx, tr), ereq)
 		tr.Finish()
+		s.offerTrace(flight.Info{
+			Trace:  tr,
+			Kind:   "job",
+			Solver: p.req.Solver,
+			Status: errStatus(err),
+			Err:    errMessage(err),
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -137,10 +145,12 @@ func (s *Server) jobRun(p parsedSolve, rid string) jobs.RunFunc {
 			cert = s.certifyResult(ereq, res)
 		}
 		var spans *obs.SpanNode
+		var traceID string
 		if p.req.Trace {
 			spans = tr.Tree()
+			traceID = tr.ID.String()
 		}
-		body, err := marshalResult(p.fp, res, cert, spans)
+		body, err := marshalResult(p.fp, res, cert, spans, traceID)
 		if err != nil {
 			return nil, err
 		}

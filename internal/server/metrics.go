@@ -7,9 +7,12 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/version"
 )
 
 // Hand-rolled Prometheus text exposition (format version 0.0.4) — the repo
@@ -208,6 +211,86 @@ func writeMetrics(w io.Writer, snap metricsSnapshot) {
 	})
 	series("partitiond_uptime_seconds", "gauge", "Seconds since the server started.", func() {
 		fmt.Fprintf(w, "partitiond_uptime_seconds %g\n", uptime.Seconds())
+	})
+}
+
+// writeObsMetrics renders the process-level observability families: build
+// identity, Go runtime health, pool effectiveness, and the flight recorder's
+// retention accounting.
+func (s *Server) writeObsMetrics(w io.Writer) {
+	series := func(metric, typ, help string, emit func()) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, typ)
+		emit()
+	}
+
+	series("partitiond_build_info", "gauge", "Build identity; the value is always 1.", func() {
+		fmt.Fprintf(w, "partitiond_build_info{version=%q,go_version=%q} 1\n",
+			version.Version, version.GoVersion())
+	})
+
+	rs := obs.ReadRuntimeStats()
+	series("partitiond_go_goroutines", "gauge", "Live goroutines.", func() {
+		fmt.Fprintf(w, "partitiond_go_goroutines %d\n", rs.Goroutines)
+	})
+	series("partitiond_go_heap_alloc_bytes", "gauge", "Bytes of allocated heap objects.", func() {
+		fmt.Fprintf(w, "partitiond_go_heap_alloc_bytes %d\n", rs.HeapAlloc)
+	})
+	series("partitiond_go_heap_sys_bytes", "gauge", "Heap memory obtained from the OS.", func() {
+		fmt.Fprintf(w, "partitiond_go_heap_sys_bytes %d\n", rs.HeapSys)
+	})
+	series("partitiond_go_heap_objects", "gauge", "Live heap objects.", func() {
+		fmt.Fprintf(w, "partitiond_go_heap_objects %d\n", rs.HeapObjects)
+	})
+	series("partitiond_go_gc_next_bytes", "gauge", "Heap size that triggers the next GC cycle.", func() {
+		fmt.Fprintf(w, "partitiond_go_gc_next_bytes %d\n", rs.NextGC)
+	})
+	series("partitiond_go_gc_cycles_total", "counter", "Completed GC cycles.", func() {
+		fmt.Fprintf(w, "partitiond_go_gc_cycles_total %d\n", rs.GCCycles)
+	})
+	series("partitiond_go_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.", func() {
+		fmt.Fprintf(w, "partitiond_go_gc_pause_seconds_total %g\n", rs.GCPauseTotal.Seconds())
+	})
+	series("partitiond_go_gc_cpu_fraction", "gauge", "Fraction of CPU time spent in GC since process start.", func() {
+		fmt.Fprintf(w, "partitiond_go_gc_cpu_fraction %g\n", rs.GCCPUFraction)
+	})
+
+	series("partitiond_pool_requests_total", "counter", "Object-pool checkouts by pool and result (hit = recycled, new = allocated).", func() {
+		ps := s.graphPool.Stats()
+		fmt.Fprintf(w, "partitiond_pool_requests_total{pool=\"codec-graph\",result=\"hit\"} %d\n", ps.Hits)
+		fmt.Fprintf(w, "partitiond_pool_requests_total{pool=\"codec-graph\",result=\"new\"} %d\n", ps.News)
+		gets, news := core.ScratchPoolStats()
+		fmt.Fprintf(w, "partitiond_pool_requests_total{pool=\"solver-scratch\",result=\"hit\"} %d\n", gets-news)
+		fmt.Fprintf(w, "partitiond_pool_requests_total{pool=\"solver-scratch\",result=\"new\"} %d\n", news)
+	})
+
+	if s.recorder == nil {
+		return
+	}
+	st := s.recorder.Stats()
+	series("partitiond_traces_offered_total", "counter", "Finished request traces offered to the flight recorder.", func() {
+		fmt.Fprintf(w, "partitiond_traces_offered_total %d\n", st.Offered)
+	})
+	series("partitiond_traces_retained_total", "counter", "Traces retained by the flight recorder, by retention reason.", func() {
+		for _, reason := range flight.Reasons() {
+			fmt.Fprintf(w, "partitiond_traces_retained_total{reason=%q} %d\n", reason, st.KeptByReason[reason])
+		}
+	})
+	series("partitiond_traces_dropped_total", "counter", "Traces offered but not retained (no retention rule matched).", func() {
+		fmt.Fprintf(w, "partitiond_traces_dropped_total %d\n", st.Dropped)
+	})
+	series("partitiond_trace_store_evicted_total", "counter", "Retained traces evicted from the store, by cap that forced it.", func() {
+		fmt.Fprintf(w, "partitiond_trace_store_evicted_total{cause=\"count\"} %d\n", st.EvictedCount)
+		fmt.Fprintf(w, "partitiond_trace_store_evicted_total{cause=\"bytes\"} %d\n", st.EvictedBytes)
+	})
+	series("partitiond_trace_store_traces", "gauge", "Traces resident in the flight-recorder store.", func() {
+		fmt.Fprintf(w, "partitiond_trace_store_traces %d\n", st.Traces)
+	})
+	series("partitiond_trace_store_bytes", "gauge", "Approximate bytes resident in the flight-recorder store.", func() {
+		fmt.Fprintf(w, "partitiond_trace_store_bytes %d\n", st.Bytes)
+	})
+	series("partitiond_trace_store_capacity", "gauge", "Flight-recorder store caps, by dimension.", func() {
+		fmt.Fprintf(w, "partitiond_trace_store_capacity{dimension=\"traces\"} %d\n", st.CapTraces)
+		fmt.Fprintf(w, "partitiond_trace_store_capacity{dimension=\"bytes\"} %d\n", st.CapBytes)
 	})
 }
 

@@ -16,6 +16,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/jobs"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // Config sizes the serving layer. The zero value is usable: every field has
@@ -89,6 +90,23 @@ type Config struct {
 	// The caller owns the cluster's lifecycle (Start/Close); the server
 	// only routes through it. See internal/cluster.
 	Cluster *cluster.Cluster
+	// TraceSample is the flight recorder's head-sampling rate in [0,1]:
+	// the probability an ordinary successful solve is retained beyond the
+	// tail-sampling rules (slow, errored, shed, and cluster-forwarded
+	// traces are always kept). 0 keeps tail-sampling only; the partitiond
+	// binary defaults its -trace-sample flag to 0.01.
+	TraceSample float64
+	// TraceStore caps retained traces by count; 0 picks the default (512)
+	// and a negative value disables the flight recorder entirely —
+	// /v1/traces then answers enabled:false.
+	TraceStore int
+	// TraceStoreBytes caps retained traces by serialized size (default
+	// 8 MiB). Oldest traces are evicted first on either cap.
+	TraceStoreBytes int64
+	// SlowTrace is the absolute duration floor beyond which any solve is
+	// retained regardless of sampling (default 500ms). The recorder also
+	// keeps solves beyond the per-solver adaptive p99 threshold.
+	SlowTrace time.Duration
 }
 
 // withDefaults returns cfg with unset fields filled in.
@@ -153,6 +171,15 @@ func (cfg Config) withDefaults() Config {
 	if cfg.MaxJobTimeout <= 0 {
 		cfg.MaxJobTimeout = 15 * time.Minute
 	}
+	if cfg.TraceStore == 0 {
+		cfg.TraceStore = 512
+	}
+	if cfg.TraceStoreBytes <= 0 {
+		cfg.TraceStoreBytes = 8 << 20
+	}
+	if cfg.SlowTrace <= 0 {
+		cfg.SlowTrace = 500 * time.Millisecond
+	}
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
@@ -168,9 +195,10 @@ type Server struct {
 	cache     *Cache
 	limiter   *Limiter
 	collector *engine.Collector
-	solvem    *solveMetrics   // latency histograms + phase accounting
-	observer  engine.Observer // collector + solvem (+ cfg.Observer), attached to every solve
-	jobs      *jobs.Manager   // async job queue + worker pool
+	solvem    *solveMetrics    // latency histograms + phase accounting
+	observer  engine.Observer  // collector + solvem (+ cfg.Observer), attached to every solve
+	jobs      *jobs.Manager    // async job queue + worker pool
+	recorder  *flight.Recorder // always-on trace store; nil when disabled
 	httpm     *httpMetrics
 	handler   http.Handler
 	hs        *http.Server
@@ -217,6 +245,15 @@ func New(cfg Config) *Server {
 	if cfg.CacheSize > 0 {
 		s.cache = NewCache(cfg.CacheSize, cfg.CacheShards)
 	}
+	if cfg.TraceStore > 0 {
+		s.recorder = flight.New(flight.Config{
+			SampleRate:    cfg.TraceSample,
+			MaxTraces:     cfg.TraceStore,
+			MaxBytes:      cfg.TraceStoreBytes,
+			SlowFloor:     cfg.SlowTrace,
+			SlowThreshold: s.solvem.slowFor,
+		})
+	}
 	s.observer = engine.Observers(s.collector, s.solvem, cfg.Observer)
 	s.jobs = jobs.New(jobs.Config{
 		Workers:     cfg.JobWorkers,
@@ -251,6 +288,8 @@ func (s *Server) routes() http.Handler {
 	mux.Handle("DELETE /v1/jobs/{id}", s.instrument("/v1/jobs/{id}", s.handleJobCancel))
 	mux.Handle("GET /v1/jobs/{id}/events", s.instrument("/v1/jobs/{id}/events", s.handleJobEvents))
 	mux.Handle("GET /v1/cluster", s.instrument("/v1/cluster", s.handleCluster))
+	mux.Handle("GET /v1/traces", s.instrument("/v1/traces", s.handleTraceList))
+	mux.Handle("GET /v1/traces/{id}", s.instrument("/v1/traces/{id}", s.handleTraceGet))
 	mux.Handle("GET /healthz", s.instrument("/healthz", s.handleHealthz))
 	mux.Handle("GET /metrics", s.instrument("/metrics", s.handleMetrics))
 	return mux

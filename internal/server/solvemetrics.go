@@ -3,89 +3,186 @@ package server
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
 )
 
+// slowRefreshEvery and slowMinCount pace the cached per-solver p99 slow
+// threshold: it refreshes every slowRefreshEvery observations once at least
+// slowMinCount have accumulated, so the flight recorder's adaptive "slow"
+// rule reads an atomic instead of snapshotting a histogram per request.
+const (
+	slowRefreshEvery = 256
+	slowMinCount     = 64
+)
+
+// solveSeries is one solver's metric state: the latency histogram, phase
+// totals, the live in-flight gauge, the cached adaptive slow threshold, and
+// the per-bucket exemplars linking buckets to retained traces.
+type solveSeries struct {
+	hist      *obs.Histogram
+	phases    map[string]obs.PhaseStat
+	inFlight  atomic.Int64
+	slowBits  atomic.Uint64  // float64 bits of the cached p99, in seconds
+	refreshAt atomic.Uint64  // histogram count that triggers the next refresh
+	exemplars []obs.Exemplar // len(bounds)+1, guarded by solveMetrics.mu
+}
+
 // solveMetrics is the engine Observer behind the solve-latency histograms and
 // the per-phase time accounting on /metrics. It sees every solve the server
 // runs — standalone and batch items alike — because it is chained into the
 // server's observer. The histograms themselves are lock-free; the mutex only
-// guards the maps that lazily create one series per solver.
+// guards the map that lazily creates one series per solver, the phase totals,
+// and the exemplar slots.
 type solveMetrics struct {
 	mu     sync.Mutex
-	hist   map[string]*obs.Histogram           // solver → latency histogram
-	phases map[string]map[string]obs.PhaseStat // solver → phase → totals
+	series map[string]*solveSeries
 }
 
 func newSolveMetrics() *solveMetrics {
-	return &solveMetrics{
-		hist:   make(map[string]*obs.Histogram),
-		phases: make(map[string]map[string]obs.PhaseStat),
+	return &solveMetrics{series: make(map[string]*solveSeries)}
+}
+
+// seriesFor returns (creating if needed) the series for a solver.
+func (m *solveMetrics) seriesFor(solver string) *solveSeries {
+	m.mu.Lock()
+	ser := m.series[solver]
+	if ser == nil {
+		ser = &solveSeries{
+			hist:   obs.NewHistogram(obs.LatencyBuckets()),
+			phases: make(map[string]obs.PhaseStat),
+		}
+		ser.refreshAt.Store(slowMinCount)
+		m.series[solver] = ser
 	}
+	m.mu.Unlock()
+	return ser
 }
 
 // Observe records one solve event.
 func (m *solveMetrics) Observe(ev engine.Event) {
-	m.mu.Lock()
-	h := m.hist[ev.Solver]
-	if h == nil {
-		h = obs.NewHistogram(obs.LatencyBuckets())
-		m.hist[ev.Solver] = h
-	}
+	ser := m.seriesFor(ev.Solver)
 	if len(ev.Phases) > 0 {
-		per := m.phases[ev.Solver]
-		if per == nil {
-			per = make(map[string]obs.PhaseStat)
-			m.phases[ev.Solver] = per
-		}
+		m.mu.Lock()
 		for name, ps := range ev.Phases {
-			agg := per[name]
+			agg := ser.phases[name]
 			agg.Count += ps.Count
 			agg.Total += ps.Total
-			per[name] = agg
+			ser.phases[name] = agg
+		}
+		m.mu.Unlock()
+	}
+	ser.hist.ObserveDuration(ev.Stats.Duration)
+	// Refresh the cached p99 on a sparse schedule. The CAS makes one racing
+	// observer do the snapshot; everyone else keeps the fast path.
+	if n := ser.hist.Count(); n >= slowMinCount {
+		at := ser.refreshAt.Load()
+		if n >= at && ser.refreshAt.CompareAndSwap(at, n+slowRefreshEvery) {
+			ser.slowBits.Store(math.Float64bits(ser.hist.Snapshot().Quantile(0.99)))
 		}
 	}
-	m.mu.Unlock()
-	h.ObserveDuration(ev.Stats.Duration)
 }
 
-// writeTo renders the solve histogram and phase series in Prometheus text
-// format, sorted for deterministic output.
+// slowFor is the flight recorder's adaptive threshold hook: the cached p99
+// for the solver, 0 until enough observations exist. Alloc-free and cheap —
+// it runs on every solve's Offer.
+func (m *solveMetrics) slowFor(solver string) time.Duration {
+	m.mu.Lock()
+	ser := m.series[solver]
+	m.mu.Unlock()
+	if ser == nil {
+		return 0
+	}
+	sec := math.Float64frombits(ser.slowBits.Load())
+	if !(sec > 0) || sec > 1e6 { // unset, or the +Inf overflow bucket
+		return 0
+	}
+	return time.Duration(sec * float64(time.Second))
+}
+
+// enter/exit bracket a local engine solve for the in-flight gauges.
+func (m *solveMetrics) enter(solver string) *solveSeries {
+	ser := m.seriesFor(solver)
+	ser.inFlight.Add(1)
+	return ser
+}
+
+func (m *solveMetrics) exit(ser *solveSeries) { ser.inFlight.Add(-1) }
+
+// setExemplar links the histogram bucket d falls in to a retained trace, so
+// /metrics can point straight from a latency bucket to /v1/traces/{id}.
+func (m *solveMetrics) setExemplar(solver string, d time.Duration, traceID string) {
+	if traceID == "" {
+		return
+	}
+	ser := m.seriesFor(solver)
+	idx, n := ser.hist.BucketIndex(d.Seconds())
+	m.mu.Lock()
+	if ser.exemplars == nil {
+		ser.exemplars = make([]obs.Exemplar, n)
+	}
+	ser.exemplars[idx] = obs.Exemplar{TraceID: traceID, Value: d.Seconds(), Time: time.Now()}
+	m.mu.Unlock()
+}
+
+// writeTo renders the solve histogram (with exemplars), phase, and in-flight
+// series in Prometheus text format, sorted for deterministic output.
 func (m *solveMetrics) writeTo(w io.Writer) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	solvers := make([]string, 0, len(m.hist))
-	for name := range m.hist {
+	solvers := make([]string, 0, len(m.series))
+	for name := range m.series {
 		solvers = append(solvers, name)
 	}
 	sort.Strings(solvers)
+	// Copy the exemplar slices under the lock; histograms snapshot lock-free.
+	exemplars := make(map[string][]obs.Exemplar, len(solvers))
+	for name, ser := range m.series {
+		if len(ser.exemplars) > 0 {
+			exemplars[name] = append([]obs.Exemplar(nil), ser.exemplars...)
+		}
+	}
+	m.mu.Unlock()
 
 	fmt.Fprint(w, "# HELP partitiond_solve_duration_seconds Solve wall time by solver.\n# TYPE partitiond_solve_duration_seconds histogram\n")
 	for _, name := range solvers {
-		m.hist[name].Snapshot().WritePrometheus(w, "partitiond_solve_duration_seconds", map[string]string{"solver": name})
+		m.seriesFor(name).hist.Snapshot().WritePrometheusExemplars(
+			w, "partitiond_solve_duration_seconds", map[string]string{"solver": name}, exemplars[name])
 	}
 
-	phased := make([]string, 0, len(m.phases))
-	for name := range m.phases {
-		phased = append(phased, name)
+	fmt.Fprint(w, "# HELP partitiond_solver_in_flight Engine solves currently running, by solver.\n# TYPE partitiond_solver_in_flight gauge\n")
+	for _, name := range solvers {
+		fmt.Fprintf(w, "partitiond_solver_in_flight{solver=%q} %d\n", name, m.seriesFor(name).inFlight.Load())
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	phased := make([]string, 0, len(m.series))
+	for name, ser := range m.series {
+		if len(ser.phases) > 0 {
+			phased = append(phased, name)
+		}
 	}
 	sort.Strings(phased)
 	fmt.Fprint(w, "# HELP partitiond_solve_phase_seconds_total Time spent inside each solver phase span.\n# TYPE partitiond_solve_phase_seconds_total counter\n")
 	for _, name := range phased {
-		for _, phase := range sortedPhases(m.phases[name]) {
+		per := m.series[name].phases
+		for _, phase := range sortedPhases(per) {
 			fmt.Fprintf(w, "partitiond_solve_phase_seconds_total{solver=%q,phase=%q} %g\n",
-				name, phase, m.phases[name][phase].Total.Seconds())
+				name, phase, per[phase].Total.Seconds())
 		}
 	}
 	fmt.Fprint(w, "# HELP partitiond_solve_phase_count_total Phase spans recorded, by solver and phase.\n# TYPE partitiond_solve_phase_count_total counter\n")
 	for _, name := range phased {
-		for _, phase := range sortedPhases(m.phases[name]) {
+		per := m.series[name].phases
+		for _, phase := range sortedPhases(per) {
 			fmt.Fprintf(w, "partitiond_solve_phase_count_total{solver=%q,phase=%q} %d\n",
-				name, phase, m.phases[name][phase].Count)
+				name, phase, per[phase].Count)
 		}
 	}
 }

@@ -1,0 +1,16 @@
+// Package version carries the build identity stamped into the binaries.
+// Version defaults to "dev" and is overridden at link time:
+//
+//	go build -ldflags "-X repro/internal/version.Version=v1.2.3" ./cmd/...
+//
+// Both binaries expose it via their -version flag, and partitiond publishes
+// it as the partitiond_build_info metric.
+package version
+
+import "runtime"
+
+// Version is the stamped release identifier, "dev" for unstamped builds.
+var Version = "dev"
+
+// GoVersion reports the toolchain the binary was built with.
+func GoVersion() string { return runtime.Version() }
